@@ -1,0 +1,36 @@
+//! Ablation (beyond the paper): sensitivity to the PeriodThreshold.
+//!
+//! The paper empirically sets the long/short idle-period boundary to 40
+//! cycles — exactly one 8-bit generation round. This sweep shows why:
+//! lower thresholds classify too many periods as long (more misprediction
+//! stalls), higher thresholds waste fill opportunities.
+
+use strange_bench::{banner, mean, Design, Harness, Mech};
+use strange_workloads::eval_pairs;
+
+fn main() {
+    banner(
+        "Ablation: PeriodThreshold sweep",
+        "(beyond the paper) 40 cycles — one 8-bit round — balances \
+         misprediction stalls against wasted fill opportunities",
+    );
+    let mut h = Harness::new();
+    let workloads: Vec<_> = eval_pairs(5120).into_iter().step_by(5).collect();
+    println!(
+        "{:<10} {:>16} {:>13} {:>12} {:>10}",
+        "threshold", "nonRNG slowdown", "RNG slowdown", "serve rate", "accuracy"
+    );
+    for threshold in [10u64, 20, 40, 80, 160] {
+        let evals: Vec<_> = workloads
+            .iter()
+            .map(|w| h.eval_pair(Design::PeriodThreshold(threshold), w, Mech::DRange))
+            .collect();
+        println!(
+            "{threshold:<10} {:>16.3} {:>13.3} {:>12.2} {:>10.2}",
+            mean(&evals.iter().map(|e| e.nonrng_slowdown).collect::<Vec<_>>()),
+            mean(&evals.iter().map(|e| e.rng_slowdown).collect::<Vec<_>>()),
+            mean(&evals.iter().map(|e| e.serve_rate).collect::<Vec<_>>()),
+            mean(&evals.iter().map(|e| e.accuracy).collect::<Vec<_>>()),
+        );
+    }
+}

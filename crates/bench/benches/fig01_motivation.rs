@@ -1,0 +1,56 @@
+//! Figure 1: the motivation study — slowdown of non-RNG and RNG
+//! applications and system unfairness on the RNG-oblivious baseline, as
+//! the required RNG throughput grows from 640 to 5120 Mb/s.
+//!
+//! Paper anchors: at 5 Gb/s the non-RNG applications slow down by 93.1% on
+//! average; the least/most RNG-intensive applications slow down 21.4%/6.2%;
+//! unfairness grows from 1.32 (640 Mb/s) to 2.61 (5120 Mb/s).
+
+use strange_bench::{banner, mean, Design, Harness, Mech};
+use strange_workloads::{eval_pairs, RNG_THROUGHPUTS_MBPS};
+
+fn main() {
+    banner(
+        "Figure 1: Motivation (RNG-oblivious baseline, 172 workloads)",
+        "non-RNG slowdown grows with RNG intensity (avg 1.93x at 5 Gb/s); \
+         RNG apps slow down 6-21%; unfairness 1.32 -> 2.61",
+    );
+    let mut h = Harness::new();
+    let mech = Mech::DRange;
+
+    println!(
+        "{:<10} {:>16} {:>14} {:>12}",
+        "intensity", "nonRNG slowdown", "RNG slowdown", "unfairness"
+    );
+    let mut per_app_at_top: Vec<(String, f64, f64)> = Vec::new();
+    for mbps in RNG_THROUGHPUTS_MBPS {
+        let workloads = eval_pairs(mbps);
+        let evals: Vec<_> = workloads
+            .iter()
+            .map(|w| h.eval_pair(Design::Oblivious, w, mech))
+            .collect();
+        let sd_app: Vec<f64> = evals.iter().map(|e| e.nonrng_slowdown).collect();
+        let sd_rng: Vec<f64> = evals.iter().map(|e| e.rng_slowdown).collect();
+        let unfair: Vec<f64> = evals.iter().map(|e| e.unfairness).collect();
+        println!(
+            "{:<10} {:>16.3} {:>14.3} {:>12.3}",
+            format!("{mbps} Mb/s"),
+            mean(&sd_app),
+            mean(&sd_rng),
+            mean(&unfair)
+        );
+        if mbps == 5120 {
+            per_app_at_top = workloads
+                .iter()
+                .zip(&evals)
+                .map(|(w, e)| (w.apps[0].label(), e.nonrng_slowdown, e.rng_slowdown))
+                .collect();
+        }
+    }
+
+    println!("\n--- per-application panels at 5120 Mb/s (figure x-axis order) ---");
+    println!("{:<10} {:>16} {:>14}", "app", "nonRNG slowdown", "RNG slowdown");
+    for (name, sd_app, sd_rng) in per_app_at_top.iter().take(23) {
+        println!("{name:<10} {sd_app:>16.2} {sd_rng:>14.2}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 2: the effect of the provided TRNG throughput (200 Mb/s to
+//! 6.4 Gb/s) on baseline non-RNG slowdown and fairness, as box plots over
+//! the 43 two-core workloads with the 5120 Mb/s RNG benchmark.
+//!
+//! Paper anchors: max slowdown falls 7.3 → 2.5 and max unfairness 8.5 →
+//! 2.3 across the sweep, and both saturate beyond ≈3.2 Gb/s.
+
+use strange_bench::{banner, Design, Harness, Mech};
+use strange_metrics::BoxStats;
+use strange_workloads::eval_pairs;
+
+fn main() {
+    banner(
+        "Figure 2: Effect of TRNG throughput (baseline, 43 workloads)",
+        "slowdown and unfairness shrink with TRNG throughput and saturate \
+         beyond ~3.2 Gb/s (max slowdown 7.3 -> 2.5; max unfairness 8.5 -> 2.3)",
+    );
+    let mut h = Harness::new();
+    let workloads = eval_pairs(5120);
+
+    println!("--- non-RNG slowdown (left panel) ---");
+    let mut slow_boxes = Vec::new();
+    let mut fair_boxes = Vec::new();
+    for mbps in [200u32, 400, 800, 1600, 3200, 6400] {
+        let mech = Mech::Throughput(mbps);
+        let evals: Vec<_> = workloads
+            .iter()
+            .map(|w| h.eval_pair(Design::Oblivious, w, mech))
+            .collect();
+        let slowdowns: Vec<f64> = evals.iter().map(|e| e.nonrng_slowdown).collect();
+        let unfairness: Vec<f64> = evals.iter().map(|e| e.unfairness).collect();
+        slow_boxes.push((mbps, BoxStats::from_samples(&slowdowns).expect("samples")));
+        fair_boxes.push((mbps, BoxStats::from_samples(&unfairness).expect("samples")));
+    }
+    for (mbps, b) in &slow_boxes {
+        println!("{:>4} Mb/s: {}", mbps, b.summary());
+    }
+    println!("\n--- unfairness (right panel) ---");
+    for (mbps, b) in &fair_boxes {
+        println!("{:>4} Mb/s: {}", mbps, b.summary());
+    }
+
+    let first = slow_boxes.first().expect("sweep ran").1.max();
+    let last = slow_boxes.last().expect("sweep ran").1.max();
+    println!(
+        "\nshape check: max slowdown falls from {first:.2} (200 Mb/s) to {last:.2} (6.4 Gb/s)"
+    );
+}

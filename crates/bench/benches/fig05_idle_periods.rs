@@ -1,0 +1,66 @@
+//! Figure 5: the distribution of DRAM idle-period lengths for the
+//! medium/high-intensity applications running alone.
+//!
+//! Paper anchors: for many applications most idle periods are shorter than
+//! the 198 cycles a 64-bit generation needs — which is why DR-STRaNGe
+//! generates in 8-bit batches (40 cycles) instead.
+
+use strange_bench::{banner, Design, Harness, Mech};
+use strange_metrics::BoxStats;
+use strange_workloads::{figure_apps, AppRef, Workload};
+
+/// Cycles to generate one 64-bit number on demand (the figure's
+/// horizontal reference line).
+const REF_64BIT_CYCLES: f64 = 198.0;
+/// The PeriodThreshold (8-bit batch time).
+const REF_8BIT_CYCLES: f64 = 40.0;
+
+fn main() {
+    banner(
+        "Figure 5: Distribution of DRAM idle period lengths (apps alone)",
+        "a significant fraction of idle periods sit below the 198-cycle \
+         64-bit line, motivating 8-bit (40-cycle) generation batches",
+    );
+    let h = Harness::new();
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "app", "q1", "median", "q3", "max", "<198cyc(%)", ">=40cyc(%)"
+    );
+    let mut below_198_total = 0u64;
+    let mut total = 0u64;
+    for app in figure_apps() {
+        let wl = Workload {
+            name: format!("{}-alone", app.name),
+            apps: vec![AppRef::Named(app.name)],
+        };
+        let res = h.run(Design::Oblivious, &wl, Mech::DRange);
+        let mut periods: Vec<f64> = Vec::new();
+        for ch in &res.channels {
+            periods.extend(ch.idle_periods.iter().map(|&p| p as f64));
+        }
+        if periods.is_empty() {
+            println!("{:<10} (no idle periods)", app.name);
+            continue;
+        }
+        let stats = BoxStats::from_samples(&periods).expect("non-empty");
+        let below = periods.iter().filter(|&&p| p < REF_64BIT_CYCLES).count();
+        let long = periods.iter().filter(|&&p| p >= REF_8BIT_CYCLES).count();
+        below_198_total += below as u64;
+        total += periods.len() as u64;
+        println!(
+            "{:<10} {:>8.0} {:>8.0} {:>8.0} {:>10.0} {:>12.1} {:>12.1}",
+            app.name,
+            stats.q1(),
+            stats.median(),
+            stats.q3(),
+            stats.max(),
+            below as f64 / periods.len() as f64 * 100.0,
+            long as f64 / periods.len() as f64 * 100.0,
+        );
+    }
+    println!(
+        "\nshape check: {:.1}% of all idle periods are below the 198-cycle 64-bit line \
+         (paper: the majority)",
+        below_198_total as f64 / total.max(1) as f64 * 100.0
+    );
+}

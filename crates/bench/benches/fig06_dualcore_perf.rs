@@ -1,0 +1,58 @@
+//! Figure 6: dual-core performance — slowdown of non-RNG (top) and RNG
+//! (bottom) applications under the RNG-oblivious baseline, the Greedy Idle
+//! design, and DR-STRaNGe.
+//!
+//! Paper anchors: DR-STRaNGe improves non-RNG applications by 17.9% and
+//! RNG applications by 25.1% on average over the baseline (Greedy: 7.6%
+//! and 10.7%); RNG applications run 20.6% *faster* than alone.
+
+use strange_bench::{
+    banner, eval_pair_matrix, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
+};
+use strange_workloads::eval_pairs;
+
+fn main() {
+    banner(
+        "Figure 6: Dual-core slowdowns (43 workloads @ 5120 Mb/s)",
+        "DR-STRANGE improves non-RNG by 17.9% and RNG by 25.1% on average \
+         (Greedy: 7.6% / 10.7%); RNG apps beat their alone baseline by 20.6%",
+    );
+    let designs = [Design::Oblivious, Design::Greedy, Design::DrStrange];
+    let workloads = eval_pairs(5120);
+    let mut h = Harness::new();
+    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+
+    print_pair_metric(
+        "non-RNG application slowdown (top panel)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.nonrng_slowdown,
+    );
+    print_pair_metric(
+        "RNG application slowdown (bottom panel)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.rng_slowdown,
+    );
+
+    let avg = |d: usize, f: fn(&strange_bench::PairEval) -> f64| {
+        mean(&matrix[d].iter().map(f).collect::<Vec<_>>())
+    };
+    println!("--- paper-vs-measured ---");
+    println!(
+        "non-RNG improvement: paper 17.9% (greedy 7.6%) | measured {:.1}% (greedy {:.1}%)",
+        improvement_pct(avg(0, |e| e.nonrng_slowdown), avg(2, |e| e.nonrng_slowdown)),
+        improvement_pct(avg(0, |e| e.nonrng_slowdown), avg(1, |e| e.nonrng_slowdown)),
+    );
+    println!(
+        "RNG improvement:     paper 25.1% (greedy 10.7%) | measured {:.1}% (greedy {:.1}%)",
+        improvement_pct(avg(0, |e| e.rng_slowdown), avg(2, |e| e.rng_slowdown)),
+        improvement_pct(avg(0, |e| e.rng_slowdown), avg(1, |e| e.rng_slowdown)),
+    );
+    println!(
+        "RNG vs alone:        paper -20.6% | measured {:+.1}%",
+        (avg(2, |e| e.rng_slowdown) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 7: normalized weighted speedup of non-RNG applications in
+//! multicore workloads — (a) the four-core LLLS/LLHS/LHHS/HHHS groups and
+//! (b) the 4/8/16-core L/M/H class groups — for Greedy and DR-STRaNGe
+//! normalized to the RNG-oblivious baseline.
+//!
+//! Paper anchors: +7.6% average for four-core workloads (growing with
+//! memory intensity); +12.1%/+8.2%/+6.1% for H/M/L class groups.
+
+use strange_bench::{banner, gmean, per_group, Design, Harness, Mech, MIX_SEED};
+use strange_workloads::{four_core_groups, multicore_class_groups, Workload};
+
+fn group_speedups(
+    h: &mut Harness,
+    name: &str,
+    workloads: &[Workload],
+) -> (f64, f64) {
+    let mut greedy = Vec::new();
+    let mut drst = Vec::new();
+    for wl in workloads {
+        let base = h.eval_multi(Design::Oblivious, wl, Mech::DRange).weighted_speedup;
+        let g = h.eval_multi(Design::Greedy, wl, Mech::DRange).weighted_speedup;
+        let d = h.eval_multi(Design::DrStrange, wl, Mech::DRange).weighted_speedup;
+        greedy.push(g / base);
+        drst.push(d / base);
+    }
+    let (g, d) = (gmean(&greedy), gmean(&drst));
+    println!("{name:<10} {g:>10.3} {d:>12.3}");
+    (g, d)
+}
+
+fn main() {
+    banner(
+        "Figure 7: Normalized weighted speedup of non-RNG apps (multicore)",
+        "DR-STRANGE: +7.6% avg on 4-core groups; +12.1%/+8.2%/+6.1% on \
+         H/M/L class groups; beats Greedy in nearly all groups",
+    );
+    let mut h = Harness::new();
+    println!("{:<10} {:>10} {:>12}", "group", "Greedy", "DR-STRANGE");
+
+    println!("--- (a) four-core groups ---");
+    let mut all = Vec::new();
+    for (name, ws) in four_core_groups(per_group(), MIX_SEED) {
+        all.push(group_speedups(&mut h, &name, &ws));
+    }
+    let gm: Vec<f64> = all.iter().map(|x| x.1).collect();
+    println!("GMEAN      {:>23.3}", gmean(&gm));
+
+    println!("--- (b) 4/8/16-core class groups ---");
+    for cores in [4usize, 8, 16] {
+        for (name, ws) in multicore_class_groups(cores, per_group(), MIX_SEED) {
+            group_speedups(&mut h, &name, &ws);
+        }
+    }
+}

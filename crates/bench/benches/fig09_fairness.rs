@@ -1,0 +1,43 @@
+//! Figure 9: system fairness on the dual-core workloads under the three
+//! designs.
+//!
+//! Paper anchors: DR-STRaNGe improves average fairness by 32.1% over the
+//! baseline and by 15.2% over Greedy Idle; a few workloads (e.g. jp2d,
+//! cactus) show *higher* unfairness under DR-STRaNGe because the RNG
+//! application improves more than the non-RNG one.
+
+use strange_bench::{
+    banner, eval_pair_matrix, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
+};
+use strange_workloads::eval_pairs;
+
+fn main() {
+    banner(
+        "Figure 9: System fairness (43 dual-core workloads)",
+        "DR-STRANGE improves average fairness by 32.1% over the baseline \
+         and 15.2% over Greedy",
+    );
+    let designs = [Design::Oblivious, Design::Greedy, Design::DrStrange];
+    let workloads = eval_pairs(5120);
+    let mut h = Harness::new();
+    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+
+    print_pair_metric(
+        "unfairness index (lower is better)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.unfairness,
+    );
+
+    let avg = |d: usize| mean(&matrix[d].iter().map(|e| e.unfairness).collect::<Vec<_>>());
+    println!("--- paper-vs-measured ---");
+    println!(
+        "fairness improvement vs baseline: paper 32.1% | measured {:.1}%",
+        improvement_pct(avg(0), avg(2))
+    );
+    println!(
+        "fairness improvement vs greedy:   paper 15.2% | measured {:.1}%",
+        improvement_pct(avg(1), avg(2))
+    );
+}

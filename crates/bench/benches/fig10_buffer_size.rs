@@ -1,0 +1,68 @@
+//! Figure 10: the impact of the random number buffer size (simple
+//! buffering, no predictor) on slowdowns and the buffer serve rate.
+//!
+//! Paper anchors: a 16-entry buffer improves non-RNG/RNG performance by
+//! 11.7%/13.8% and achieves an average serve rate of 0.55; growing the
+//! buffer past 16 entries helps only a few workloads (jp2e, cactus, libq).
+
+use strange_bench::{
+    banner, eval_pair_matrix, mean, print_pair_metric, Design, Harness, Mech, PairEval,
+};
+use strange_workloads::eval_pairs;
+
+fn main() {
+    banner(
+        "Figure 10: Impact of the buffer size (simple buffering, 43 workloads)",
+        "gains grow up to a 16-entry buffer (avg serve rate 0.55; non-RNG \
+         +11.7%, RNG +13.8%); 64 entries help only a few workloads",
+    );
+    let designs = [
+        Design::Buffered(0),
+        Design::Buffered(1),
+        Design::Buffered(4),
+        Design::Buffered(16),
+        Design::Buffered(64),
+    ];
+    let workloads = eval_pairs(5120);
+    let mut h = Harness::new();
+    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+
+    print_pair_metric(
+        "non-RNG slowdown (top)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.nonrng_slowdown,
+    );
+    print_pair_metric(
+        "RNG slowdown (middle)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.rng_slowdown,
+    );
+    print_pair_metric(
+        "buffer serve rate (bottom, higher is better)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.serve_rate,
+    );
+
+    let avg = |d: usize, f: fn(&PairEval) -> f64| {
+        mean(&matrix[d].iter().map(f).collect::<Vec<_>>())
+    };
+    println!("--- paper-vs-measured ---");
+    println!(
+        "16-entry serve rate: paper 0.55 | measured {:.2}",
+        avg(3, |e| e.serve_rate)
+    );
+    println!(
+        "16-entry vs no-buffer non-RNG: paper +11.7% | measured {:+.1}%",
+        (1.0 - avg(3, |e| e.nonrng_slowdown) / avg(0, |e| e.nonrng_slowdown)) * 100.0
+    );
+    println!(
+        "16-entry vs no-buffer RNG:     paper +13.8% | measured {:+.1}%",
+        (1.0 - avg(3, |e| e.rng_slowdown) / avg(0, |e| e.rng_slowdown)) * 100.0
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 11: impact of the memory request scheduler — FR-FCFS+Cap vs
+//! BLISS vs the RNG-aware scheduler (all without a random number buffer).
+//!
+//! Paper anchors: the RNG-aware scheduler improves fairness by 16.1% and
+//! non-RNG/RNG performance by 5.6%/1.6%; BLISS *degrades* fairness by 6.6%
+//! and non-RNG performance by 8.9% on these RNG-heavy workloads.
+
+use strange_bench::{
+    banner, eval_pair_matrix, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
+    PairEval,
+};
+use strange_workloads::eval_pairs;
+
+fn main() {
+    banner(
+        "Figure 11: Scheduler comparison (no buffer, 43 workloads)",
+        "RNG-Aware beats FR-FCFS+Cap and BLISS: fairness +16.1%, non-RNG \
+         +5.6%, RNG +1.6%; BLISS hurts fairness (-6.6%) and non-RNG (-8.9%)",
+    );
+    let designs = [
+        Design::Oblivious,
+        Design::ObliviousBliss,
+        Design::RngAwareNoBuffer,
+    ];
+    let workloads = eval_pairs(5120);
+    let mut h = Harness::new();
+    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+
+    print_pair_metric(
+        "non-RNG slowdown (top)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.nonrng_slowdown,
+    );
+    print_pair_metric(
+        "RNG slowdown (middle)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.rng_slowdown,
+    );
+    print_pair_metric(
+        "unfairness (bottom)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.unfairness,
+    );
+
+    let avg = |d: usize, f: fn(&PairEval) -> f64| {
+        mean(&matrix[d].iter().map(f).collect::<Vec<_>>())
+    };
+    println!("--- paper-vs-measured (vs FR-FCFS+Cap) ---");
+    println!(
+        "RNG-Aware fairness: paper +16.1% | measured {:+.1}%",
+        improvement_pct(avg(0, |e| e.unfairness), avg(2, |e| e.unfairness))
+    );
+    println!(
+        "RNG-Aware non-RNG:  paper +5.6%  | measured {:+.1}%",
+        improvement_pct(avg(0, |e| e.nonrng_slowdown), avg(2, |e| e.nonrng_slowdown))
+    );
+    println!(
+        "BLISS fairness:     paper -6.6%  | measured {:+.1}%",
+        improvement_pct(avg(0, |e| e.unfairness), avg(1, |e| e.unfairness))
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 13: the impact of the DRAM idleness predictor — no predictor
+//! (simple buffering), the simple table predictor, and the Q-learning
+//! agent.
+//!
+//! Paper anchors: the simple predictor improves DR-STRaNGe by 12.4%
+//! (non-RNG) / 13.8% (RNG) over no predictor, and performs on par with the
+//! RL predictor at far lower hardware cost (RL: 19.3%/23.9% vs baseline,
+//! simple: 17.9%/25.1%).
+
+use strange_bench::{
+    banner, eval_pair_matrix, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
+    PairEval,
+};
+use strange_workloads::eval_pairs;
+
+fn main() {
+    banner(
+        "Figure 13: DRAM idleness predictor ablation (43 workloads)",
+        "simple predictor ~= RL predictor, both well ahead of no-predictor \
+         buffering (non-RNG +12.4%, RNG +13.8% over No Pred.)",
+    );
+    let designs = [
+        Design::Oblivious,
+        Design::DrStrangeNoPred,
+        Design::DrStrange,
+        Design::DrStrangeRl,
+    ];
+    let workloads = eval_pairs(5120);
+    let mut h = Harness::new();
+    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+
+    print_pair_metric(
+        "non-RNG slowdown (top)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.nonrng_slowdown,
+    );
+    print_pair_metric(
+        "RNG slowdown (bottom)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.rng_slowdown,
+    );
+
+    let avg = |d: usize, f: fn(&PairEval) -> f64| {
+        mean(&matrix[d].iter().map(f).collect::<Vec<_>>())
+    };
+    println!("--- paper-vs-measured ---");
+    println!(
+        "simple vs no predictor (non-RNG): paper +12.4% | measured {:+.1}%",
+        improvement_pct(avg(1, |e| e.nonrng_slowdown), avg(2, |e| e.nonrng_slowdown))
+    );
+    println!(
+        "simple vs no predictor (RNG):     paper +13.8% | measured {:+.1}%",
+        improvement_pct(avg(1, |e| e.rng_slowdown), avg(2, |e| e.rng_slowdown))
+    );
+    println!(
+        "RL vs baseline (non-RNG):         paper +19.3% | measured {:+.1}%",
+        improvement_pct(avg(0, |e| e.nonrng_slowdown), avg(3, |e| e.nonrng_slowdown))
+    );
+}

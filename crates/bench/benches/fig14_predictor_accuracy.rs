@@ -1,0 +1,65 @@
+//! Figure 14: DRAM idleness predictor accuracy — per-workload for the
+//! two-core suite and aggregated for the 2/4/8/16-core groups, for the
+//! simple and Q-learning predictors.
+//!
+//! Paper anchors: both predictors reach ≈80% accuracy on two-core
+//! workloads; accuracy drops with core count as idleness shrinks and
+//! interference patterns grow more complex.
+
+use strange_bench::{banner, gmean, mean, per_group, Design, Harness, Mech, MIX_SEED};
+use strange_workloads::{eval_pairs, multicore_class_groups};
+
+fn main() {
+    banner(
+        "Figure 14: Predictor accuracy (2-core per workload; 2-16 core GMEAN)",
+        "simple ~80.0% and RL ~80.3% on 2-core; both degrade with core count",
+    );
+    let mut h = Harness::new();
+    let workloads = eval_pairs(5120);
+
+    println!("--- 2-core per-workload accuracy (%) ---");
+    println!("{:<10} {:>12} {:>14}", "app", "DR-STRANGE", "DR-STRANGE+RL");
+    let mut simple2 = Vec::new();
+    let mut rl2 = Vec::new();
+    for wl in &workloads {
+        let s = h.eval_pair(Design::DrStrange, wl, Mech::DRange).accuracy * 100.0;
+        let r = h.eval_pair(Design::DrStrangeRl, wl, Mech::DRange).accuracy * 100.0;
+        if simple2.len() < 23 {
+            println!("{:<10} {s:>12.1} {r:>14.1}", wl.apps[0].label());
+        }
+        simple2.push(s);
+        rl2.push(r);
+    }
+    println!("AVG        {:>12.1} {:>14.1}", mean(&simple2), mean(&rl2));
+
+    println!("\n--- multicore accuracy (GMEAN over class groups, %) ---");
+    println!("{:<8} {:>12} {:>14}", "cores", "DR-STRANGE", "DR-STRANGE+RL");
+    println!(
+        "{:<8} {:>12.1} {:>14.1}",
+        2,
+        gmean(&simple2.iter().map(|x| x.max(1e-9)).collect::<Vec<_>>()),
+        gmean(&rl2.iter().map(|x| x.max(1e-9)).collect::<Vec<_>>())
+    );
+    for cores in [4usize, 8, 16] {
+        let mut s_all = Vec::new();
+        let mut r_all = Vec::new();
+        for (_, ws) in multicore_class_groups(cores, per_group(), MIX_SEED) {
+            for wl in &ws {
+                s_all.push(
+                    (h.eval_multi(Design::DrStrange, wl, Mech::DRange).accuracy * 100.0)
+                        .max(1e-9),
+                );
+                r_all.push(
+                    (h.eval_multi(Design::DrStrangeRl, wl, Mech::DRange).accuracy * 100.0)
+                        .max(1e-9),
+                );
+            }
+        }
+        println!("{cores:<8} {:>12.1} {:>14.1}", gmean(&s_all), gmean(&r_all));
+    }
+    println!(
+        "\npaper-vs-measured: 2-core accuracy paper 80.0%/80.3% | measured {:.1}%/{:.1}%",
+        mean(&simple2),
+        mean(&rl2)
+    );
+}

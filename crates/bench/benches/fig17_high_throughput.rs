@@ -1,0 +1,62 @@
+//! Figure 17 (Appendix A.1): RNG applications requiring 10 Gb/s — the
+//! benefits of DR-STRaNGe grow with RNG intensity.
+//!
+//! Paper anchors: at 10 Gb/s, DR-STRaNGe improves non-RNG/RNG performance
+//! by 34.9%/24.5% and fairness by 56.9% over the baseline.
+
+use strange_bench::{
+    banner, eval_pair_matrix, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
+    PairEval,
+};
+use strange_workloads::{eval_pairs, RNG_THROUGHPUT_HIGH_MBPS};
+
+fn main() {
+    banner(
+        "Figure 17: 10 Gb/s RNG applications (43 workloads)",
+        "DR-STRANGE: non-RNG +34.9%, RNG +24.5%, fairness +56.9% over the \
+         baseline at the highest intensity",
+    );
+    let designs = [Design::Oblivious, Design::Greedy, Design::DrStrange];
+    let workloads = eval_pairs(RNG_THROUGHPUT_HIGH_MBPS);
+    let mut h = Harness::new();
+    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+
+    print_pair_metric(
+        "non-RNG slowdown (top)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.nonrng_slowdown,
+    );
+    print_pair_metric(
+        "RNG slowdown (middle)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.rng_slowdown,
+    );
+    print_pair_metric(
+        "unfairness (bottom)",
+        &designs,
+        &workloads,
+        &matrix,
+        |e| e.unfairness,
+    );
+
+    let avg = |d: usize, f: fn(&PairEval) -> f64| {
+        mean(&matrix[d].iter().map(f).collect::<Vec<_>>())
+    };
+    println!("--- paper-vs-measured (DR-STRANGE vs baseline @10 Gb/s) ---");
+    println!(
+        "non-RNG:  paper +34.9% | measured {:+.1}%",
+        improvement_pct(avg(0, |e| e.nonrng_slowdown), avg(2, |e| e.nonrng_slowdown))
+    );
+    println!(
+        "RNG:      paper +24.5% | measured {:+.1}%",
+        improvement_pct(avg(0, |e| e.rng_slowdown), avg(2, |e| e.rng_slowdown))
+    );
+    println!(
+        "fairness: paper +56.9% | measured {:+.1}%",
+        improvement_pct(avg(0, |e| e.unfairness), avg(2, |e| e.unfairness))
+    );
+}

@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks for the core data structures and the
+//! simulator itself: cycles/second of full-system simulation, predictor
+//! update rate, TRNG bit rate, buffer operations, and synthetic trace
+//! generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use strange_core::{
+    IdlenessPredictor, QlearningPredictor, RandomNumberBuffer, SimplePredictor, System,
+    SystemConfig,
+};
+use strange_cpu::TraceSource;
+use strange_trng::{DRange, TrngMechanism};
+use strange_workloads::{app_by_name, SyntheticTrace, Workload};
+
+fn bench_system_ticks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    const CYCLES: u64 = 100_000;
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    g.bench_function("dual_core_cpu_cycles", |b| {
+        let workload = Workload::pair(&app_by_name("sphinx3").expect("catalog"), 5120);
+        b.iter_batched(
+            || {
+                System::new(
+                    SystemConfig::dr_strange(2).with_instruction_target(u64::MAX / 2),
+                    workload.traces(),
+                    Box::new(DRange::new(1)),
+                )
+                .expect("valid configuration")
+            },
+            |mut sys| sys.step_cpu_cycles(CYCLES),
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("simple_predict_update", |b| {
+        let mut p = SimplePredictor::new();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x9e37);
+            let pred = p.predict(addr);
+            p.update(addr, pred, addr & 1 == 0);
+        });
+    });
+    g.bench_function("qlearning_predict_update", |b| {
+        let mut p = QlearningPredictor::new();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x9e37);
+            let pred = p.predict(addr);
+            p.update(addr, pred, addr & 1 == 0);
+        });
+    });
+    g.finish();
+}
+
+fn bench_trng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trng");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("drange_draw64", |b| {
+        let mut d = DRange::new(1);
+        b.iter(|| d.draw(64));
+    });
+    g.finish();
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer");
+    g.throughput(Throughput::Elements(8));
+    g.bench_function("push8_pop64", |b| {
+        let mut buf = RandomNumberBuffer::new(16);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(0xAB);
+            buf.push_bits(v, 8);
+            if buf.available_words() > 0 {
+                buf.pop_word();
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("synthetic_trace_op", |b| {
+        let mut t = SyntheticTrace::new(app_by_name("mcf").expect("catalog"), 0);
+        b.iter(|| t.next_op());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_system_ticks,
+    bench_predictors,
+    bench_trng,
+    bench_buffer,
+    bench_traces
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Section 8.8: workloads with a low-intensity (640 Mb/s) RNG application.
+//!
+//! Paper anchors: DR-STRaNGe improves RNG/non-RNG applications by
+//! 3.2%/4.6% — modest, because low RNG intensity causes little
+//! interference to begin with — and fairness barely changes.
+
+use strange_bench::{
+    banner, eval_pair_matrix, improvement_pct, mean, Design, Harness, Mech, PairEval,
+};
+use strange_workloads::eval_pairs;
+
+fn main() {
+    banner(
+        "Section 8.8: Low-intensity RNG applications (640 Mb/s)",
+        "small improvements (RNG +3.2%, non-RNG +4.6%); fairness roughly flat",
+    );
+    let designs = [Design::Oblivious, Design::DrStrange];
+    let workloads = eval_pairs(640);
+    let mut h = Harness::new();
+    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+
+    let avg = |d: usize, f: fn(&PairEval) -> f64| {
+        mean(&matrix[d].iter().map(f).collect::<Vec<_>>())
+    };
+    println!(
+        "{:<14} {:>16} {:>13} {:>12}",
+        "design", "nonRNG slowdown", "RNG slowdown", "unfairness"
+    );
+    for (i, d) in designs.iter().enumerate() {
+        println!(
+            "{:<14} {:>16.3} {:>13.3} {:>12.3}",
+            d.label(),
+            avg(i, |e| e.nonrng_slowdown),
+            avg(i, |e| e.rng_slowdown),
+            avg(i, |e| e.unfairness)
+        );
+    }
+    println!("--- paper-vs-measured ---");
+    println!(
+        "non-RNG: paper +4.6% | measured {:+.1}%",
+        improvement_pct(avg(0, |e| e.nonrng_slowdown), avg(1, |e| e.nonrng_slowdown))
+    );
+    println!(
+        "RNG:     paper +3.2% | measured {:+.1}%",
+        improvement_pct(avg(0, |e| e.rng_slowdown), avg(1, |e| e.rng_slowdown))
+    );
+}

@@ -1,0 +1,79 @@
+//! Section 8.9: energy consumption and area overhead.
+//!
+//! Paper anchors: DR-STRaNGe reduces memory energy by 21% and total memory
+//! cycles by 15.8% versus the baseline; the structures cost 0.0022 mm²
+//! with the simple predictor (0.00048% of a Cascade Lake core) and
+//! 0.012 mm² with the RL predictor.
+
+use strange_bench::{banner, improvement_pct, Design, Harness, Mech};
+use strange_dram::TimingParams;
+use strange_energy::{
+    area_mm2, area_percent_of_core, system_energy, Ddr3PowerParams, StructureBits,
+};
+use strange_workloads::eval_pairs;
+
+fn main() {
+    banner(
+        "Section 8.9: Energy and area",
+        "energy -21% and memory cycles -15.8% vs baseline; area 0.0022 mm2 \
+         (simple) / 0.012 mm2 (RL) at 22 nm",
+    );
+    let h = Harness::new();
+    let timing = TimingParams::ddr3_1600();
+    let power = Ddr3PowerParams::default();
+    let workloads = eval_pairs(5120);
+
+    let mut base_energy = 0.0;
+    let mut ds_energy = 0.0;
+    let mut base_cycles = 0u64;
+    let mut ds_cycles = 0u64;
+    for wl in &workloads {
+        let base = h.run(Design::Oblivious, wl, Mech::DRange);
+        let ds = h.run(Design::DrStrange, wl, Mech::DRange);
+        base_energy += system_energy(&base.channels, &timing, &power).total_nj();
+        ds_energy += system_energy(&ds.channels, &timing, &power).total_nj();
+        base_cycles += base.mem_cycles;
+        ds_cycles += ds.mem_cycles;
+    }
+    println!("--- energy over the 43 dual-core workloads ---");
+    println!(
+        "baseline:   {:>10.2} mJ over {} memory cycles",
+        base_energy * 1e-6,
+        base_cycles
+    );
+    println!(
+        "DR-STRANGE: {:>10.2} mJ over {} memory cycles",
+        ds_energy * 1e-6,
+        ds_cycles
+    );
+    println!(
+        "energy reduction: paper 21%   | measured {:.1}%",
+        improvement_pct(base_energy, ds_energy)
+    );
+    println!(
+        "cycle reduction:  paper 15.8% | measured {:.1}%",
+        improvement_pct(base_cycles as f64, ds_cycles as f64)
+    );
+
+    println!("\n--- area (22 nm) ---");
+    let simple = StructureBits::paper_simple();
+    let rl = StructureBits::paper_rl();
+    println!(
+        "simple predictor config: paper 0.0022 mm2 (0.00048% of core) | \
+         measured {:.4} mm2 ({:.5}%)",
+        area_mm2(simple),
+        area_percent_of_core(simple)
+    );
+    println!(
+        "RL predictor config:     paper 0.012 mm2 | measured {:.4} mm2",
+        area_mm2(rl)
+    );
+    println!("\n--- area sweep over buffer sizes (simple predictor) ---");
+    for entries in [1usize, 4, 16, 64, 256] {
+        let bits = StructureBits {
+            buffer: entries as u64 * 64,
+            ..StructureBits::paper_simple()
+        };
+        println!("{entries:>4}-entry buffer: {:.4} mm2", area_mm2(bits));
+    }
+}

@@ -1,0 +1,50 @@
+//! Tables 2 and 3: the multi-programmed workload inventories.
+
+use strange_bench::{banner, per_group, MIX_SEED};
+use strange_workloads::{
+    all_apps, eval_pairs, four_core_groups, motivation_pairs, multicore_class_groups,
+    IntensityClass, RNG_THROUGHPUTS_MBPS,
+};
+
+fn main() {
+    banner(
+        "Tables 2-3: Multicore Workloads",
+        "172 motivation pairs (43 apps x 4 RNG intensities); 43 evaluation \
+         pairs @5120 Mb/s; 4-core LLLS/LLHS/LHHS/HHHS groups; 8/16-core \
+         L/M/H groups (10 workloads each in the paper)",
+    );
+
+    let apps = all_apps();
+    let by_class = |c: IntensityClass| apps.iter().filter(|a| a.class() == c).count();
+    println!(
+        "application suite: {} apps — L:{} M:{} H:{}",
+        apps.len(),
+        by_class(IntensityClass::Low),
+        by_class(IntensityClass::Medium),
+        by_class(IntensityClass::High)
+    );
+
+    let motivation = motivation_pairs();
+    println!(
+        "\nTable 2 (motivation): {} two-core workloads over RNG intensities {:?} Mb/s",
+        motivation.len(),
+        RNG_THROUGHPUTS_MBPS
+    );
+
+    let eval = eval_pairs(5120);
+    println!("Table 3 (2-core):     {} workloads, e.g. {}", eval.len(), eval[20].name);
+
+    for (name, ws) in four_core_groups(per_group(), MIX_SEED) {
+        let sample: Vec<String> = ws[0].apps.iter().map(|a| a.label()).collect();
+        println!(
+            "Table 3 (4-core {name}): {} workloads, e.g. {}",
+            ws.len(),
+            sample.join("+")
+        );
+    }
+    for cores in [8usize, 16] {
+        for (name, ws) in multicore_class_groups(cores, per_group(), MIX_SEED) {
+            println!("Table 3 ({name}): {} workloads of {} cores", ws.len(), cores);
+        }
+    }
+}

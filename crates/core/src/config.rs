@@ -1,0 +1,344 @@
+//! System configuration (paper Table 1) and the design points of the
+//! evaluation.
+
+use strange_cpu::CoreConfig;
+use strange_dram::{ConfigError, Geometry, TimingParams};
+
+/// Which baseline per-channel scheduling policy the controller uses for
+/// regular (non-RNG) requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// FR-FCFS with a column-access cap (the paper's baseline; cap 16).
+    FrFcfsCap(u32),
+    /// Pure FR-FCFS (no cap).
+    FrFcfs,
+    /// BLISS with the paper's parameters (threshold 4, interval 10 000).
+    Bliss,
+}
+
+/// How RNG requests are routed and arbitrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngRouting {
+    /// RNG-oblivious: RNG requests share the per-channel read queues and
+    /// compete under the baseline policy (Section 3's baseline).
+    Oblivious,
+    /// RNG-aware: a separate global RNG request queue plus the Section 5.2
+    /// priority rules and starvation prevention.
+    Aware,
+}
+
+/// How the random number buffer is filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillMode {
+    /// No buffer filling (every request is generated on demand).
+    None,
+    /// The Greedy Idle Design (Section 7): an oracle that adds one batch of
+    /// bits for every `PeriodThreshold` cycles a channel stays idle, with
+    /// zero overhead (no channel occupancy, no commands).
+    GreedyOracle,
+    /// Real filling driven by an idleness predictor: generation rounds
+    /// occupy the channel, mispredictions stall regular requests.
+    Predictive,
+}
+
+/// Which DRAM idleness predictor gates predictive filling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// Treat every idle period as long (the "simple buffering mechanism"
+    /// of Section 5.1.1, evaluated as "DR-STRaNGe (No Pred.)" in Fig. 13).
+    AlwaysLong,
+    /// The 256-entry 2-bit-saturating-counter predictor (Section 5.1.2).
+    Simple,
+    /// The Q-learning predictor (Section 5.1.2, "DR-STRaNGe + RL").
+    Qlearning,
+}
+
+/// Full system configuration.
+///
+/// Defaults reproduce paper Table 1 plus the DR-STRaNGe row: 4 GHz 3-wide
+/// cores with 128-entry windows, DDR3-1600 with 4 channels × 1 rank × 8
+/// banks, 32-entry queues, FR-FCFS+Cap(16), a 32-entry RNG queue, a
+/// 256-entry predictor table per channel, and a 16-entry random number
+/// buffer.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of cores (1–16 in the paper's experiments).
+    pub cores: usize,
+    /// Instructions each core must retire for the run to count as finished.
+    pub instruction_target: u64,
+    /// DRAM geometry.
+    pub geometry: Geometry,
+    /// DRAM timing parameters.
+    pub timing: TimingParams,
+    /// Core microarchitecture parameters.
+    pub core: CoreConfig,
+    /// Per-channel scheduling policy for regular requests.
+    pub scheduler: SchedulerKind,
+    /// RNG request routing (oblivious vs. RNG-aware).
+    pub routing: RngRouting,
+    /// Buffer-fill strategy.
+    pub fill: FillMode,
+    /// Idleness predictor used by [`FillMode::Predictive`].
+    pub predictor: PredictorKind,
+    /// Random number buffer capacity in 64-bit entries (paper default 16;
+    /// 0 disables the buffer entirely).
+    pub buffer_entries: usize,
+    /// Idle-period length (cycles) above which a period counts as long
+    /// (paper: 40, the time to generate one 8-bit batch).
+    pub period_threshold: u64,
+    /// Low-utilization threshold: read-queue occupancy below which the
+    /// predictor may trigger a fill despite pending requests (paper: 4;
+    /// 0 disables low-utilization filling).
+    pub low_util_threshold: usize,
+    /// Starvation-prevention stall limit in cycles (paper: 100).
+    pub stall_limit: u64,
+    /// Global RNG request queue capacity (paper: 32).
+    pub rng_queue_capacity: usize,
+    /// Latency (memory cycles) to serve a random number from the buffer,
+    /// covering the syscall path and the buffer read.
+    pub buffer_serve_latency: u64,
+    /// Per-core OS priority levels (higher = more important). Empty means
+    /// all equal.
+    pub priorities: Vec<u8>,
+    /// Safety cap on simulated CPU cycles (0 = derive from the target).
+    pub max_cpu_cycles: u64,
+}
+
+impl SystemConfig {
+    /// Table 1 baseline system with `cores` cores: RNG-oblivious routing,
+    /// no buffer, FR-FCFS+Cap(16).
+    pub fn rng_oblivious(cores: usize) -> Self {
+        SystemConfig {
+            cores,
+            instruction_target: 300_000,
+            geometry: Geometry::paper_default(),
+            timing: TimingParams::ddr3_1600(),
+            core: CoreConfig::paper_default(),
+            scheduler: SchedulerKind::FrFcfsCap(16),
+            routing: RngRouting::Oblivious,
+            fill: FillMode::None,
+            predictor: PredictorKind::Simple,
+            buffer_entries: 0,
+            period_threshold: 40,
+            low_util_threshold: 4,
+            stall_limit: 100,
+            rng_queue_capacity: 32,
+            buffer_serve_latency: 10,
+            priorities: Vec::new(),
+            max_cpu_cycles: 0,
+        }
+    }
+
+    /// The Greedy Idle comparison design: RNG-aware routing, oracle filling
+    /// into a 16-entry buffer.
+    pub fn greedy_idle(cores: usize) -> Self {
+        SystemConfig {
+            routing: RngRouting::Aware,
+            fill: FillMode::GreedyOracle,
+            buffer_entries: 16,
+            ..SystemConfig::rng_oblivious(cores)
+        }
+    }
+
+    /// Full DR-STRaNGe: RNG-aware routing, predictive filling with the
+    /// simple predictor (low-utilization threshold 4), 16-entry buffer.
+    pub fn dr_strange(cores: usize) -> Self {
+        SystemConfig {
+            routing: RngRouting::Aware,
+            fill: FillMode::Predictive,
+            predictor: PredictorKind::Simple,
+            buffer_entries: 16,
+            ..SystemConfig::rng_oblivious(cores)
+        }
+    }
+
+    /// DR-STRaNGe with the Q-learning predictor ("DR-STRaNGe + RL").
+    pub fn dr_strange_rl(cores: usize) -> Self {
+        SystemConfig {
+            predictor: PredictorKind::Qlearning,
+            ..SystemConfig::dr_strange(cores)
+        }
+    }
+
+    /// DR-STRaNGe without an idleness predictor (Section 5.1.1's simple
+    /// buffering; "DR-STRaNGe (No Pred.)" in Figure 13): every idle cycle
+    /// triggers filling, no low-utilization mode.
+    pub fn dr_strange_no_predictor(cores: usize) -> Self {
+        SystemConfig {
+            predictor: PredictorKind::AlwaysLong,
+            low_util_threshold: 0,
+            ..SystemConfig::dr_strange(cores)
+        }
+    }
+
+    /// Sets the per-core instruction target.
+    pub fn with_instruction_target(mut self, target: u64) -> Self {
+        self.instruction_target = target;
+        self
+    }
+
+    /// Sets the buffer capacity in 64-bit entries.
+    pub fn with_buffer_entries(mut self, entries: usize) -> Self {
+        self.buffer_entries = entries;
+        self
+    }
+
+    /// Sets per-core priorities (higher value = higher priority).
+    pub fn with_priorities(mut self, priorities: Vec<u8>) -> Self {
+        self.priorities = priorities;
+        self
+    }
+
+    /// Sets the baseline scheduling policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the low-utilization threshold (0 disables).
+    pub fn with_low_util_threshold(mut self, threshold: usize) -> Self {
+        self.low_util_threshold = threshold;
+        self
+    }
+
+    /// Priority level of `core` (1 when unset — all applications equal).
+    pub fn priority_of(&self, core: usize) -> u8 {
+        self.priorities.get(core).copied().unwrap_or(1)
+    }
+
+    /// Upper bound on CPU cycles for the run.
+    pub fn cycle_limit(&self) -> u64 {
+        if self.max_cpu_cycles > 0 {
+            self.max_cpu_cycles
+        } else {
+            // Generous: a slowdown beyond ~300x would hit this.
+            self.instruction_target.saturating_mul(300).max(1_000_000)
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParameter`] when a field is out of
+    /// range (zero cores, zero instruction target, geometry/timing issues,
+    /// or a predictive configuration with a zero-entry buffer).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::InvalidParameter {
+                field: "cores",
+                constraint: "be nonzero",
+            });
+        }
+        if self.instruction_target == 0 {
+            return Err(ConfigError::InvalidParameter {
+                field: "instruction_target",
+                constraint: "be nonzero",
+            });
+        }
+        if self.rng_queue_capacity == 0 {
+            return Err(ConfigError::InvalidParameter {
+                field: "rng_queue_capacity",
+                constraint: "be nonzero",
+            });
+        }
+        if self.fill != FillMode::None && self.buffer_entries == 0 {
+            return Err(ConfigError::InvalidParameter {
+                field: "buffer_entries",
+                constraint: "be nonzero when a fill mode is enabled",
+            });
+        }
+        self.geometry.validate()?;
+        self.timing.validate()?;
+        Ok(())
+    }
+
+    /// Renders the configuration as paper-Table-1-style rows (used by the
+    /// `table1_config` bench target).
+    pub fn describe(&self) -> String {
+        format!(
+            "Processor     {} cores, 4GHz, {}-wide issue, {}-entry instruction window\n\
+             DRAM          DDR3-1600, 800MHz bus, {} channels, {} rank/channel, {} banks/rank, {}K rows/bank\n\
+             Memory Ctrl.  32-entry read/write queues, {:?}\n\
+             DR-STRANGE    {}-entry RNG queue, routing {:?}, fill {:?}, predictor {:?}, {}-entry random number buffer",
+            self.cores,
+            self.core.issue_width,
+            self.core.window_size,
+            self.geometry.channels,
+            self.geometry.ranks,
+            self.geometry.banks,
+            self.geometry.rows / 1024,
+            self.scheduler,
+            self.rng_queue_capacity,
+            self.routing,
+            self.fill,
+            self.predictor,
+            self.buffer_entries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            SystemConfig::rng_oblivious(2),
+            SystemConfig::greedy_idle(2),
+            SystemConfig::dr_strange(2),
+            SystemConfig::dr_strange_rl(4),
+            SystemConfig::dr_strange_no_predictor(2),
+        ] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let cfg = SystemConfig::dr_strange(2);
+        assert_eq!(cfg.geometry.channels, 4);
+        assert_eq!(cfg.geometry.banks, 8);
+        assert_eq!(cfg.core.issue_width, 3);
+        assert_eq!(cfg.core.window_size, 128);
+        assert_eq!(cfg.buffer_entries, 16);
+        assert_eq!(cfg.period_threshold, 40);
+        assert_eq!(cfg.low_util_threshold, 4);
+        assert_eq!(cfg.stall_limit, 100);
+        assert_eq!(cfg.rng_queue_capacity, 32);
+        assert_eq!(cfg.scheduler, SchedulerKind::FrFcfsCap(16));
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        assert!(SystemConfig::rng_oblivious(0).validate().is_err());
+    }
+
+    #[test]
+    fn predictive_fill_requires_buffer() {
+        let cfg = SystemConfig::dr_strange(2).with_buffer_entries(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn priorities_default_to_equal() {
+        let cfg = SystemConfig::dr_strange(2);
+        assert_eq!(cfg.priority_of(0), cfg.priority_of(1));
+        let cfg = cfg.with_priorities(vec![2, 1]);
+        assert!(cfg.priority_of(0) > cfg.priority_of(1));
+    }
+
+    #[test]
+    fn describe_mentions_key_structures() {
+        let s = SystemConfig::dr_strange(2).describe();
+        assert!(s.contains("random number buffer"));
+        assert!(s.contains("DDR3-1600"));
+    }
+
+    #[test]
+    fn cycle_limit_scales_with_target() {
+        let cfg = SystemConfig::dr_strange(2).with_instruction_target(10_000_000);
+        assert!(cfg.cycle_limit() >= 10_000_000);
+    }
+}

@@ -1,0 +1,728 @@
+//! The DR-STRaNGe memory-side engine.
+//!
+//! [`MemSubsystem`] owns the channel controllers, the global RNG request
+//! queue, the random number buffer, the per-channel idleness predictors,
+//! and the TRNG mechanism, and implements the paper's Section 5 machinery:
+//!
+//! * **Modes** — channels run in Regular Execution Mode; on-demand
+//!   generation switches *all* channels into RNG mode (bank drain +
+//!   timing-parameter reconfiguration + generation rounds + restore),
+//!   which is how the paper's baseline and DR-STRaNGe both generate when
+//!   the buffer cannot serve.
+//! * **RNG-aware arbitration** (Section 5.2) — the separate RNG queue, the
+//!   OS-priority rules (RNG-prioritized / non-RNG-prioritized / equal), and
+//!   the starvation-prevention stall counter.
+//! * **Buffer filling** (Section 5.1) — greedy-oracle or predictor-gated
+//!   generation rounds on idle channels, including the low-utilization
+//!   path, with mispredictions mechanically stalling the requests that
+//!   arrive while a round holds the channel.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use strange_cpu::MemorySystem;
+use strange_dram::{
+    Bliss, ChannelController, CompletedAccess, CoreId, DramAddress, FrFcfs, Readiness, Request,
+    RequestId, RequestKind, SchedulerPolicy,
+};
+use strange_trng::TrngMechanism;
+
+use crate::buffer::RandomNumberBuffer;
+use crate::config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SystemConfig};
+use crate::predictor::{
+    AlwaysLongPredictor, IdlenessPredictor, Prediction, QlearningPredictor, SimplePredictor,
+};
+use crate::stats::SystemStats;
+
+/// Per-channel scheduling policy, monomorphized over the design space.
+#[derive(Debug, Clone)]
+pub enum AnyPolicy {
+    /// FR-FCFS (optionally capped).
+    FrFcfs(FrFcfs),
+    /// BLISS.
+    Bliss(Bliss),
+}
+
+impl SchedulerPolicy for AnyPolicy {
+    fn select(&mut self, now: u64, queue: &[Request], readiness: &[Readiness]) -> Option<usize> {
+        match self {
+            AnyPolicy::FrFcfs(p) => p.select(now, queue, readiness),
+            AnyPolicy::Bliss(p) => p.select(now, queue, readiness),
+        }
+    }
+
+    fn on_serviced(&mut self, req: &Request, row_hit: bool) {
+        match self {
+            AnyPolicy::FrFcfs(p) => p.on_serviced(req, row_hit),
+            AnyPolicy::Bliss(p) => p.on_serviced(req, row_hit),
+        }
+    }
+
+    fn on_cycle(&mut self, now: u64) {
+        match self {
+            AnyPolicy::FrFcfs(p) => p.on_cycle(now),
+            AnyPolicy::Bliss(p) => p.on_cycle(now),
+        }
+    }
+}
+
+enum AnyPredictor {
+    AlwaysLong(AlwaysLongPredictor),
+    Simple(SimplePredictor),
+    Qlearning(QlearningPredictor),
+}
+
+impl AnyPredictor {
+    fn predict(&mut self, last_addr: u64) -> Prediction {
+        match self {
+            AnyPredictor::AlwaysLong(p) => p.predict(last_addr),
+            AnyPredictor::Simple(p) => p.predict(last_addr),
+            AnyPredictor::Qlearning(p) => p.predict(last_addr),
+        }
+    }
+
+    fn update(&mut self, last_addr: u64, predicted: Prediction, was_long: bool) {
+        match self {
+            AnyPredictor::AlwaysLong(p) => p.update(last_addr, predicted, was_long),
+            AnyPredictor::Simple(p) => p.update(last_addr, predicted, was_long),
+            AnyPredictor::Qlearning(p) => p.update(last_addr, predicted, was_long),
+        }
+    }
+}
+
+/// Per-channel fill/idle bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct ChanFill {
+    was_idle: bool,
+    idle_len: u64,
+    prediction: Option<Prediction>,
+    predict_addr: u64,
+    fill_end: Option<u64>,
+    fill_is_low_util: bool,
+    last_low_util_end: u64,
+}
+
+/// The memory subsystem: everything below the cores.
+pub struct MemSubsystem {
+    config: SystemConfig,
+    mapping: strange_dram::AddressMapping,
+    channels: Vec<ChannelController<AnyPolicy>>,
+    mechanism: Box<dyn TrngMechanism>,
+    buffer: RandomNumberBuffer,
+    rng_queue: VecDeque<Request>,
+    predictors: Vec<AnyPredictor>,
+    fill: Vec<ChanFill>,
+    demand_finish: Option<u64>,
+    rng_stall_counter: u64,
+    rng_queue_len_last: usize,
+    mem_now: u64,
+    next_id: RequestId,
+    next_rng_channel: u32,
+    rng_app: Vec<bool>,
+    rng_done: BinaryHeap<Reverse<(u64, RequestId, CoreId)>>,
+    completed_scratch: Vec<CompletedAccess>,
+    value_log: Option<Vec<u64>>,
+    stats: SystemStats,
+}
+
+impl MemSubsystem {
+    /// Builds the memory subsystem for `config` with the given TRNG
+    /// mechanism.
+    pub fn new(config: SystemConfig, mechanism: Box<dyn TrngMechanism>) -> Self {
+        let geometry = config.geometry;
+        let timing = config.timing;
+        let make_policy = || match config.scheduler {
+            SchedulerKind::FrFcfsCap(cap) => AnyPolicy::FrFcfs(FrFcfs::with_cap(geometry, cap)),
+            SchedulerKind::FrFcfs => AnyPolicy::FrFcfs(FrFcfs::new(geometry)),
+            SchedulerKind::Bliss => AnyPolicy::Bliss(Bliss::paper_default()),
+        };
+        let channels: Vec<_> = (0..geometry.channels)
+            .map(|i| ChannelController::new(i, geometry, timing, make_policy()))
+            .collect();
+        let predictors = (0..geometry.channels)
+            .map(|_| match config.predictor {
+                PredictorKind::AlwaysLong => AnyPredictor::AlwaysLong(AlwaysLongPredictor),
+                PredictorKind::Simple => AnyPredictor::Simple(SimplePredictor::new()),
+                PredictorKind::Qlearning => AnyPredictor::Qlearning(QlearningPredictor::new()),
+            })
+            .collect();
+        let fill = vec![ChanFill::default(); geometry.channels as usize];
+        // The buffer starts full: the system fills it once at boot (the
+        // paper's mechanism fills whenever DRAM is idle, so a freshly
+        // booted machine reaches a full buffer long before any workload of
+        // interest runs). Starting empty would charge a one-time warm-up
+        // fill against every measurement window.
+        let mut mechanism = mechanism;
+        let mut buffer = RandomNumberBuffer::new(config.buffer_entries);
+        while !buffer.is_full() {
+            let word = mechanism.draw(64);
+            if buffer.push_bits(word, 64) == 0 {
+                break;
+            }
+        }
+        MemSubsystem {
+            mapping: strange_dram::AddressMapping::new(geometry).expect("validated geometry"),
+            buffer,
+            rng_queue: VecDeque::new(),
+            predictors,
+            fill,
+            demand_finish: None,
+            rng_stall_counter: 0,
+            rng_queue_len_last: 0,
+            mem_now: 0,
+            next_id: 0,
+            next_rng_channel: 0,
+            rng_app: vec![false; config.cores],
+            rng_done: BinaryHeap::new(),
+            completed_scratch: Vec::new(),
+            value_log: None,
+            stats: SystemStats::new(),
+            channels,
+            mechanism,
+            config,
+        }
+    }
+
+    /// Enables or disables logging of served random values (kept to the
+    /// most recent 4096; used by interface-level examples and tests).
+    pub fn set_value_log(&mut self, enabled: bool) {
+        self.value_log = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Served random values recorded so far (empty when logging is off).
+    pub fn value_log(&self) -> &[u64] {
+        self.value_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// Channel controllers (stats access for results/energy).
+    pub fn channels(&self) -> &[ChannelController<AnyPolicy>] {
+        &self.channels
+    }
+
+    /// The random number buffer (tests and examples).
+    pub fn buffer(&self) -> &RandomNumberBuffer {
+        &self.buffer
+    }
+
+    /// Number of requests currently in the global RNG queue.
+    pub fn rng_queue_len(&self) -> usize {
+        self.rng_queue.len()
+    }
+
+    /// Flushes end-of-run accounting (open idle periods).
+    pub fn finish(&mut self) {
+        for ch in &mut self.channels {
+            ch.finish();
+        }
+    }
+
+    /// Advances the memory side by one DRAM bus cycle; completed requests
+    /// are appended to `completions` as `(core, request-id)` pairs.
+    pub fn tick(&mut self, now: u64, completions: &mut Vec<(CoreId, RequestId)>) {
+        self.mem_now = now;
+
+        // Demand-generation episode ends. Per the paper's flowchart
+        // (Figure 4, track d): if a channel remains idle after random
+        // number generation, keep filling the buffer — the timing
+        // parameters are already configured, so rounds chain directly.
+        if let Some(f) = self.demand_finish {
+            if now >= f {
+                self.demand_finish = None;
+                if self.config.fill == FillMode::Predictive {
+                    for i in 0..self.channels.len() {
+                        if self.channels[i].queues_empty()
+                            && !self.buffer.is_full()
+                            && !self.channels[i].is_blocked(now)
+                        {
+                            self.start_fill_round(i, now, 0, false);
+                        }
+                    }
+                }
+            }
+        }
+
+        // RNG-aware arbitration (Section 5.2).
+        if self.config.routing == RngRouting::Aware {
+            self.serve_rng_from_buffer(now);
+            self.rng_arbitrate(now);
+        }
+
+        // Buffer filling (Section 5.1).
+        match self.config.fill {
+            FillMode::None => {}
+            FillMode::GreedyOracle => self.greedy_fill_step(now),
+            FillMode::Predictive => self.predictive_fill_step(now),
+        }
+
+        // Regular command scheduling; RNG-oblivious designs may select RNG
+        // requests here, which triggers a global generation episode. The
+        // oblivious baseline serves only what its per-channel schedulers
+        // selected *this cycle* — it has no notion of batching a burst, so
+        // a burst of requests costs one mode switch each (the frequent-
+        // switching overhead Section 5.2 attributes to single-queue
+        // designs). The RNG-aware path batches instead (rng_arbitrate).
+        let mut demand_batch: Vec<Request> = Vec::new();
+        for ch in &mut self.channels {
+            if let Some(req) = ch.tick(now, &mut self.completed_scratch) {
+                demand_batch.push(req);
+            }
+        }
+        if !demand_batch.is_empty() {
+            self.start_demand_generation(now, demand_batch);
+        }
+
+        for done in self.completed_scratch.drain(..) {
+            completions.push((done.request.core, done.request.id));
+        }
+
+        // RNG completions due this cycle.
+        while let Some(&Reverse((due, id, core))) = self.rng_done.peek() {
+            if due > now {
+                break;
+            }
+            self.rng_done.pop();
+            completions.push((core, id));
+        }
+    }
+
+    fn alloc_id(&mut self) -> RequestId {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn log_value(&mut self, value: u64) {
+        if let Some(log) = &mut self.value_log {
+            if log.len() >= 4096 {
+                log.remove(0);
+            }
+            log.push(value);
+        }
+    }
+
+    /// Serves queued RNG requests from the buffer (requests that missed at
+    /// issue time can still hit once filling catches up).
+    fn serve_rng_from_buffer(&mut self, now: u64) {
+        while !self.rng_queue.is_empty() && self.buffer.available_words() > 0 {
+            let req = self.rng_queue.pop_front().expect("non-empty");
+            let word = self.buffer.pop_word().expect("word available");
+            self.log_value(word);
+            self.complete_rng(now, &req, now + self.config.buffer_serve_latency, true);
+        }
+    }
+
+    fn complete_rng(&mut self, _now: u64, req: &Request, due: u64, from_buffer: bool) {
+        self.stats.buffer_serve.record(from_buffer);
+        if from_buffer {
+            self.stats.rng_served_from_buffer += 1;
+        } else {
+            self.stats.rng_served_on_demand += 1;
+        }
+        self.stats.rng_latency_sum += due.saturating_sub(req.arrival);
+        self.stats.rng_completions += 1;
+        self.rng_done.push(Reverse((due, req.id, req.core)));
+    }
+
+    /// The Section 5.2 decision: should the RNG queue be scheduled now?
+    fn rng_arbitrate(&mut self, now: u64) {
+        if self.demand_finish.is_some() || self.rng_queue.is_empty() {
+            self.rng_queue_len_last = self.rng_queue.len();
+            return;
+        }
+        // Burst coalescing: requests arrive back-to-back (the paper: "RNG
+        // requests are received in bursts and served together"); wait one
+        // cycle of queue stability so the whole burst shares one mode
+        // switch.
+        if self.rng_queue.len() != self.rng_queue_len_last {
+            self.rng_queue_len_last = self.rng_queue.len();
+            return;
+        }
+        let max_rng_prio = self
+            .rng_queue
+            .iter()
+            .map(|r| self.config.priority_of(r.core))
+            .max()
+            .expect("non-empty queue");
+
+        let mut max_nonrng_reg: Option<u8> = None;
+        let mut oldest_reg: Option<Request> = None;
+        for ch in &self.channels {
+            for req in ch.read_queue() {
+                if oldest_reg.map_or(true, |o| req.arrival < o.arrival) {
+                    oldest_reg = Some(*req);
+                }
+                if !self.rng_app[req.core] {
+                    let p = self.config.priority_of(req.core);
+                    max_nonrng_reg = Some(max_nonrng_reg.map_or(p, |m: u8| m.max(p)));
+                }
+            }
+        }
+
+        let go = match max_nonrng_reg {
+            // No competing non-RNG read anywhere: generate.
+            None => true,
+            // RNG-prioritized and equal-priority cases both choose the RNG
+            // queue (Section 5.2.1).
+            Some(reg) if max_rng_prio >= reg => true,
+            // Non-RNG prioritized: wait, unless the oldest regular read is
+            // from an RNG application and younger than the oldest RNG
+            // request, or the starvation limit is hit.
+            Some(_) => {
+                let oldest_rng = self.rng_queue.front().expect("non-empty").arrival;
+                let exception = oldest_reg
+                    .map_or(false, |r| self.rng_app[r.core] && r.arrival > oldest_rng);
+                if exception {
+                    true
+                } else {
+                    self.rng_stall_counter += 1;
+                    self.stats.rng_wait_cycles += 1;
+                    if self.rng_stall_counter >= self.config.stall_limit {
+                        self.stats.starvation_overrides += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        };
+
+        if go {
+            self.rng_stall_counter = 0;
+            let requests: Vec<Request> = self.rng_queue.drain(..).collect();
+            self.start_demand_generation(now, requests);
+        }
+    }
+
+    /// Switches all channels into RNG mode and generates 64 bits for every
+    /// request in `requests` (the all-channel, minimum-latency on-demand
+    /// path described in Section 3).
+    fn start_demand_generation(&mut self, now: u64, requests: Vec<Request>) {
+        debug_assert!(!requests.is_empty());
+        // Resolve any in-flight fill rounds first: their bits land, their
+        // occupancy is folded into the episode start.
+        let fill_bits = self.mechanism.batch_bits();
+        for i in 0..self.fill.len() {
+            if self.fill[i].fill_end.take().is_some() {
+                self.deliver_batch_bits(fill_bits);
+                self.stats.fill_batches += 1;
+            }
+        }
+
+        let mut ready = now;
+        for ch in &mut self.channels {
+            ready = ready.max(ch.blocked_until());
+            ready = ready.max(ch.prepare_rng_mode(now));
+        }
+        let mech = &mut self.mechanism;
+        let start = ready + mech.demand_switch_cycles();
+        let bits_needed = 64 * requests.len() as u64;
+        let per_round = mech.batch_bits() as u64 * self.channels.len() as u64;
+        let rounds = bits_needed.div_ceil(per_round);
+        let data_ready = start + rounds * mech.batch_latency();
+        let finish = data_ready + mech.demand_switch_cycles();
+        let cmds = mech.batch_commands();
+        for ch in &mut self.channels {
+            ch.block_until(finish);
+            ch.note_rng_commands(cmds.acts * rounds, cmds.reads * rounds, cmds.pres * rounds);
+        }
+        for req in &requests {
+            let value = self.mechanism.draw(64);
+            self.log_value(value);
+            self.complete_rng(now, req, data_ready, false);
+        }
+        self.stats.demand_generations += 1;
+        // Surplus bits beyond the demanded 64s go to the buffer.
+        let mut surplus = rounds * per_round - bits_needed;
+        while surplus > 0 && !self.buffer.is_full() {
+            let take = surplus.min(64) as u32;
+            let word = self.mechanism.draw(take);
+            let accepted = self.buffer.push_bits(word, take);
+            self.stats.bits_buffered += accepted as u64;
+            if accepted < take {
+                break;
+            }
+            surplus -= take as u64;
+        }
+        self.demand_finish = Some(finish);
+    }
+
+    /// Starts one generation round on channel `i`, blocking it for
+    /// `extra_switch + batch_latency` cycles and accounting the commands.
+    fn start_fill_round(&mut self, i: usize, now: u64, extra_switch: u64, low_util: bool) {
+        let end = now + extra_switch + self.mechanism.batch_latency();
+        self.fill[i].fill_end = Some(end);
+        self.fill[i].fill_is_low_util = low_util;
+        self.channels[i].block_until(end);
+        let cmds = self.mechanism.batch_commands();
+        self.channels[i].note_rng_commands(cmds.acts, cmds.reads, cmds.pres);
+    }
+
+    fn deliver_batch_bits(&mut self, bits: u32) {
+        let mut remaining = bits;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            let word = self.mechanism.draw(take);
+            let accepted = self.buffer.push_bits(word, take);
+            self.stats.bits_buffered += accepted as u64;
+            remaining -= take;
+            if accepted < take {
+                break;
+            }
+        }
+    }
+
+    /// Greedy Idle oracle (Section 7's comparison point): "if an idle
+    /// period reaches the Period Threshold, we assume we fill the buffer
+    /// with 8 random bits without any overhead" — one batch per qualifying
+    /// idle period, zero occupancy, no commands. This is why the greedy
+    /// design trails DR-STRaNGe: it cannot exploit the rest of a long idle
+    /// period, nor low-utilization slack (Section 8.1).
+    fn greedy_fill_step(&mut self, _now: u64) {
+        let threshold = self.config.period_threshold;
+        let bits = self.mechanism.batch_bits();
+        for i in 0..self.channels.len() {
+            let idle_now = self.channels[i].queues_empty();
+            if idle_now {
+                self.fill[i].idle_len += 1;
+                if self.fill[i].idle_len == threshold && !self.buffer.is_full() {
+                    self.deliver_batch_bits(bits);
+                    self.stats.greedy_batches += 1;
+                }
+            } else {
+                self.fill[i].idle_len = 0;
+            }
+            self.fill[i].was_idle = idle_now;
+        }
+    }
+
+    /// Predictor-gated filling (Section 5.1): idle-start predictions, fill
+    /// round chaining, the low-utilization path, and predictor training at
+    /// period end.
+    fn predictive_fill_step(&mut self, now: u64) {
+        let threshold = self.config.period_threshold;
+        let low_util = self.config.low_util_threshold;
+        let batch_bits = self.mechanism.batch_bits();
+        let batch_latency = self.mechanism.batch_latency();
+        let fill_switch = self.mechanism.fill_switch_cycles();
+        let demand_active = self.demand_finish.is_some();
+
+        for i in 0..self.channels.len() {
+            // 1. Complete a due fill round.
+            if let Some(end) = self.fill[i].fill_end {
+                if now >= end {
+                    self.deliver_batch_bits(batch_bits);
+                    let st = &mut self.fill[i];
+                    st.fill_end = None;
+                    let was_low_util = st.fill_is_low_util;
+                    st.fill_is_low_util = false;
+                    if was_low_util {
+                        self.stats.low_util_batches += 1;
+                        self.fill[i].last_low_util_end = now;
+                        // Low-utilization rounds never chain: the stalled
+                        // requests get the channel back.
+                        self.channels[i].block_until(now + fill_switch);
+                    } else {
+                        self.stats.fill_batches += 1;
+                        // Chain while the channel stays idle and the buffer
+                        // has room; otherwise restore timing parameters.
+                        if self.channels[i].queues_empty()
+                            && !self.buffer.is_full()
+                            && !demand_active
+                        {
+                            self.start_fill_round(i, now, 0, false);
+                        } else {
+                            self.channels[i].block_until(now + fill_switch);
+                        }
+                    }
+                }
+            }
+
+            // 2. Idle-period edge tracking and prediction.
+            let idle_now = self.channels[i].queues_empty();
+            let was_idle = self.fill[i].was_idle;
+            if idle_now {
+                self.fill[i].idle_len += 1;
+                if !was_idle {
+                    // Period starts: predict (unless the engine is mid
+                    // generation or the channel is otherwise occupied).
+                    let can_predict = !demand_active && !self.channels[i].is_blocked(now);
+                    if can_predict {
+                        let addr = self.channels[i].last_enqueued_line();
+                        let pred = self.predictors[i].predict(addr);
+                        self.fill[i].prediction = Some(pred);
+                        self.fill[i].predict_addr = addr;
+                    }
+                }
+                // Start (or resume) filling when predicted long.
+                if self.fill[i].prediction == Some(Prediction::Long)
+                    && self.fill[i].fill_end.is_none()
+                    && !self.buffer.is_full()
+                    && !demand_active
+                    && !self.channels[i].is_blocked(now)
+                {
+                    self.start_fill_round(i, now, fill_switch, false);
+                }
+            } else {
+                if was_idle {
+                    // Period ended: train the predictor.
+                    let len = self.fill[i].idle_len;
+                    if let Some(pred) = self.fill[i].prediction.take() {
+                        let was_long = len >= threshold;
+                        let addr = self.fill[i].predict_addr;
+                        self.predictors[i].update(addr, pred, was_long);
+                        self.stats.predictor.record(pred.is_long(), was_long);
+                    }
+                    self.fill[i].idle_len = 0;
+                }
+
+                // 3. Low-utilization path: nearly-empty read queue. Paced
+                // to one round per 8 × batch_latency window per channel so
+                // the predictor "stalls only a small number of requests"
+                // (Section 5.1.2) even for workloads that hover below the
+                // occupancy threshold.
+                if low_util > 0
+                    && self.fill[i].fill_end.is_none()
+                    && !demand_active
+                    && !self.channels[i].is_blocked(now)
+                    && !self.buffer.is_full()
+                    && self.channels[i].read_queue_len() < low_util
+                    && now >= self.fill[i].last_low_util_end + 8 * batch_latency
+                {
+                    let addr = self.channels[i].last_enqueued_line();
+                    if self.predictors[i].predict(addr) == Prediction::Long {
+                        self.start_fill_round(i, now, fill_switch, true);
+                    } else {
+                        self.fill[i].last_low_util_end = now;
+                    }
+                }
+            }
+            self.fill[i].was_idle = idle_now;
+        }
+    }
+}
+
+impl MemorySystem for MemSubsystem {
+    fn try_load(&mut self, core: CoreId, line_addr: u64) -> Option<RequestId> {
+        let addr = self.mapping.decode(line_addr);
+        let ch = &mut self.channels[addr.channel as usize];
+        if !ch.can_accept(RequestKind::Read) {
+            return None;
+        }
+        let id = self.alloc_id();
+        let req = Request {
+            id,
+            core,
+            kind: RequestKind::Read,
+            addr,
+            arrival: self.mem_now,
+        };
+        self.channels[addr.channel as usize]
+            .try_enqueue(req, self.mem_now)
+            .expect("capacity checked");
+        Some(id)
+    }
+
+    fn try_store(&mut self, core: CoreId, line_addr: u64) -> bool {
+        let addr = self.mapping.decode(line_addr);
+        let ch = &mut self.channels[addr.channel as usize];
+        if !ch.can_accept(RequestKind::Write) {
+            return false;
+        }
+        let id = self.alloc_id();
+        let req = Request {
+            id,
+            core,
+            kind: RequestKind::Write,
+            addr,
+            arrival: self.mem_now,
+        };
+        self.channels[addr.channel as usize]
+            .try_enqueue(req, self.mem_now)
+            .expect("capacity checked");
+        true
+    }
+
+    fn try_rng(&mut self, core: CoreId) -> Option<RequestId> {
+        if core < self.rng_app.len() {
+            self.rng_app[core] = true;
+        }
+        match self.config.routing {
+            RngRouting::Oblivious => {
+                // RNG requests share the read queues; round-robin over
+                // channels for queue-slot pressure.
+                let start = self.next_rng_channel;
+                let n = self.channels.len() as u32;
+                let mut chosen = None;
+                for off in 0..n {
+                    let c = ((start + off) % n) as usize;
+                    if self.channels[c].can_accept(RequestKind::Rng) {
+                        chosen = Some(c);
+                        break;
+                    }
+                }
+                let c = chosen?;
+                self.next_rng_channel = (c as u32 + 1) % n;
+                let id = self.alloc_id();
+                let req = Request {
+                    id,
+                    core,
+                    kind: RequestKind::Rng,
+                    addr: DramAddress {
+                        channel: c as u32,
+                        rank: 0,
+                        bank: 0,
+                        row: 0,
+                        col: 0,
+                    },
+                    arrival: self.mem_now,
+                };
+                self.stats.rng_requests += 1;
+                self.channels[c]
+                    .try_enqueue(req, self.mem_now)
+                    .expect("capacity checked");
+                Some(id)
+            }
+            RngRouting::Aware => {
+                let id = self.alloc_id();
+                let req = Request {
+                    id,
+                    core,
+                    kind: RequestKind::Rng,
+                    addr: DramAddress {
+                        channel: 0,
+                        rank: 0,
+                        bank: 0,
+                        row: 0,
+                        col: 0,
+                    },
+                    arrival: self.mem_now,
+                };
+                // Fast path: serve straight from the buffer (step 2a of the
+                // paper's Figure 4 flowchart).
+                if self.buffer.available_words() > 0 {
+                    let word = self.buffer.pop_word().expect("word available");
+                    self.stats.rng_requests += 1;
+                    self.log_value(word);
+                    self.complete_rng(
+                        self.mem_now,
+                        &req,
+                        self.mem_now + self.config.buffer_serve_latency,
+                        true,
+                    );
+                    return Some(id);
+                }
+                // Slow path: the RNG queue (step 2b), subject to capacity.
+                if self.rng_queue.len() >= self.config.rng_queue_capacity {
+                    return None;
+                }
+                self.stats.rng_requests += 1;
+                self.rng_queue.push_back(req);
+                Some(id)
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! DR-STRaNGe: the end-to-end system design for DRAM-based true random
+//! number generators (Bostancı et al., HPCA 2022) — the paper's primary
+//! contribution, implemented over the `strange-dram` / `strange-cpu` /
+//! `strange-trng` substrates.
+//!
+//! The three components of the design (paper Section 5):
+//!
+//! 1. **Random number buffering** — [`RandomNumberBuffer`] plus the DRAM
+//!    idleness predictors ([`SimplePredictor`], [`QlearningPredictor`],
+//!    and the predictor-less [`AlwaysLongPredictor`]) hide the high TRNG
+//!    latency by generating during predicted-long idle periods.
+//! 2. **RNG-aware scheduling** — the engine's separate RNG request queue,
+//!    OS-priority arbitration rules, and starvation prevention
+//!    (see [`MemSubsystem`]).
+//! 3. **Application interface** — [`RngDevice`], the `getrandom()`-style
+//!    service with the Section 6 security properties.
+//!
+//! [`System`] ties cores and memory together and runs multi-programmed
+//! workloads; [`SystemConfig`] selects the design point (RNG-oblivious
+//! baseline, Greedy Idle, DR-STRaNGe, and ablations), with presets matching
+//! every configuration the paper evaluates.
+//!
+//! # Examples
+//!
+//! Run a two-application workload (one RNG benchmark, one synthetic
+//! streaming app) under full DR-STRaNGe:
+//!
+//! ```
+//! use strange_core::{System, SystemConfig};
+//! use strange_cpu::{LoopTrace, TraceOp};
+//! use strange_trng::DRange;
+//!
+//! let traces: Vec<Box<dyn strange_cpu::TraceSource + Send>> = vec![
+//!     Box::new(LoopTrace::new(vec![TraceOp::Load { gap: 49, addr: 0x1000 }])),
+//!     Box::new(LoopTrace::new(vec![TraceOp::Rng { gap: 150 }])),
+//! ];
+//! let config = SystemConfig::dr_strange(2).with_instruction_target(10_000);
+//! let mut system = System::new(config, traces, Box::new(DRange::new(1)))?;
+//! let result = system.run();
+//! assert!(result.stats.rng_requests > 0);
+//! # Ok::<(), strange_dram::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod config;
+mod engine;
+mod interface;
+mod predictor;
+mod stats;
+mod system;
+
+pub use buffer::RandomNumberBuffer;
+pub use config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SystemConfig};
+pub use engine::{AnyPolicy, MemSubsystem};
+pub use interface::{RngDevice, ServeKind};
+pub use predictor::{
+    AlwaysLongPredictor, IdlenessPredictor, Prediction, QlearningPredictor, SimplePredictor,
+};
+pub use stats::SystemStats;
+pub use system::{CoreOutcome, RunResult, System};

@@ -1,0 +1,96 @@
+//! DRAM idleness predictors (Section 5.1.2).
+//!
+//! When a channel's request queues empty out, DR-STRaNGe must decide
+//! whether the idle period will be long enough (≥ PeriodThreshold = 40
+//! cycles, one 8-bit generation round) to fill the random number buffer
+//! without stalling upcoming requests. The paper proposes two predictors:
+//!
+//! * [`SimplePredictor`] — a 256-entry table of 2-bit saturating counters
+//!   indexed by the last accessed memory address, plus a low-utilization
+//!   mode that also fires when the read queue is nearly empty.
+//! * [`QlearningPredictor`] — a Q-learning agent whose state combines the
+//!   last accessed address with the history of the last 10 idle periods.
+//!
+//! [`AlwaysLongPredictor`] represents the predictor-less "simple buffering
+//! mechanism" of Section 5.1.1 (every idle period treated as long).
+
+mod qlearn;
+mod simple;
+
+pub use qlearn::QlearningPredictor;
+pub use simple::SimplePredictor;
+
+/// A predicted idle-period class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prediction {
+    /// Long enough to generate at least one batch of random bits.
+    Long,
+    /// Too short; generating would stall upcoming requests.
+    Short,
+}
+
+impl Prediction {
+    /// Whether this prediction is [`Prediction::Long`].
+    pub fn is_long(&self) -> bool {
+        matches!(self, Prediction::Long)
+    }
+}
+
+/// A DRAM idleness predictor.
+///
+/// The engine calls [`IdlenessPredictor::predict`] once when an idle (or
+/// low-utilization) period begins, and [`IdlenessPredictor::update`] once
+/// when the period ends with the observed outcome. `last_addr` is the flat
+/// cache-line address of the most recent request on the channel — the
+/// paper's prediction context.
+pub trait IdlenessPredictor: Send {
+    /// Predicts the class of the idle period that is starting.
+    fn predict(&mut self, last_addr: u64) -> Prediction;
+
+    /// Learns from a finished idle period: `predicted` is what this
+    /// predictor answered at the start, `was_long` the ground truth.
+    fn update(&mut self, last_addr: u64, predicted: Prediction, was_long: bool);
+}
+
+/// The predictor-less mode of Section 5.1.1: every idle period is assumed
+/// long, so filling starts on every idle cycle.
+///
+/// # Examples
+///
+/// ```
+/// use strange_core::{AlwaysLongPredictor, IdlenessPredictor, Prediction};
+///
+/// let mut p = AlwaysLongPredictor;
+/// assert_eq!(p.predict(0xABC), Prediction::Long);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysLongPredictor;
+
+impl IdlenessPredictor for AlwaysLongPredictor {
+    fn predict(&mut self, _last_addr: u64) -> Prediction {
+        Prediction::Long
+    }
+
+    fn update(&mut self, _last_addr: u64, _predicted: Prediction, _was_long: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_long_is_constant() {
+        let mut p = AlwaysLongPredictor;
+        for addr in [0u64, 1, u64::MAX] {
+            assert!(p.predict(addr).is_long());
+            p.update(addr, Prediction::Long, false);
+            assert!(p.predict(addr).is_long());
+        }
+    }
+
+    #[test]
+    fn prediction_is_long_helper() {
+        assert!(Prediction::Long.is_long());
+        assert!(!Prediction::Short.is_long());
+    }
+}

@@ -1,0 +1,201 @@
+//! The reinforcement-learning (Q-learning) DRAM idleness predictor.
+//!
+//! Section 5.1.2 frames idleness prediction as a Q-learning problem:
+//!
+//! * **State**: the least-significant 10 bits of the last accessed address
+//!   XOR'ed with the history of the last 10 idle periods (1 = long).
+//! * **Actions**: initiate random number generation (predict long) or wait
+//!   (predict short).
+//! * **Reward**: positive when the action matched the observed period
+//!   class, negative otherwise, applied with
+//!   `Q(s,a) = (1 - α)·Q(s,a) + α·r` and learning rate α = 0.05 (the next
+//!   state term is omitted because the next state depends on future
+//!   accesses — exactly as the paper describes).
+//!
+//! Storage: 1024 states × 2 actions × 4-byte Q-values = 8 KiB, matching the
+//! paper's Section 8.9 cost accounting.
+
+use crate::predictor::{IdlenessPredictor, Prediction};
+
+const STATE_BITS: u32 = 10;
+const STATES: usize = 1 << STATE_BITS;
+const ACTIONS: usize = 2;
+const ACTION_GENERATE: usize = 0;
+const ACTION_WAIT: usize = 1;
+
+/// The Q-learning idleness predictor.
+///
+/// # Examples
+///
+/// ```
+/// use strange_core::{IdlenessPredictor, Prediction, QlearningPredictor};
+///
+/// let mut p = QlearningPredictor::new();
+/// // Train: periods after this address are always long.
+/// for _ in 0..8 {
+///     let pred = p.predict(0x3F);
+///     p.update(0x3F, pred, true);
+/// }
+/// assert_eq!(p.predict(0x3F), Prediction::Long);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QlearningPredictor {
+    q: Vec<[f32; ACTIONS]>,
+    history: u16, // last 10 idle periods, bit 0 = most recent, 1 = long
+    alpha: f32,
+}
+
+impl QlearningPredictor {
+    /// Creates an agent with the paper's parameters (α = 0.05).
+    pub fn new() -> Self {
+        QlearningPredictor::with_learning_rate(0.05)
+    }
+
+    /// Creates an agent with a custom learning rate in (0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not within (0, 1].
+    pub fn with_learning_rate(alpha: f32) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "learning rate must be in (0, 1]"
+        );
+        QlearningPredictor {
+            q: vec![[0.0; ACTIONS]; STATES],
+            history: 0,
+            alpha,
+        }
+    }
+
+    /// Storage cost in bytes (8 KiB for the default configuration,
+    /// Section 8.9).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.q.len() * ACTIONS * std::mem::size_of::<f32>()) as u64
+    }
+
+    fn state(&self, last_addr: u64) -> usize {
+        ((last_addr as usize) ^ (self.history as usize)) & (STATES - 1)
+    }
+}
+
+impl Default for QlearningPredictor {
+    fn default() -> Self {
+        QlearningPredictor::new()
+    }
+}
+
+impl IdlenessPredictor for QlearningPredictor {
+    fn predict(&mut self, last_addr: u64) -> Prediction {
+        let s = self.state(last_addr);
+        let q = &self.q[s];
+        // Optimistic tie-break toward generating bootstraps exploration:
+        // a bad generate gets punished and the agent switches to waiting.
+        if q[ACTION_GENERATE] >= q[ACTION_WAIT] {
+            Prediction::Long
+        } else {
+            Prediction::Short
+        }
+    }
+
+    fn update(&mut self, last_addr: u64, predicted: Prediction, was_long: bool) {
+        let s = self.state(last_addr);
+        let action = match predicted {
+            Prediction::Long => ACTION_GENERATE,
+            Prediction::Short => ACTION_WAIT,
+        };
+        let correct = (action == ACTION_GENERATE) == was_long;
+        let reward: f32 = if correct { 1.0 } else { -1.0 };
+        let q = &mut self.q[s][action];
+        *q = (1.0 - self.alpha) * *q + self.alpha * reward;
+        // Shift the idle-period history.
+        self.history = ((self.history << 1) | u16::from(was_long)) & ((1 << STATE_BITS) - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_matches_paper_8kib() {
+        let p = QlearningPredictor::new();
+        assert_eq!(p.storage_bytes(), 8192);
+    }
+
+    #[test]
+    fn learns_to_wait_after_punishment() {
+        let mut p = QlearningPredictor::new();
+        let addr = 0x7;
+        // All periods short: generating gets punished until Wait wins.
+        // History stays all-zero (short), so the state is stable.
+        for _ in 0..64 {
+            let pred = p.predict(addr);
+            p.update(addr, pred, false);
+        }
+        assert_eq!(p.predict(addr), Prediction::Short);
+    }
+
+    #[test]
+    fn learns_to_generate_in_long_periods() {
+        let mut p = QlearningPredictor::new();
+        let addr = 0x3FF;
+        for _ in 0..64 {
+            let pred = p.predict(addr);
+            p.update(addr, pred, true);
+        }
+        assert_eq!(p.predict(addr), Prediction::Long);
+    }
+
+    #[test]
+    fn history_distinguishes_contexts() {
+        let mut a = QlearningPredictor::new();
+        let mut b = QlearningPredictor::new();
+        // Same address, different histories → different states.
+        a.update(0, Prediction::Long, true);
+        b.update(0, Prediction::Long, false);
+        assert_ne!(a.state(0x123), b.state(0x123));
+    }
+
+    #[test]
+    fn q_values_bounded_by_reward_magnitude() {
+        let mut p = QlearningPredictor::new();
+        for i in 0..10_000u64 {
+            let pred = p.predict(i);
+            p.update(i, pred, i % 3 == 0);
+        }
+        for q in &p.q {
+            assert!(q[0].abs() <= 1.0 + f32::EPSILON);
+            assert!(q[1].abs() <= 1.0 + f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn adapts_to_phase_change() {
+        let mut p = QlearningPredictor::new();
+        let addr = 0x55;
+        // Phase 1: long periods.
+        for _ in 0..64 {
+            let pred = p.predict(addr);
+            p.update(addr, pred, true);
+        }
+        // Phase 2: short periods (history change also shifts state; drive
+        // updates until the prediction flips).
+        let mut flipped = false;
+        for _ in 0..256 {
+            let pred = p.predict(addr);
+            p.update(addr, pred, false);
+            if p.predict(addr) == Prediction::Short {
+                flipped = true;
+                break;
+            }
+        }
+        assert!(flipped, "agent must adapt to the new phase");
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn invalid_alpha_rejected() {
+        QlearningPredictor::with_learning_rate(0.0);
+    }
+}

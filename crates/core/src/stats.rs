@@ -1,0 +1,84 @@
+//! System-level statistics for one simulation run.
+
+use strange_metrics::{ConfusionCounts, Ratio};
+
+/// Counters accumulated by the DR-STRaNGe engine during a run.
+#[derive(Debug, Clone, Default)]
+pub struct SystemStats {
+    /// Random-number requests issued by all cores.
+    pub rng_requests: u64,
+    /// Requests served directly from the random number buffer.
+    pub rng_served_from_buffer: u64,
+    /// Requests served by on-demand generation.
+    pub rng_served_on_demand: u64,
+    /// On-demand generation episodes (each may serve several requests).
+    pub demand_generations: u64,
+    /// Predictive fill batches completed on idle channels.
+    pub fill_batches: u64,
+    /// Fill batches triggered by the low-utilization path.
+    pub low_util_batches: u64,
+    /// Greedy-oracle batches credited (Greedy Idle design only).
+    pub greedy_batches: u64,
+    /// Random bits pushed into the buffer (fills plus demand surplus).
+    pub bits_buffered: u64,
+    /// Buffer serve-rate statistics (hits = served from buffer).
+    pub buffer_serve: Ratio,
+    /// Idleness-predictor confusion counts aggregated over channels.
+    pub predictor: ConfusionCounts,
+    /// Sum of end-to-end RNG service latencies in memory cycles.
+    pub rng_latency_sum: u64,
+    /// Number of RNG requests completed (for the latency average).
+    pub rng_completions: u64,
+    /// Cycles the RNG queue spent deprioritized while non-empty (starvation
+    /// accounting; the paper observes the stall limit is never reached).
+    pub rng_wait_cycles: u64,
+    /// Times the starvation-prevention limit forced RNG service.
+    pub starvation_overrides: u64,
+}
+
+impl SystemStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        SystemStats::default()
+    }
+
+    /// Average end-to-end RNG service latency in memory cycles.
+    pub fn avg_rng_latency(&self) -> f64 {
+        if self.rng_completions == 0 {
+            0.0
+        } else {
+            self.rng_latency_sum as f64 / self.rng_completions as f64
+        }
+    }
+
+    /// Buffer serve rate (Figure 10).
+    pub fn buffer_serve_rate(&self) -> f64 {
+        self.buffer_serve.rate()
+    }
+
+    /// Predictor accuracy (Figure 14).
+    pub fn predictor_accuracy(&self) -> f64 {
+        strange_metrics::accuracy(&self.predictor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_are_zero_safe() {
+        let s = SystemStats::new();
+        assert_eq!(s.avg_rng_latency(), 0.0);
+        assert_eq!(s.buffer_serve_rate(), 0.0);
+        assert_eq!(s.predictor_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn latency_average_computes() {
+        let mut s = SystemStats::new();
+        s.rng_latency_sum = 600;
+        s.rng_completions = 3;
+        assert_eq!(s.avg_rng_latency(), 200.0);
+    }
+}

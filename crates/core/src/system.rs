@@ -1,0 +1,512 @@
+//! The end-to-end simulated system: cores + DR-STRaNGe memory subsystem.
+//!
+//! [`System`] couples the trace-driven cores (4 GHz) to the memory
+//! subsystem (800 MHz DRAM bus, 5 CPU cycles per DRAM cycle) and runs the
+//! multi-programmed workload until every core retires its instruction
+//! target. Cores that finish early keep executing — the standard
+//! methodology for multi-programmed evaluation, which preserves memory
+//! contention for the co-runners.
+
+use strange_cpu::{Core, CoreStats, FinishSnapshot, TraceSource};
+use strange_dram::{ChannelStats, ConfigError, CoreId, RequestId, CPU_CYCLES_PER_MEM_CYCLE};
+use strange_trng::TrngMechanism;
+
+use crate::config::SystemConfig;
+use crate::engine::MemSubsystem;
+use crate::stats::SystemStats;
+
+/// Outcome of one core's execution.
+#[derive(Debug, Clone)]
+pub struct CoreOutcome {
+    /// Statistics frozen when the instruction target was reached (absent
+    /// only if the run hit the safety cycle limit first).
+    pub finish: Option<FinishSnapshot>,
+    /// Statistics at the end of the whole run (includes post-target work).
+    pub end_stats: CoreStats,
+}
+
+impl CoreOutcome {
+    /// Execution time in CPU cycles for the instruction target; falls back
+    /// to the full run length when the target was not reached.
+    pub fn exec_cycles(&self, run_cycles: u64) -> u64 {
+        self.finish.map_or(run_cycles, |f| f.at_cycle.max(1))
+    }
+
+    /// MCPI at the instruction target (memory + RNG stalls per
+    /// instruction).
+    pub fn mcpi(&self) -> f64 {
+        self.finish.map_or(self.end_stats.mcpi(), |f| f.stats.mcpi())
+    }
+
+    /// IPC for the instruction-target window.
+    pub fn ipc(&self) -> f64 {
+        match self.finish {
+            Some(f) => f.stats.retired as f64 / f.at_cycle.max(1) as f64,
+            None => self.end_stats.ipc(),
+        }
+    }
+}
+
+/// Results of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-core outcomes, indexed by core id.
+    pub cores: Vec<CoreOutcome>,
+    /// Engine statistics (buffer, predictor, generation episodes).
+    pub stats: SystemStats,
+    /// Per-channel DRAM statistics (commands, idle periods, latencies).
+    pub channels: Vec<ChannelStats>,
+    /// Total CPU cycles simulated.
+    pub cpu_cycles: u64,
+    /// Total DRAM bus cycles simulated.
+    pub mem_cycles: u64,
+    /// True when the safety cycle limit ended the run before every core
+    /// finished (indicates a pathological configuration).
+    pub hit_cycle_limit: bool,
+}
+
+impl RunResult {
+    /// Execution time (CPU cycles) of `core` for its instruction target.
+    pub fn exec_cycles(&self, core: CoreId) -> u64 {
+        self.cores[core].exec_cycles(self.cpu_cycles)
+    }
+
+    /// Slowdown of `core` relative to a baseline run of the same
+    /// application alone.
+    pub fn slowdown_vs(&self, core: CoreId, alone: &RunResult) -> f64 {
+        self.exec_cycles(core) as f64 / alone.exec_cycles(core.min(alone.cores.len() - 1)) as f64
+    }
+
+    /// Aggregated DRAM statistics over all channels.
+    pub fn total_channel_stats(&self) -> ChannelStats {
+        let mut total = ChannelStats::new();
+        for ch in &self.channels {
+            total.merge(ch);
+        }
+        total
+    }
+}
+
+/// The full simulated system.
+pub struct System {
+    config: SystemConfig,
+    cores: Vec<Core>,
+    mem: MemSubsystem,
+    cpu_cycle: u64,
+    completions: Vec<(CoreId, RequestId)>,
+}
+
+impl System {
+    /// Builds a system from a configuration, one trace per core, and a TRNG
+    /// mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParameter`] when the configuration is
+    /// invalid or the number of traces does not match `config.cores`.
+    pub fn new(
+        config: SystemConfig,
+        traces: Vec<Box<dyn TraceSource + Send>>,
+        mechanism: Box<dyn TrngMechanism>,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if traces.len() != config.cores {
+            return Err(ConfigError::InvalidParameter {
+                field: "traces",
+                constraint: "match the configured core count",
+            });
+        }
+        let cores: Vec<Core> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Core::new(i, config.core, t, config.instruction_target))
+            .collect();
+        let mem = MemSubsystem::new(config.clone(), mechanism);
+        Ok(System {
+            config,
+            cores,
+            mem,
+            cpu_cycle: 0,
+            completions: Vec::new(),
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The memory subsystem (buffer/queue inspection in tests).
+    pub fn mem(&self) -> &MemSubsystem {
+        &self.mem
+    }
+
+    /// Enables logging of served random values (see
+    /// [`MemSubsystem::value_log`]).
+    pub fn set_value_log(&mut self, enabled: bool) {
+        self.mem.set_value_log(enabled);
+    }
+
+    /// CPU cycles simulated so far.
+    pub fn cpu_cycles(&self) -> u64 {
+        self.cpu_cycle
+    }
+
+    /// Advances the system by `n` CPU cycles (test/diagnostic hook; `run`
+    /// is the normal entry point).
+    pub fn step_cpu_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_one();
+        }
+    }
+
+    fn step_one(&mut self) {
+        if self.cpu_cycle % CPU_CYCLES_PER_MEM_CYCLE == 0 {
+            let mem_now = self.cpu_cycle / CPU_CYCLES_PER_MEM_CYCLE;
+            self.mem.tick(mem_now, &mut self.completions);
+            for (core, id) in self.completions.drain(..) {
+                self.cores[core].complete(id);
+            }
+        }
+        let now = self.cpu_cycle;
+        for core in &mut self.cores {
+            core.tick(now, &mut self.mem);
+        }
+        self.cpu_cycle += 1;
+    }
+
+    /// Runs the workload until every core reaches its instruction target
+    /// (or the safety cycle limit trips) and returns the results.
+    pub fn run(&mut self) -> RunResult {
+        let limit = self.config.cycle_limit();
+        while self.cpu_cycle < limit {
+            if self.cores.iter().all(Core::is_finished) {
+                break;
+            }
+            // Step a block of cycles between finish checks to keep the
+            // check off the per-cycle path.
+            let block = 64.min(limit - self.cpu_cycle);
+            for _ in 0..block {
+                self.step_cpu_cycles(1);
+            }
+        }
+        self.mem.finish();
+        let hit_cycle_limit = !self.cores.iter().all(Core::is_finished);
+        RunResult {
+            cores: self
+                .cores
+                .iter()
+                .map(|c| CoreOutcome {
+                    finish: c.finish().copied(),
+                    end_stats: *c.stats(),
+                })
+                .collect(),
+            stats: self.mem.stats().clone(),
+            channels: self.mem.channels().iter().map(|c| c.stats().clone()).collect(),
+            cpu_cycles: self.cpu_cycle,
+            mem_cycles: self.cpu_cycle / CPU_CYCLES_PER_MEM_CYCLE,
+            hit_cycle_limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FillMode, RngRouting, SchedulerKind};
+    use strange_cpu::{LoopTrace, TraceOp};
+    use strange_trng::DRange;
+
+    fn load_trace(gap: u32, stride: u64) -> Box<dyn TraceSource + Send> {
+        // A simple streaming trace: loads marching through memory.
+        let ops: Vec<TraceOp> = (0..64)
+            .map(|i| TraceOp::Load {
+                gap,
+                addr: i * stride,
+            })
+            .collect();
+        Box::new(LoopTrace::new(ops))
+    }
+
+    fn rng_trace(gap: u32) -> Box<dyn TraceSource + Send> {
+        // Like the paper's synthetic RNG benchmarks: mostly RNG requests
+        // plus sparse reads spread over banks/channels (low intensity).
+        let ops: Vec<TraceOp> = (0..16u64)
+            .flat_map(|i| {
+                [
+                    TraceOp::Rng { gap },
+                    TraceOp::Load {
+                        gap: 100,
+                        addr: i * 64 * 513 + i, // spread over channels/banks
+                    },
+                ]
+            })
+            .collect();
+        Box::new(LoopTrace::new(ops))
+    }
+
+    fn quick(cfg: SystemConfig) -> SystemConfig {
+        cfg.with_instruction_target(20_000)
+    }
+
+    #[test]
+    fn single_core_compute_bound_finishes_fast() {
+        let cfg = quick(SystemConfig::rng_oblivious(1));
+        let mut sys = System::new(cfg, vec![load_trace(999, 64)], Box::new(DRange::new(1))).unwrap();
+        let res = sys.run();
+        assert!(!res.hit_cycle_limit);
+        let ipc = res.cores[0].ipc();
+        assert!(ipc > 2.0, "nearly compute bound, got IPC {ipc}");
+    }
+
+    #[test]
+    fn memory_bound_core_is_slower() {
+        let cfg = quick(SystemConfig::rng_oblivious(1));
+        let fast = System::new(cfg.clone(), vec![load_trace(999, 64)], Box::new(DRange::new(1)))
+            .unwrap()
+            .run();
+        let slow = System::new(cfg, vec![load_trace(9, 64 * 1024)], Box::new(DRange::new(1)))
+            .unwrap()
+            .run();
+        assert!(slow.exec_cycles(0) > fast.exec_cycles(0));
+        assert!(slow.cores[0].mcpi() > fast.cores[0].mcpi());
+    }
+
+    #[test]
+    fn rng_app_on_oblivious_baseline_generates_on_demand() {
+        let cfg = quick(SystemConfig::rng_oblivious(1));
+        let mut sys = System::new(cfg, vec![rng_trace(150)], Box::new(DRange::new(1))).unwrap();
+        let res = sys.run();
+        assert!(!res.hit_cycle_limit);
+        assert!(res.stats.rng_requests > 0);
+        assert!(res.stats.demand_generations > 0);
+        assert_eq!(res.stats.rng_served_from_buffer, 0, "no buffer on baseline");
+        assert!(res.cores[0].end_stats.rng_stall_cycles > 0);
+    }
+
+    #[test]
+    fn dr_strange_serves_rng_app_faster_than_baseline() {
+        let mech = || Box::new(DRange::new(1));
+        let base = System::new(
+            quick(SystemConfig::rng_oblivious(1)),
+            vec![rng_trace(150)],
+            mech(),
+        )
+        .unwrap()
+        .run();
+        let ds = System::new(
+            quick(SystemConfig::dr_strange(1)),
+            vec![rng_trace(150)],
+            mech(),
+        )
+        .unwrap()
+        .run();
+        assert!(ds.stats.rng_served_from_buffer > 0, "buffer must serve");
+        assert!(
+            ds.exec_cycles(0) < base.exec_cycles(0),
+            "DR-STRaNGe {} vs baseline {}",
+            ds.exec_cycles(0),
+            base.exec_cycles(0)
+        );
+    }
+
+    #[test]
+    fn greedy_oracle_fills_buffer_without_commands() {
+        let mech = || Box::new(DRange::new(1));
+        let greedy = System::new(
+            quick(SystemConfig::greedy_idle(1)),
+            vec![rng_trace(2000)],
+            mech(),
+        )
+        .unwrap()
+        .run();
+        assert!(greedy.stats.greedy_batches > 0);
+        assert_eq!(greedy.stats.fill_batches, 0, "no predictive fills");
+        // Greedy's fills are free: its only RNG commands come from demand
+        // generations, so a predictive run of the same workload (real fill
+        // rounds) must issue strictly more RNG activations.
+        let predictive = System::new(
+            quick(SystemConfig::dr_strange(1)),
+            vec![rng_trace(2000)],
+            mech(),
+        )
+        .unwrap()
+        .run();
+        assert!(
+            predictive.total_channel_stats().rng_acts > greedy.total_channel_stats().rng_acts,
+            "predictive {} vs greedy {}",
+            predictive.total_channel_stats().rng_acts,
+            greedy.total_channel_stats().rng_acts
+        );
+    }
+
+    #[test]
+    fn predictive_fill_issues_rng_commands() {
+        let cfg = quick(SystemConfig::dr_strange(1));
+        let mut sys = System::new(cfg, vec![rng_trace(1000)], Box::new(DRange::new(1))).unwrap();
+        let res = sys.run();
+        assert!(res.stats.fill_batches > 0);
+        let total = res.total_channel_stats();
+        assert!(total.rng_acts > 0, "fill rounds issue reduced-timing ACTs");
+    }
+
+    #[test]
+    fn predictor_accuracy_is_recorded() {
+        let cfg = quick(SystemConfig::dr_strange(2));
+        let mut sys = System::new(
+            cfg,
+            vec![load_trace(99, 64 * 257), rng_trace(300)],
+            Box::new(DRange::new(1)),
+        )
+        .unwrap();
+        let res = sys.run();
+        assert!(res.stats.predictor.total() > 0);
+        let acc = res.stats.predictor_accuracy();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn two_core_interference_slows_both() {
+        let mech = || Box::new(DRange::new(1));
+        let cfg = quick(SystemConfig::rng_oblivious(2));
+        let alone_a = System::new(
+            quick(SystemConfig::rng_oblivious(1)),
+            vec![load_trace(9, 64 * 1024)],
+            mech(),
+        )
+        .unwrap()
+        .run();
+        let shared = System::new(
+            cfg,
+            vec![load_trace(9, 64 * 1024), rng_trace(150)],
+            mech(),
+        )
+        .unwrap()
+        .run();
+        assert!(
+            shared.exec_cycles(0) > alone_a.exec_cycles(0),
+            "non-RNG app must slow down under RNG interference"
+        );
+    }
+
+    #[test]
+    fn aware_routing_keeps_rng_out_of_read_queues() {
+        let cfg = quick(SystemConfig::dr_strange(1)).with_buffer_entries(1);
+        let mut sys = System::new(cfg, vec![rng_trace(100)], Box::new(DRange::new(1))).unwrap();
+        sys.step_cpu_cycles(50_000);
+        // All reads queues hold only non-RNG requests under Aware routing.
+        for ch in sys.mem().channels() {
+            assert!(ch
+                .read_queue()
+                .iter()
+                .all(|r| r.kind != strange_dram::RequestKind::Rng));
+        }
+    }
+
+    #[test]
+    fn bliss_scheduler_variant_runs() {
+        let cfg = quick(SystemConfig::rng_oblivious(2)).with_scheduler(SchedulerKind::Bliss);
+        let mut sys = System::new(
+            cfg,
+            vec![load_trace(9, 64 * 1024), rng_trace(150)],
+            Box::new(DRange::new(1)),
+        )
+        .unwrap();
+        let res = sys.run();
+        assert!(!res.hit_cycle_limit);
+    }
+
+    #[test]
+    fn priorities_affect_rng_wait() {
+        // Non-RNG app prioritized: RNG requests wait (rng_wait_cycles > 0).
+        let mech = || Box::new(DRange::new(1));
+        let mk = |prios: Vec<u8>| {
+            let cfg = quick(SystemConfig::dr_strange(2))
+                .with_buffer_entries(1)
+                .with_priorities(prios);
+            System::new(
+                cfg,
+                vec![load_trace(4, 64 * 1024), rng_trace(150)],
+                mech(),
+            )
+            .unwrap()
+            .run()
+        };
+        let nonrng_prio = mk(vec![2, 1]);
+        let rng_prio = mk(vec![1, 2]);
+        assert!(
+            nonrng_prio.stats.rng_wait_cycles > rng_prio.stats.rng_wait_cycles,
+            "deprioritized RNG waits more: {} vs {}",
+            nonrng_prio.stats.rng_wait_cycles,
+            rng_prio.stats.rng_wait_cycles
+        );
+    }
+
+    #[test]
+    fn value_log_records_served_values() {
+        let cfg = quick(SystemConfig::dr_strange(1));
+        let mut sys = System::new(cfg, vec![rng_trace(500)], Box::new(DRange::new(1))).unwrap();
+        sys.set_value_log(true);
+        sys.run();
+        assert!(!sys.mem().value_log().is_empty());
+    }
+
+    #[test]
+    fn served_values_are_unique() {
+        // Section 6: each random number is served to exactly one request.
+        let cfg = quick(SystemConfig::dr_strange(1));
+        let mut sys = System::new(cfg, vec![rng_trace(400)], Box::new(DRange::new(1))).unwrap();
+        sys.set_value_log(true);
+        sys.run();
+        let log = sys.mem().value_log();
+        assert!(log.len() > 8);
+        let mut sorted: Vec<u64> = log.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // True 64-bit randoms collide with negligible probability.
+        assert_eq!(sorted.len(), log.len(), "no value served twice");
+    }
+
+    #[test]
+    fn trace_count_mismatch_rejected() {
+        let cfg = quick(SystemConfig::rng_oblivious(2));
+        let err = System::new(cfg, vec![rng_trace(100)], Box::new(DRange::new(1))).err();
+        assert!(err.is_some());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let cfg = quick(SystemConfig::dr_strange(2));
+            System::new(
+                cfg,
+                vec![load_trace(9, 64 * 1024), rng_trace(150)],
+                Box::new(DRange::new(7)),
+            )
+            .unwrap()
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.cpu_cycles, b.cpu_cycles);
+        assert_eq!(a.exec_cycles(0), b.exec_cycles(0));
+        assert_eq!(a.stats.rng_requests, b.stats.rng_requests);
+        assert_eq!(a.stats.fill_batches, b.stats.fill_batches);
+    }
+
+    #[test]
+    fn fill_mode_none_never_fills() {
+        let cfg = quick(SystemConfig::dr_strange(1));
+        let cfg = SystemConfig {
+            fill: FillMode::None,
+            routing: RngRouting::Aware,
+            buffer_entries: 0,
+            ..cfg
+        };
+        let mut sys = System::new(cfg, vec![rng_trace(200)], Box::new(DRange::new(1))).unwrap();
+        let res = sys.run();
+        assert_eq!(res.stats.fill_batches, 0);
+        assert_eq!(res.stats.rng_served_from_buffer, 0);
+        assert!(res.stats.rng_served_on_demand > 0);
+    }
+}

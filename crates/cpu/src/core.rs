@@ -1,0 +1,410 @@
+//! The trace-driven core model.
+//!
+//! Models the paper's CPU (Table 1): 4 GHz, 3-wide issue, 128-entry
+//! instruction window, following Ramulator's simplistic OoO semantics:
+//!
+//! * up to `issue_width` instructions enter the window per cycle;
+//! * non-memory instructions and stores are ready immediately; demand loads
+//!   and RNG requests become ready when the memory system answers;
+//! * up to `issue_width` ready instructions retire in order per cycle; a
+//!   not-ready head stalls the core (counted as a memory or RNG stall);
+//! * a full target queue in the memory controller blocks issue
+//!   (back-pressure).
+
+use strange_dram::{CoreId, RequestId};
+
+use crate::stats::{CoreStats, FinishSnapshot};
+use crate::trace::{TraceOp, TraceSource};
+use crate::window::{InstructionWindow, PendingKind};
+
+/// The memory system as seen by a core.
+///
+/// Implemented by the DR-STRaNGe `System` (and by mock memories in tests).
+/// All three methods may refuse a request when the relevant queue is full,
+/// which stalls instruction issue.
+pub trait MemorySystem {
+    /// Issues a demand load of `line_addr`; returns the request id used for
+    /// the completion callback, or `None` if the read queue is full.
+    fn try_load(&mut self, core: CoreId, line_addr: u64) -> Option<RequestId>;
+
+    /// Issues a writeback of `line_addr`; returns false if the write queue
+    /// is full.
+    fn try_store(&mut self, core: CoreId, line_addr: u64) -> bool;
+
+    /// Issues a 64-bit random-number request; returns the request id, or
+    /// `None` if the RNG path cannot accept the request now.
+    fn try_rng(&mut self, core: CoreId) -> Option<RequestId>;
+}
+
+/// Configuration for one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions issued/retired per cycle (paper: 3).
+    pub issue_width: usize,
+    /// Instruction window capacity (paper: 128).
+    pub window_size: usize,
+}
+
+impl CoreConfig {
+    /// The paper's Table 1 core: 3-wide, 128-entry window.
+    pub fn paper_default() -> Self {
+        CoreConfig {
+            issue_width: 3,
+            window_size: 128,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::paper_default()
+    }
+}
+
+/// A trace-driven out-of-order core.
+pub struct Core {
+    id: CoreId,
+    config: CoreConfig,
+    window: InstructionWindow,
+    trace: Box<dyn TraceSource + Send>,
+    current_op: TraceOp,
+    bubbles_left: u32,
+    target: u64,
+    finish: Option<FinishSnapshot>,
+    stats: CoreStats,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("config", &self.config)
+            .field("retired", &self.stats.retired)
+            .field("target", &self.target)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Creates a core that executes `trace` until `target` instructions have
+    /// retired (and keeps running afterwards to preserve contention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero.
+    pub fn new(
+        id: CoreId,
+        config: CoreConfig,
+        mut trace: Box<dyn TraceSource + Send>,
+        target: u64,
+    ) -> Self {
+        assert!(target > 0, "instruction target must be nonzero");
+        let first = trace.next_op();
+        Core {
+            id,
+            config,
+            window: InstructionWindow::new(config.window_size),
+            trace,
+            current_op: first,
+            bubbles_left: first.gap(),
+            target,
+            finish: None,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Instruction target for the finish snapshot.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// Running statistics (including post-finish execution).
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Statistics frozen at the instruction target, if reached.
+    pub fn finish(&self) -> Option<&FinishSnapshot> {
+        self.finish.as_ref()
+    }
+
+    /// Whether the instruction target has been reached.
+    pub fn is_finished(&self) -> bool {
+        self.finish.is_some()
+    }
+
+    /// Delivers a completed memory request to the window.
+    pub fn complete(&mut self, id: RequestId) -> bool {
+        self.window.complete(id)
+    }
+
+    /// Advances the core by one CPU cycle against `mem`.
+    pub fn tick<M: MemorySystem>(&mut self, now: u64, mem: &mut M) {
+        self.stats.cycles += 1;
+
+        // Retire stage.
+        let retired = self.window.retire(self.config.issue_width);
+        self.stats.retired += retired as u64;
+        if retired == 0 {
+            match self.window.head_pending() {
+                Some(PendingKind::Load) => self.stats.mem_stall_cycles += 1,
+                Some(PendingKind::Rng) => self.stats.rng_stall_cycles += 1,
+                None => {}
+            }
+        }
+        if self.finish.is_none() && self.stats.retired >= self.target {
+            self.finish = Some(FinishSnapshot {
+                at_cycle: now,
+                stats: self.stats,
+            });
+        }
+
+        // Issue stage.
+        let mut issued = 0;
+        let mut blocked = false;
+        while issued < self.config.issue_width && self.window.has_space() {
+            if self.bubbles_left > 0 {
+                self.window.insert_ready();
+                self.bubbles_left -= 1;
+                issued += 1;
+                continue;
+            }
+            match self.current_op {
+                TraceOp::Load { addr, .. } => match mem.try_load(self.id, addr) {
+                    Some(rid) => {
+                        self.window.insert_pending(rid, PendingKind::Load);
+                        self.stats.loads += 1;
+                        issued += 1;
+                        self.advance_trace();
+                    }
+                    None => {
+                        blocked = true;
+                        break;
+                    }
+                },
+                TraceOp::Store { addr, .. } => {
+                    if mem.try_store(self.id, addr) {
+                        self.window.insert_ready();
+                        self.stats.stores += 1;
+                        issued += 1;
+                        self.advance_trace();
+                    } else {
+                        blocked = true;
+                        break;
+                    }
+                }
+                TraceOp::Rng { .. } => {
+                    // Past the instruction target the core keeps running to
+                    // preserve memory contention for co-runners, but stops
+                    // consuming random numbers: post-target RNG traffic
+                    // would make equal-work comparisons (energy, command
+                    // counts) depend on how fast the finished RNG app
+                    // happens to free-run under each design.
+                    if self.finish.is_some() {
+                        self.window.insert_ready();
+                        issued += 1;
+                        self.advance_trace();
+                        continue;
+                    }
+                    match mem.try_rng(self.id) {
+                        Some(rid) => {
+                            self.window.insert_pending(rid, PendingKind::Rng);
+                            self.stats.rng_requests += 1;
+                            issued += 1;
+                            self.advance_trace();
+                        }
+                        None => {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if blocked && issued == 0 {
+            self.stats.issue_blocked_cycles += 1;
+        }
+    }
+
+    fn advance_trace(&mut self) {
+        self.current_op = self.trace.next_op();
+        self.bubbles_left = self.current_op.gap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::LoopTrace;
+
+    /// A memory that answers loads after a fixed latency, managed manually.
+    struct MockMem {
+        next_id: RequestId,
+        inflight: Vec<(RequestId, u64)>,
+        latency: u64,
+        accept_loads: bool,
+        accept_rng: bool,
+    }
+
+    impl MockMem {
+        fn new(latency: u64) -> Self {
+            MockMem {
+                next_id: 0,
+                inflight: Vec::new(),
+                latency,
+                accept_loads: true,
+                accept_rng: true,
+            }
+        }
+
+        fn ready_at(&mut self, now: u64) -> Vec<RequestId> {
+            let mut out = Vec::new();
+            self.inflight.retain(|&(id, due)| {
+                if due <= now {
+                    out.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            out
+        }
+    }
+
+    impl MemorySystem for MockMem {
+        fn try_load(&mut self, _core: CoreId, _addr: u64) -> Option<RequestId> {
+            if !self.accept_loads {
+                return None;
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            self.inflight.push((id, self.latency));
+            Some(id)
+        }
+
+        fn try_store(&mut self, _core: CoreId, _addr: u64) -> bool {
+            true
+        }
+
+        fn try_rng(&mut self, _core: CoreId) -> Option<RequestId> {
+            if !self.accept_rng {
+                return None;
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            self.inflight.push((id, self.latency));
+            Some(id)
+        }
+    }
+
+    fn run(core: &mut Core, mem: &mut MockMem, cycles: u64) {
+        let mut base = 0;
+        for now in 0..cycles {
+            // Reset completion clocks relative to issue: deliver anything due.
+            for id in mem.ready_at(now.saturating_sub(base)) {
+                core.complete(id);
+            }
+            core.tick(now, mem);
+            base = 0;
+        }
+    }
+
+    #[test]
+    fn compute_bound_trace_runs_at_issue_width() {
+        // gap 299 + 1 load per 300 instructions, loads answered instantly.
+        let trace = LoopTrace::new(vec![TraceOp::Load { gap: 299, addr: 0 }]);
+        let mut core = Core::new(0, CoreConfig::paper_default(), Box::new(trace), 3000);
+        let mut mem = MockMem::new(0);
+        for now in 0..5000 {
+            for id in mem.ready_at(now) {
+                core.complete(id);
+            }
+            core.tick(now, &mut mem);
+            if core.is_finished() {
+                break;
+            }
+        }
+        let f = core.finish().expect("must finish");
+        let ipc = core.target() as f64 / f.at_cycle as f64;
+        assert!(ipc > 2.5, "near-3 IPC expected, got {ipc}");
+    }
+
+    #[test]
+    fn memory_stalls_accumulate_with_slow_memory() {
+        // One load every 10 instructions, 200-cycle latency: window fills.
+        let trace = LoopTrace::new(vec![TraceOp::Load { gap: 9, addr: 0 }]);
+        let mut core = Core::new(0, CoreConfig::paper_default(), Box::new(trace), 1000);
+        let mut mem = MockMem::new(u64::MAX); // never answers
+        run(&mut core, &mut mem, 500);
+        assert!(!core.is_finished());
+        assert!(core.stats().mem_stall_cycles > 300);
+    }
+
+    #[test]
+    fn rng_stalls_counted_separately() {
+        let trace = LoopTrace::new(vec![TraceOp::Rng { gap: 0 }]);
+        let mut core = Core::new(0, CoreConfig::paper_default(), Box::new(trace), 100);
+        let mut mem = MockMem::new(u64::MAX);
+        run(&mut core, &mut mem, 300);
+        assert!(core.stats().rng_stall_cycles > 100);
+        assert_eq!(core.stats().mem_stall_cycles, 0);
+    }
+
+    #[test]
+    fn issue_blocked_when_memory_refuses() {
+        let trace = LoopTrace::new(vec![TraceOp::Load { gap: 0, addr: 0 }]);
+        let mut core = Core::new(0, CoreConfig::paper_default(), Box::new(trace), 100);
+        let mut mem = MockMem::new(0);
+        mem.accept_loads = false;
+        run(&mut core, &mut mem, 100);
+        assert!(core.stats().issue_blocked_cycles > 50);
+        assert_eq!(core.stats().loads, 0);
+    }
+
+    #[test]
+    fn finish_snapshot_freezes_at_target() {
+        let trace = LoopTrace::new(vec![TraceOp::Store { gap: 9, addr: 0 }]);
+        let mut core = Core::new(0, CoreConfig::paper_default(), Box::new(trace), 300);
+        let mut mem = MockMem::new(0);
+        run(&mut core, &mut mem, 1000);
+        let f = core.finish().expect("finished");
+        assert!(f.stats.retired >= 300);
+        // Core kept running after the target.
+        assert!(core.stats().retired > f.stats.retired);
+    }
+
+    #[test]
+    fn stores_do_not_block_retirement() {
+        let trace = LoopTrace::new(vec![TraceOp::Store { gap: 0, addr: 0 }]);
+        let mut core = Core::new(0, CoreConfig::paper_default(), Box::new(trace), 300);
+        let mut mem = MockMem::new(u64::MAX); // irrelevant for stores
+        run(&mut core, &mut mem, 300);
+        assert!(core.is_finished());
+        assert_eq!(core.stats().mem_stall_cycles, 0);
+    }
+
+    #[test]
+    fn mpki_matches_trace_shape() {
+        // 1 load per 100 instructions → MPKI 10.
+        let trace = LoopTrace::new(vec![TraceOp::Load { gap: 99, addr: 0 }]);
+        let mut core = Core::new(0, CoreConfig::paper_default(), Box::new(trace), 10_000);
+        let mut mem = MockMem::new(0);
+        for now in 0..20_000 {
+            for id in mem.ready_at(now) {
+                core.complete(id);
+            }
+            core.tick(now, &mut mem);
+            if core.is_finished() {
+                break;
+            }
+        }
+        let f = core.finish().expect("finished");
+        let mpki = f.stats.mpki();
+        assert!((mpki - 10.0).abs() < 1.0, "mpki = {mpki}");
+    }
+}

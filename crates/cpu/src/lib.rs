@@ -1,0 +1,64 @@
+//! Trace-driven out-of-order core model for the DR-STRaNGe reproduction.
+//!
+//! Implements the CPU side of the paper's simulated system (Table 1):
+//! 4 GHz, 3-wide issue, 128-entry instruction window, in the style of
+//! Ramulator's simplistic OoO core model extended with random-number
+//! requests (the paper extends Ramulator's core model the same way,
+//! Section 7).
+//!
+//! * [`TraceOp`] / [`TraceSource`] — the instruction-trace abstraction
+//!   (loads, stores, RNG requests, separated by bubble instructions).
+//! * [`InstructionWindow`] — the in-order-retire reorder buffer.
+//! * [`Core`] — the per-cycle issue/retire machine with memory-stall (MCPI)
+//!   and RNG-stall accounting.
+//! * [`MemorySystem`] — the interface a memory hierarchy implements to
+//!   accept loads/stores/RNG requests (implemented by `strange-core`'s
+//!   `System`).
+//!
+//! # Examples
+//!
+//! Running a tiny compute-bound core against a memory that answers
+//! instantly:
+//!
+//! ```
+//! use strange_cpu::{Core, CoreConfig, LoopTrace, MemorySystem, TraceOp};
+//! use strange_dram::{CoreId, RequestId};
+//!
+//! struct InstantMemory(RequestId, Vec<RequestId>);
+//! impl MemorySystem for InstantMemory {
+//!     fn try_load(&mut self, _c: CoreId, _a: u64) -> Option<RequestId> {
+//!         self.0 += 1;
+//!         self.1.push(self.0);
+//!         Some(self.0)
+//!     }
+//!     fn try_store(&mut self, _c: CoreId, _a: u64) -> bool { true }
+//!     fn try_rng(&mut self, _c: CoreId) -> Option<RequestId> { None }
+//! }
+//!
+//! let trace = LoopTrace::new(vec![TraceOp::Load { gap: 9, addr: 0 }]);
+//! let mut core = Core::new(0, CoreConfig::paper_default(), Box::new(trace), 1_000);
+//! let mut mem = InstantMemory(0, Vec::new());
+//! for now in 0..10_000 {
+//!     for id in mem.1.drain(..).collect::<Vec<_>>() {
+//!         core.complete(id);
+//!     }
+//!     core.tick(now, &mut mem);
+//!     if core.is_finished() {
+//!         break;
+//!     }
+//! }
+//! assert!(core.is_finished());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core;
+mod stats;
+mod trace;
+mod window;
+
+pub use crate::core::{Core, CoreConfig, MemorySystem};
+pub use stats::{CoreStats, FinishSnapshot};
+pub use trace::{LoopTrace, TraceOp, TraceSource};
+pub use window::{InstructionWindow, PendingKind};

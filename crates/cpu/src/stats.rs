@@ -1,0 +1,116 @@
+//! Per-core execution statistics and the finish-line snapshot used for
+//! equal-work performance comparisons.
+
+/// Counters accumulated by a [`crate::Core`] while executing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// CPU cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Cycles in which nothing retired because the window head waited on a
+    /// demand load.
+    pub mem_stall_cycles: u64,
+    /// Cycles in which nothing retired because the window head waited on a
+    /// random-number request.
+    pub rng_stall_cycles: u64,
+    /// Cycles in which instruction issue was blocked by memory-controller
+    /// queue back-pressure.
+    pub issue_blocked_cycles: u64,
+    /// Demand loads sent to memory.
+    pub loads: u64,
+    /// Writebacks sent to memory.
+    pub stores: u64,
+    /// Random-number requests issued.
+    pub rng_requests: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle so far (0 when no cycles have elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Memory stall cycles per instruction, counting both demand-load and
+    /// RNG stalls (the paper's MCPI, which for RNG applications includes
+    /// time stalled on random number generation).
+    pub fn mcpi(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            (self.mem_stall_cycles + self.rng_stall_cycles) as f64 / self.retired as f64
+        }
+    }
+
+    /// Fraction of cycles stalled on RNG (the paper's "time spent in random
+    /// number generation", up to 58.8% for 5 Gb/s RNG apps, Section 3).
+    pub fn rng_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rng_stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Misses (loads) per kilo-instruction actually produced — used to
+    /// sanity-check synthetic workloads against their target MPKI.
+    pub fn mpki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.loads as f64 * 1000.0 / self.retired as f64
+        }
+    }
+}
+
+/// Statistics frozen at the moment a core retired its instruction target.
+///
+/// Cores keep executing after their target (to preserve contention for
+/// co-runners), so end-of-simulation counters are not the right basis for
+/// equal-work comparisons; this snapshot is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinishSnapshot {
+    /// CPU cycle at which the instruction target was reached.
+    pub at_cycle: u64,
+    /// Counter values at that moment.
+    pub stats: CoreStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_mcpi_zero_safe() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mcpi(), 0.0);
+        assert_eq!(s.rng_stall_fraction(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+    }
+
+    #[test]
+    fn mcpi_counts_both_stall_kinds() {
+        let s = CoreStats {
+            retired: 100,
+            mem_stall_cycles: 30,
+            rng_stall_cycles: 20,
+            ..CoreStats::default()
+        };
+        assert_eq!(s.mcpi(), 0.5);
+    }
+
+    #[test]
+    fn mpki_scales_per_kilo_instruction() {
+        let s = CoreStats {
+            retired: 2000,
+            loads: 50,
+            ..CoreStats::default()
+        };
+        assert_eq!(s.mpki(), 25.0);
+    }
+}

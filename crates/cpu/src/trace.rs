@@ -1,0 +1,132 @@
+//! Instruction traces.
+//!
+//! The core model is trace-driven in the style of Ramulator's "simplistic
+//! OoO" CPU: a trace is a stream of *memory events*, each preceded by a
+//! number of non-memory (bubble) instructions. Synthetic generators in
+//! `strange-workloads` implement [`TraceSource`]; fixed vectors are useful
+//! in tests.
+
+/// One trace event: a run of non-memory instructions followed by a memory
+/// operation (or random-number request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `gap` non-memory instructions, then a demand load of the cache line
+    /// at flat line address `addr`. The load blocks retirement until data
+    /// returns.
+    Load {
+        /// Non-memory instructions preceding the load.
+        gap: u32,
+        /// Flat cache-line address.
+        addr: u64,
+    },
+    /// `gap` non-memory instructions, then a writeback of `addr`. Stores do
+    /// not block retirement (post-commit writebacks) but do occupy write
+    /// queue capacity.
+    Store {
+        /// Non-memory instructions preceding the store.
+        gap: u32,
+        /// Flat cache-line address.
+        addr: u64,
+    },
+    /// `gap` non-memory instructions, then a blocking 64-bit random-number
+    /// request (the paper's synthetic RNG benchmarks, Section 7).
+    Rng {
+        /// Non-memory instructions preceding the request.
+        gap: u32,
+    },
+}
+
+impl TraceOp {
+    /// The bubble-instruction count preceding the memory event.
+    pub fn gap(&self) -> u32 {
+        match *self {
+            TraceOp::Load { gap, .. } | TraceOp::Store { gap, .. } | TraceOp::Rng { gap } => gap,
+        }
+    }
+
+    /// Total instructions this event accounts for (bubbles + the memory
+    /// instruction itself).
+    pub fn instructions(&self) -> u64 {
+        self.gap() as u64 + 1
+    }
+}
+
+/// An infinite stream of trace events.
+///
+/// Traces never end: generators loop or keep generating, because cores that
+/// reach their instruction target keep executing to preserve memory
+/// contention until every core in the workload finishes (standard
+/// multi-programmed methodology).
+pub trait TraceSource {
+    /// Produces the next trace event.
+    fn next_op(&mut self) -> TraceOp;
+}
+
+/// A trace that cycles through a fixed vector of events; handy for tests
+/// and microbenchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use strange_cpu::{LoopTrace, TraceOp, TraceSource};
+///
+/// let mut t = LoopTrace::new(vec![TraceOp::Load { gap: 2, addr: 64 }]);
+/// assert_eq!(t.next_op(), TraceOp::Load { gap: 2, addr: 64 });
+/// assert_eq!(t.next_op(), TraceOp::Load { gap: 2, addr: 64 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+}
+
+impl LoopTrace {
+    /// Creates a looping trace over `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty (an empty trace cannot be an infinite
+    /// stream).
+    pub fn new(ops: Vec<TraceOp>) -> Self {
+        assert!(!ops.is_empty(), "trace must contain at least one event");
+        LoopTrace { ops, pos: 0 }
+    }
+}
+
+impl TraceSource for LoopTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_op_accounting() {
+        let op = TraceOp::Load { gap: 9, addr: 0 };
+        assert_eq!(op.gap(), 9);
+        assert_eq!(op.instructions(), 10);
+        assert_eq!(TraceOp::Rng { gap: 0 }.instructions(), 1);
+    }
+
+    #[test]
+    fn loop_trace_wraps() {
+        let mut t = LoopTrace::new(vec![
+            TraceOp::Load { gap: 0, addr: 1 },
+            TraceOp::Store { gap: 1, addr: 2 },
+        ]);
+        assert_eq!(t.next_op(), TraceOp::Load { gap: 0, addr: 1 });
+        assert_eq!(t.next_op(), TraceOp::Store { gap: 1, addr: 2 });
+        assert_eq!(t.next_op(), TraceOp::Load { gap: 0, addr: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn empty_loop_trace_rejected() {
+        LoopTrace::new(Vec::new());
+    }
+}

@@ -1,0 +1,213 @@
+//! The instruction window (reorder-buffer abstraction).
+//!
+//! Follows Ramulator's simplistic OoO model: the window holds in-flight
+//! instructions in program order; non-memory instructions are ready on
+//! insertion, loads and RNG requests become ready when their data returns.
+//! Retirement happens in order from the head, up to the issue width per
+//! cycle; a not-ready head stalls the core.
+
+use std::collections::VecDeque;
+
+use strange_dram::RequestId;
+
+/// Why a window entry is (or was) not ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingKind {
+    /// Waiting on a demand load.
+    Load,
+    /// Waiting on a random-number request.
+    Rng,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    ready: bool,
+    pending: Option<(RequestId, PendingKind)>,
+}
+
+/// A fixed-capacity, in-order-retire instruction window.
+///
+/// # Examples
+///
+/// ```
+/// use strange_cpu::{InstructionWindow, PendingKind};
+///
+/// let mut w = InstructionWindow::new(4);
+/// w.insert_ready();
+/// w.insert_pending(7, PendingKind::Load);
+/// assert_eq!(w.retire(2), 1); // the load blocks the second retirement
+/// w.complete(7);
+/// assert_eq!(w.retire(2), 1);
+/// assert!(w.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstructionWindow {
+    capacity: usize,
+    entries: VecDeque<Entry>,
+}
+
+impl InstructionWindow {
+    /// Creates a window with `capacity` entries (paper Table 1: 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be nonzero");
+        InstructionWindow {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum number of in-flight instructions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of in-flight instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the window holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether another instruction can be inserted.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Inserts a ready (non-memory or store) instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full; callers must check
+    /// [`InstructionWindow::has_space`] first.
+    pub fn insert_ready(&mut self) {
+        assert!(self.has_space(), "window overflow");
+        self.entries.push_back(Entry {
+            ready: true,
+            pending: None,
+        });
+    }
+
+    /// Inserts an instruction that waits on memory request `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full.
+    pub fn insert_pending(&mut self, id: RequestId, kind: PendingKind) {
+        assert!(self.has_space(), "window overflow");
+        self.entries.push_back(Entry {
+            ready: false,
+            pending: Some((id, kind)),
+        });
+    }
+
+    /// Marks the instruction waiting on request `id` as ready. Returns true
+    /// if a matching entry was found.
+    pub fn complete(&mut self, id: RequestId) -> bool {
+        for e in self.entries.iter_mut() {
+            if let Some((rid, _)) = e.pending {
+                if rid == id && !e.ready {
+                    e.ready = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Retires up to `width` ready instructions from the head; returns how
+    /// many retired.
+    pub fn retire(&mut self, width: usize) -> usize {
+        let mut n = 0;
+        while n < width {
+            match self.entries.front() {
+                Some(e) if e.ready => {
+                    self.entries.pop_front();
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        n
+    }
+
+    /// If the head instruction is stalled on memory, the kind it waits on.
+    pub fn head_pending(&self) -> Option<PendingKind> {
+        match self.entries.front() {
+            Some(e) if !e.ready => e.pending.map(|(_, k)| k),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retires_in_order_up_to_width() {
+        let mut w = InstructionWindow::new(8);
+        for _ in 0..5 {
+            w.insert_ready();
+        }
+        assert_eq!(w.retire(3), 3);
+        assert_eq!(w.retire(3), 2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pending_head_blocks_retirement_of_ready_followers() {
+        let mut w = InstructionWindow::new(8);
+        w.insert_pending(1, PendingKind::Load);
+        w.insert_ready();
+        w.insert_ready();
+        assert_eq!(w.retire(3), 0);
+        assert_eq!(w.head_pending(), Some(PendingKind::Load));
+        assert!(w.complete(1));
+        assert_eq!(w.retire(3), 3);
+    }
+
+    #[test]
+    fn complete_unknown_id_returns_false() {
+        let mut w = InstructionWindow::new(4);
+        w.insert_pending(1, PendingKind::Rng);
+        assert!(!w.complete(99));
+        assert!(w.complete(1));
+        assert!(!w.complete(1), "double completion is rejected");
+    }
+
+    #[test]
+    fn rng_head_reports_rng_kind() {
+        let mut w = InstructionWindow::new(4);
+        w.insert_pending(5, PendingKind::Rng);
+        assert_eq!(w.head_pending(), Some(PendingKind::Rng));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut w = InstructionWindow::new(2);
+        w.insert_ready();
+        w.insert_ready();
+        assert!(!w.has_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "window overflow")]
+    fn overflow_panics() {
+        let mut w = InstructionWindow::new(1);
+        w.insert_ready();
+        w.insert_ready();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        InstructionWindow::new(0);
+    }
+}

@@ -1,0 +1,248 @@
+//! DRAM address geometry and physical-address mapping.
+//!
+//! The simulated system (paper Table 1) has 4 channels, 1 rank per channel,
+//! 8 banks per rank, and 64K rows per bank. Addresses are managed at
+//! cache-line (64 B) granularity; the default mapping is Ramulator's
+//! `RoBaRaCoCh` (row : bank : rank : column : channel, MSB→LSB), which
+//! interleaves consecutive cache lines across channels for bandwidth and
+//! keeps a row's columns together for row-buffer locality.
+
+use crate::ConfigError;
+
+/// Cache-line size in bytes (the granularity of all simulated accesses).
+pub const LINE_BYTES: u64 = 64;
+
+/// DRAM geometry: how many channels/ranks/banks/rows/columns exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Number of independent memory channels.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Banks per rank.
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Cache-line-sized columns per row (128 × 64 B = 8 KiB row).
+    pub cols: u32,
+}
+
+impl Geometry {
+    /// The paper's Table 1 geometry: 4 channels × 1 rank × 8 banks × 64 K
+    /// rows, with 8 KiB rows (128 cache lines).
+    pub fn paper_default() -> Self {
+        Geometry {
+            channels: 4,
+            ranks: 1,
+            banks: 8,
+            rows: 65_536,
+            cols: 128,
+        }
+    }
+
+    /// Validates that every dimension is nonzero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParameter`] naming the first zero field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let fields: [(&'static str, u32); 5] = [
+            ("channels", self.channels),
+            ("ranks", self.ranks),
+            ("banks", self.banks),
+            ("rows", self.rows),
+            ("cols", self.cols),
+        ];
+        for (field, v) in fields {
+            if v == 0 {
+                return Err(ConfigError::InvalidParameter {
+                    field,
+                    constraint: "be nonzero",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total capacity in cache lines.
+    pub fn total_lines(&self) -> u64 {
+        self.channels as u64 * self.ranks as u64 * self.banks as u64 * self.rows as u64
+            * self.cols as u64
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_lines() * LINE_BYTES
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::paper_default()
+    }
+}
+
+/// A fully decoded DRAM location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramAddress {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column (cache line) index within the row.
+    pub col: u32,
+}
+
+/// Maps flat cache-line addresses to DRAM locations (`RoBaRaCoCh`).
+///
+/// # Examples
+///
+/// ```
+/// use strange_dram::{AddressMapping, Geometry};
+///
+/// let map = AddressMapping::new(Geometry::paper_default()).unwrap();
+/// // Consecutive cache lines land on consecutive channels.
+/// let a = map.decode(0);
+/// let b = map.decode(1);
+/// assert_eq!(a.channel, 0);
+/// assert_eq!(b.channel, 1);
+/// // Round trip.
+/// assert_eq!(map.encode(&a), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    geometry: Geometry,
+}
+
+impl AddressMapping {
+    /// Creates a mapping over the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParameter`] when the geometry has a zero
+    /// dimension.
+    pub fn new(geometry: Geometry) -> Result<Self, ConfigError> {
+        geometry.validate()?;
+        Ok(AddressMapping { geometry })
+    }
+
+    /// The geometry this mapping was built over.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Decodes a flat cache-line address into a DRAM location.
+    ///
+    /// Addresses beyond the total capacity wrap (the generators produce
+    /// in-range addresses; wrapping keeps the function total).
+    pub fn decode(&self, line_addr: u64) -> DramAddress {
+        let g = &self.geometry;
+        let mut a = line_addr;
+        let channel = (a % g.channels as u64) as u32;
+        a /= g.channels as u64;
+        let col = (a % g.cols as u64) as u32;
+        a /= g.cols as u64;
+        let rank = (a % g.ranks as u64) as u32;
+        a /= g.ranks as u64;
+        let bank = (a % g.banks as u64) as u32;
+        a /= g.banks as u64;
+        let row = (a % g.rows as u64) as u32;
+        DramAddress {
+            channel,
+            rank,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Encodes a DRAM location back into a flat cache-line address.
+    ///
+    /// Inverse of [`AddressMapping::decode`] for in-range locations.
+    pub fn encode(&self, addr: &DramAddress) -> u64 {
+        let g = &self.geometry;
+        let mut a = addr.row as u64;
+        a = a * g.banks as u64 + addr.bank as u64;
+        a = a * g.ranks as u64 + addr.rank as u64;
+        a = a * g.cols as u64 + addr.col as u64;
+        a = a * g.channels as u64 + addr.channel as u64;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_geometry_capacity_is_16gib() {
+        // 4 ch × 1 rank × 8 banks × 64 Ki rows × 8 KiB rows = 16 GiB.
+        let g = Geometry::paper_default();
+        assert_eq!(g.total_bytes(), 16 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let mut g = Geometry::paper_default();
+        g.banks = 0;
+        assert!(matches!(
+            g.validate(),
+            Err(ConfigError::InvalidParameter { field: "banks", .. })
+        ));
+    }
+
+    #[test]
+    fn channel_interleave_is_line_granular() {
+        let map = AddressMapping::new(Geometry::paper_default()).unwrap();
+        for i in 0..8u64 {
+            assert_eq!(map.decode(i).channel, (i % 4) as u32);
+        }
+    }
+
+    #[test]
+    fn same_row_spans_consecutive_channel_strides() {
+        let map = AddressMapping::new(Geometry::paper_default()).unwrap();
+        // Lines 0 and 4 differ only in column (same channel 0).
+        let a = map.decode(0);
+        let b = map.decode(4);
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.col, a.col + 1);
+    }
+
+    #[test]
+    fn decode_wraps_beyond_capacity() {
+        let map = AddressMapping::new(Geometry::paper_default()).unwrap();
+        let cap = map.geometry().total_lines();
+        assert_eq!(map.decode(cap), map.decode(0));
+    }
+
+    proptest! {
+        /// encode(decode(x)) == x for all in-range line addresses.
+        #[test]
+        fn roundtrip(line in 0u64..Geometry::paper_default().total_lines()) {
+            let map = AddressMapping::new(Geometry::paper_default()).unwrap();
+            let decoded = map.decode(line);
+            prop_assert_eq!(map.encode(&decoded), line);
+        }
+
+        /// Decoded fields are always in range.
+        #[test]
+        fn fields_in_range(line in any::<u64>()) {
+            let g = Geometry::paper_default();
+            let map = AddressMapping::new(g).unwrap();
+            let d = map.decode(line);
+            prop_assert!(d.channel < g.channels);
+            prop_assert!(d.rank < g.ranks);
+            prop_assert!(d.bank < g.banks);
+            prop_assert!(d.row < g.rows);
+            prop_assert!(d.col < g.cols);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Bank, rank, and data-bus timing state machines.
+//!
+//! Each bank tracks its open row and the earliest cycle at which each
+//! command class may next be issued to it; ranks add the cross-bank
+//! activation constraints (tRRD, tFAW) and refresh locking; the per-channel
+//! data bus adds column-command turnaround constraints (tCCD, tRTW,
+//! write-to-read).
+
+use crate::timing::TimingParams;
+
+/// Per-bank state: the open row (if any) and next-allowed command cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bank {
+    open_row: Option<u32>,
+    next_act: u64,
+    next_read: u64,
+    next_write: u64,
+    next_pre: u64,
+}
+
+impl Bank {
+    /// A bank in the precharged state with no timing debts.
+    pub fn new() -> Self {
+        Bank {
+            open_row: None,
+            next_act: 0,
+            next_read: 0,
+            next_write: 0,
+            next_pre: 0,
+        }
+    }
+
+    /// The currently open row, if the bank is active.
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// Whether `row` is open in this bank (a row-buffer hit).
+    pub fn is_row_hit(&self, row: u32) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Whether the bank is precharged (no open row).
+    pub fn is_precharged(&self) -> bool {
+        self.open_row.is_none()
+    }
+
+    /// Earliest cycle an ACT can be issued (bank-local constraint only).
+    pub fn next_act_allowed(&self) -> u64 {
+        self.next_act
+    }
+
+    /// Earliest cycle a RD can be issued (requires the row to be open).
+    pub fn next_read_allowed(&self) -> u64 {
+        self.next_read
+    }
+
+    /// Earliest cycle a WR can be issued (requires the row to be open).
+    pub fn next_write_allowed(&self) -> u64 {
+        self.next_write
+    }
+
+    /// Earliest cycle a PRE can be issued.
+    pub fn next_pre_allowed(&self) -> u64 {
+        self.next_pre
+    }
+
+    /// Applies an ACT at cycle `now`, opening `row`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the bank is precharged and `now` respects tRC.
+    pub fn activate(&mut self, now: u64, row: u32, t: &TimingParams) {
+        debug_assert!(self.is_precharged(), "ACT to an active bank");
+        debug_assert!(now >= self.next_act, "ACT violates tRC/tRP");
+        self.open_row = Some(row);
+        self.next_read = now + t.trcd as u64;
+        self.next_write = now + t.trcd as u64;
+        self.next_pre = now + t.tras as u64;
+        self.next_act = now + t.trc as u64;
+    }
+
+    /// Applies a RD at cycle `now`. Returns the cycle of the last data beat.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the row is open and `now` respects tRCD/tCCD debts.
+    pub fn read(&mut self, now: u64, t: &TimingParams) -> u64 {
+        debug_assert!(self.open_row.is_some(), "RD to a precharged bank");
+        debug_assert!(now >= self.next_read, "RD violates tRCD");
+        self.next_pre = self.next_pre.max(now + t.trtp as u64);
+        now + (t.cl + t.tbl) as u64
+    }
+
+    /// Applies a WR at cycle `now`. Returns the cycle the write data (and
+    /// recovery) completes.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the row is open and `now` respects tRCD debts.
+    pub fn write(&mut self, now: u64, t: &TimingParams) -> u64 {
+        debug_assert!(self.open_row.is_some(), "WR to a precharged bank");
+        debug_assert!(now >= self.next_write, "WR violates tRCD");
+        let done = now + (t.cwl + t.tbl + t.twr) as u64;
+        self.next_pre = self.next_pre.max(done);
+        done
+    }
+
+    /// Applies a PRE at cycle `now`, closing the row.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `now` respects tRAS/tRTP/tWR debts.
+    pub fn precharge(&mut self, now: u64, t: &TimingParams) {
+        debug_assert!(now >= self.next_pre, "PRE violates tRAS/tRTP/tWR");
+        self.open_row = None;
+        self.next_act = self.next_act.max(now + t.trp as u64);
+    }
+
+    /// Applies a refresh lock: the bank may not be activated until `until`.
+    pub fn lock_until(&mut self, until: u64) {
+        self.next_act = self.next_act.max(until);
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+/// Per-rank activation bookkeeping: tRRD spacing and the tFAW window.
+#[derive(Debug, Clone)]
+pub struct RankTiming {
+    next_act: u64,
+    /// Cycle stamps of the last four ACTs (ring buffer) for tFAW.
+    act_window: [u64; 4],
+    act_head: usize,
+}
+
+impl RankTiming {
+    /// A rank with no activation debts.
+    pub fn new() -> Self {
+        RankTiming {
+            next_act: 0,
+            act_window: [0; 4],
+            act_head: 0,
+        }
+    }
+
+    /// Earliest cycle an ACT to any bank of this rank may issue.
+    pub fn next_act_allowed(&self, t: &TimingParams) -> u64 {
+        // tFAW: the 4th-most-recent ACT must be at least tFAW ago.
+        let oldest = self.act_window[self.act_head];
+        let faw_ready = if oldest == 0 { 0 } else { oldest + t.tfaw as u64 };
+        self.next_act.max(faw_ready)
+    }
+
+    /// Records an ACT at `now`.
+    pub fn record_act(&mut self, now: u64, t: &TimingParams) {
+        self.next_act = now + t.trrd as u64;
+        self.act_window[self.act_head] = now;
+        self.act_head = (self.act_head + 1) % self.act_window.len();
+    }
+}
+
+impl Default for RankTiming {
+    fn default() -> Self {
+        RankTiming::new()
+    }
+}
+
+/// Column-command classes for bus turnaround accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    Read,
+    Write,
+}
+
+/// Per-channel data-bus state: enforces tCCD and read/write turnaround.
+#[derive(Debug, Clone, Copy)]
+pub struct BusTiming {
+    last: Option<(ColKind, u64)>,
+}
+
+impl BusTiming {
+    /// A free bus.
+    pub fn new() -> Self {
+        BusTiming { last: None }
+    }
+
+    /// Earliest cycle a RD command may issue given the previous column
+    /// command on this channel.
+    pub fn next_read_allowed(&self, t: &TimingParams) -> u64 {
+        match self.last {
+            None => 0,
+            Some((ColKind::Read, at)) => at + t.tccd as u64,
+            // Write-to-read turnaround: write data must finish plus tWTR.
+            Some((ColKind::Write, at)) => at + (t.cwl + t.tbl + t.twtr) as u64,
+        }
+    }
+
+    /// Earliest cycle a WR command may issue.
+    pub fn next_write_allowed(&self, t: &TimingParams) -> u64 {
+        match self.last {
+            None => 0,
+            Some((ColKind::Read, at)) => at + t.trtw as u64,
+            Some((ColKind::Write, at)) => at + t.tccd as u64,
+        }
+    }
+
+    /// Records a RD issued at `now`.
+    pub fn record_read(&mut self, now: u64) {
+        self.last = Some((ColKind::Read, now));
+    }
+
+    /// Records a WR issued at `now`.
+    pub fn record_write(&mut self, now: u64) {
+        self.last = Some((ColKind::Write, now));
+    }
+}
+
+impl Default for BusTiming {
+    fn default() -> Self {
+        BusTiming::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    #[test]
+    fn activate_then_read_respects_trcd() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.activate(0, 7, &timing);
+        assert!(b.is_row_hit(7));
+        assert_eq!(b.next_read_allowed(), timing.trcd as u64);
+        let done = b.read(timing.trcd as u64, &timing);
+        assert_eq!(done, (timing.trcd + timing.cl + timing.tbl) as u64);
+    }
+
+    #[test]
+    fn precharge_closes_row_and_sets_trp() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.activate(0, 7, &timing);
+        let pre_at = b.next_pre_allowed();
+        assert_eq!(pre_at, timing.tras as u64);
+        b.precharge(pre_at, &timing);
+        assert!(b.is_precharged());
+        // next ACT limited by both tRC (from ACT) and tRP (from PRE).
+        assert_eq!(
+            b.next_act_allowed(),
+            (timing.trc as u64).max(pre_at + timing.trp as u64)
+        );
+    }
+
+    #[test]
+    fn write_extends_precharge_point() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.activate(0, 1, &timing);
+        let wr_at = b.next_write_allowed();
+        let done = b.write(wr_at, &timing);
+        assert_eq!(done, wr_at + (timing.cwl + timing.tbl + timing.twr) as u64);
+        assert!(b.next_pre_allowed() >= done);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "RD to a precharged bank")]
+    fn read_without_activate_panics_in_debug() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.read(100, &timing);
+    }
+
+    #[test]
+    fn rank_trrd_spacing() {
+        let timing = t();
+        let mut r = RankTiming::new();
+        assert_eq!(r.next_act_allowed(&timing), 0);
+        r.record_act(10, &timing);
+        assert_eq!(r.next_act_allowed(&timing), 10 + timing.trrd as u64);
+    }
+
+    #[test]
+    fn rank_tfaw_limits_fifth_act() {
+        let timing = t();
+        let mut r = RankTiming::new();
+        // Four ACTs spaced exactly tRRD apart starting at cycle 1.
+        let mut now = 1;
+        for _ in 0..4 {
+            now = now.max(r.next_act_allowed(&timing));
+            r.record_act(now, &timing);
+            now += timing.trrd as u64;
+        }
+        // The 5th ACT must wait for the first ACT + tFAW.
+        let first_act = 1u64;
+        assert!(r.next_act_allowed(&timing) >= first_act + timing.tfaw as u64);
+    }
+
+    #[test]
+    fn bus_read_to_read_is_tccd() {
+        let timing = t();
+        let mut bus = BusTiming::new();
+        bus.record_read(100);
+        assert_eq!(bus.next_read_allowed(&timing), 100 + timing.tccd as u64);
+    }
+
+    #[test]
+    fn bus_write_to_read_turnaround() {
+        let timing = t();
+        let mut bus = BusTiming::new();
+        bus.record_write(100);
+        assert_eq!(
+            bus.next_read_allowed(&timing),
+            100 + (timing.cwl + timing.tbl + timing.twtr) as u64
+        );
+    }
+
+    #[test]
+    fn bus_read_to_write_turnaround() {
+        let timing = t();
+        let mut bus = BusTiming::new();
+        bus.record_read(50);
+        assert_eq!(bus.next_write_allowed(&timing), 50 + timing.trtw as u64);
+    }
+
+    #[test]
+    fn refresh_lock_delays_act() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.lock_until(500);
+        assert_eq!(b.next_act_allowed(), 500);
+        b.activate(500, 3, &timing);
+        assert!(b.is_row_hit(3));
+    }
+}

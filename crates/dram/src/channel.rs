@@ -1,0 +1,828 @@
+//! The per-channel memory controller: request queues, command issue,
+//! write-drain, refresh, and the hooks the DR-STRaNGe engine uses to run
+//! RNG generation on a channel.
+//!
+//! One [`ChannelController`] owns the banks/ranks/bus of a single channel
+//! and is ticked once per DRAM bus cycle. Each tick it issues at most one
+//! DRAM command (command-bus constraint), chosen by:
+//!
+//! 1. the refresh state machine (drain + REF when a refresh is due),
+//! 2. the write-drain policy (hysteresis watermarks on the write queue),
+//! 3. the configured [`SchedulerPolicy`] over the read queue.
+//!
+//! RNG requests (when routed through the read queue, as in the
+//! RNG-oblivious baseline) are *selected* like ordinary requests but not
+//! issued as DRAM commands; they are returned to the caller, which switches
+//! the system into RNG mode (see `strange-core`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::addr::{AddressMapping, Geometry};
+use crate::bank::{Bank, BusTiming, RankTiming};
+use crate::error::EnqueueError;
+use crate::request::{CompletedAccess, Request, RequestId, RequestKind};
+use crate::sched::{frfcfs_best, Readiness, SchedulerPolicy};
+use crate::stats::ChannelStats;
+use crate::timing::TimingParams;
+
+/// Default request-queue capacity (paper Table 1: 32-entry queues).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 32;
+
+/// Write-drain high watermark: start draining when the write queue reaches
+/// this occupancy.
+const WRITE_DRAIN_HI: usize = 24;
+/// Write-drain low watermark: stop draining at or below this occupancy.
+const WRITE_DRAIN_LO: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    at: u64,
+    request: Request,
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.request.id).cmp(&(other.at, other.request.id))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The next DRAM command a request needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NextCommand {
+    Precharge,
+    Activate,
+    Column,
+}
+
+/// A per-channel memory controller.
+///
+/// Generic over the read-queue [`SchedulerPolicy`] so that the different
+/// designs (FR-FCFS+Cap, BLISS, DR-STRaNGe's RNG-aware policy) are
+/// monomorphized rather than dynamically dispatched in the per-cycle path.
+#[derive(Debug, Clone)]
+pub struct ChannelController<P> {
+    id: u32,
+    timing: TimingParams,
+    geometry: Geometry,
+    mapping: AddressMapping,
+    policy: P,
+    banks: Vec<Bank>,
+    ranks: Vec<RankTiming>,
+    bus: BusTiming,
+    read_q: Vec<Request>,
+    write_q: Vec<Request>,
+    queue_capacity: usize,
+    in_write_drain: bool,
+    next_refresh_due: u64,
+    refresh_pending: bool,
+    blocked_until: u64,
+    open_banks: u32,
+    act_owner: Vec<Option<RequestId>>,
+    conflict_marked: Vec<RequestId>,
+    pending: BinaryHeap<Reverse<Pending>>,
+    cur_idle: u64,
+    last_enqueued_line: u64,
+    stats: ChannelStats,
+    readiness_buf: Vec<Readiness>,
+}
+
+impl<P: SchedulerPolicy> ChannelController<P> {
+    /// Creates a controller for channel `id` with the given policy.
+    pub fn new(id: u32, geometry: Geometry, timing: TimingParams, policy: P) -> Self {
+        let nbanks = (geometry.ranks * geometry.banks) as usize;
+        ChannelController {
+            id,
+            timing,
+            geometry,
+            mapping: AddressMapping::new(geometry).expect("valid geometry"),
+            policy,
+            banks: vec![Bank::new(); nbanks],
+            ranks: vec![RankTiming::new(); geometry.ranks as usize],
+            bus: BusTiming::new(),
+            read_q: Vec::with_capacity(DEFAULT_QUEUE_CAPACITY),
+            write_q: Vec::with_capacity(DEFAULT_QUEUE_CAPACITY),
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            in_write_drain: false,
+            next_refresh_due: timing.trefi as u64,
+            refresh_pending: false,
+            blocked_until: 0,
+            open_banks: 0,
+            act_owner: vec![None; nbanks],
+            conflict_marked: Vec::new(),
+            pending: BinaryHeap::new(),
+            cur_idle: 0,
+            last_enqueued_line: 0,
+            stats: ChannelStats::new(),
+            readiness_buf: Vec::with_capacity(DEFAULT_QUEUE_CAPACITY),
+        }
+    }
+
+    /// This channel's index.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The timing parameters in force.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Immutable view of the read queue (includes RNG requests in designs
+    /// that route them through it).
+    pub fn read_queue(&self) -> &[Request] {
+        &self.read_q
+    }
+
+    /// Immutable view of the write queue.
+    pub fn write_queue(&self) -> &[Request] {
+        &self.write_q
+    }
+
+    /// Queue capacity per queue (reads and writes are separate queues).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Overrides the queue capacity (both queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_queue_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        self.queue_capacity = capacity;
+    }
+
+    /// Whether a request of `kind` can currently be accepted.
+    pub fn can_accept(&self, kind: RequestKind) -> bool {
+        match kind {
+            RequestKind::Write => self.write_q.len() < self.queue_capacity,
+            RequestKind::Read | RequestKind::Rng => self.read_q.len() < self.queue_capacity,
+        }
+    }
+
+    /// Enqueues a request at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnqueueError::QueueFull`] when the target queue is full;
+    /// the caller (core model) must retry later, which is how queue
+    /// back-pressure stalls cores.
+    pub fn try_enqueue(&mut self, mut req: Request, now: u64) -> Result<(), EnqueueError> {
+        if !self.can_accept(req.kind) {
+            return Err(EnqueueError::QueueFull);
+        }
+        req.arrival = now;
+        self.last_enqueued_line = self.mapping.encode(&req.addr);
+        match req.kind {
+            RequestKind::Write => self.write_q.push(req),
+            RequestKind::Read | RequestKind::Rng => self.read_q.push(req),
+        }
+        Ok(())
+    }
+
+    /// Both request queues are empty (the paper's per-cycle idleness test).
+    pub fn queues_empty(&self) -> bool {
+        self.read_q.is_empty() && self.write_q.is_empty()
+    }
+
+    /// Number of queued read-queue requests (used by the low-utilization
+    /// predictor threshold).
+    pub fn read_queue_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Flat cache-line address of the most recently enqueued request (the
+    /// simple predictor's table index source).
+    pub fn last_enqueued_line(&self) -> u64 {
+        self.last_enqueued_line
+    }
+
+    /// Arrival cycle and core of the oldest queued read, if any.
+    pub fn oldest_read(&self) -> Option<&Request> {
+        self.read_q.first()
+    }
+
+    /// Blocks the channel for RNG generation until `cycle` (exclusive).
+    /// While blocked, no regular commands issue; in-flight read data still
+    /// returns.
+    pub fn block_until(&mut self, cycle: u64) {
+        self.blocked_until = self.blocked_until.max(cycle);
+    }
+
+    /// The cycle until which the channel is blocked for RNG generation.
+    pub fn blocked_until(&self) -> u64 {
+        self.blocked_until
+    }
+
+    /// Whether the channel is currently blocked for RNG use.
+    pub fn is_blocked(&self, now: u64) -> bool {
+        now < self.blocked_until
+    }
+
+    /// Drains all RNG-kind requests out of the read queue (the baseline
+    /// serves queued RNG requests together once one is selected).
+    pub fn drain_rng_requests(&mut self) -> Vec<Request> {
+        let mut out = Vec::new();
+        self.read_q.retain(|r| {
+            if r.kind == RequestKind::Rng {
+                out.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Prepares the channel for RNG mode at `now`: schedules precharges for
+    /// every open bank and returns the cycle at which all banks are
+    /// precharged and activations are permitted again — i.e. when reduced-
+    /// timing RNG accesses may start. This is the mechanistic part of the
+    /// mode-switch cost: expensive under load, nearly free when idle.
+    pub fn prepare_rng_mode(&mut self, now: u64) -> u64 {
+        let mut ready = now;
+        for bank in &mut self.banks {
+            if !bank.is_precharged() {
+                let t = now.max(bank.next_pre_allowed());
+                bank.precharge(t, &self.timing);
+                self.stats.pres += 1;
+                self.stats.rng_pres += 1;
+            }
+            ready = ready.max(bank.next_act_allowed());
+        }
+        self.open_banks = 0;
+        self.act_owner.iter_mut().for_each(|o| *o = None);
+        ready
+    }
+
+    /// Accounts DRAM commands issued on this channel while in RNG mode
+    /// (reduced-timing ACT/RD/PRE rounds driven by the TRNG mechanism).
+    pub fn note_rng_commands(&mut self, acts: u64, reads: u64, pres: u64) {
+        self.stats.rng_acts += acts;
+        self.stats.rng_reads += reads;
+        self.stats.rng_pres += pres;
+    }
+
+    /// Mutable access to the scheduling policy (e.g. to update BLISS
+    /// parameters or inspect blacklists in tests).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Shared access to the scheduling policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Whether every bank is precharged (used by tests and the engine).
+    pub fn all_banks_precharged(&self) -> bool {
+        self.open_banks == 0
+    }
+
+    /// Advances the controller by one DRAM bus cycle.
+    ///
+    /// Completed reads (and RNG requests served earlier) are appended to
+    /// `completed`. If the scheduling policy selected an RNG request this
+    /// cycle, it is removed from the queue and returned so the caller can
+    /// switch the system into RNG mode.
+    pub fn tick(&mut self, now: u64, completed: &mut Vec<CompletedAccess>) -> Option<Request> {
+        self.stats.cycles += 1;
+        self.stats.read_queue_occupancy_sum += self.read_q.len() as u64;
+        if self.open_banks == 0 {
+            self.stats.all_precharged_cycles += 1;
+        }
+        self.policy.on_cycle(now);
+
+        // 1. Return data that has arrived.
+        while let Some(Reverse(p)) = self.pending.peek() {
+            if p.at > now {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked");
+            self.stats
+                .record_read_latency(p.request.core, p.at.saturating_sub(p.request.arrival));
+            completed.push(CompletedAccess {
+                request: p.request,
+                completed_at: p.at,
+            });
+        }
+
+        // 2. Idle accounting (queue emptiness, as the paper defines it).
+        let blocked = now < self.blocked_until;
+        if blocked {
+            self.stats.rng_blocked_cycles += 1;
+        }
+        if self.queues_empty() && !blocked {
+            self.cur_idle += 1;
+            self.stats.idle_cycles += 1;
+        } else if self.cur_idle > 0 {
+            self.stats.record_idle_period(self.cur_idle);
+            self.cur_idle = 0;
+        }
+
+        if blocked {
+            return None;
+        }
+
+        // 3. Refresh state machine: once a refresh is due, drain and REF.
+        if self.refresh_step(now) {
+            return None;
+        }
+
+        // 4. Choose the active queue: write drain with hysteresis, plus
+        //    opportunistic writes when there is no read work.
+        if self.write_q.len() >= WRITE_DRAIN_HI {
+            self.in_write_drain = true;
+        } else if self.write_q.len() <= WRITE_DRAIN_LO {
+            self.in_write_drain = false;
+        }
+        let serve_writes =
+            self.in_write_drain || (self.read_q.is_empty() && !self.write_q.is_empty());
+
+        if serve_writes {
+            self.compute_readiness(now, /* writes: */ true);
+            let readiness = std::mem::take(&mut self.readiness_buf);
+            let pick = frfcfs_best(&self.write_q, &readiness, |i| readiness[i].row_hit);
+            self.readiness_buf = readiness;
+            if let Some(i) = pick {
+                self.issue_for(now, i, true);
+            }
+            return None;
+        }
+
+        if self.read_q.is_empty() {
+            return None;
+        }
+
+        // 5. Policy-driven read scheduling.
+        self.compute_readiness(now, false);
+        let readiness = std::mem::take(&mut self.readiness_buf);
+        let pick = self.policy.select(now, &self.read_q, &readiness);
+        let mut rng_selected = None;
+        if let Some(i) = pick {
+            debug_assert!(readiness[i].ready_now, "policy selected a non-ready request");
+            if self.read_q[i].kind == RequestKind::Rng {
+                rng_selected = Some(self.read_q.remove(i));
+            } else {
+                self.issue_for(now, i, false);
+            }
+        }
+        self.readiness_buf = readiness;
+        rng_selected
+    }
+
+    /// Flushes idle-period accounting (call at end of simulation so a final
+    /// open idle period is recorded).
+    pub fn finish(&mut self) {
+        if self.cur_idle > 0 {
+            self.stats.record_idle_period(self.cur_idle);
+            self.cur_idle = 0;
+        }
+    }
+
+    fn bank_index(&self, req: &Request) -> usize {
+        (req.addr.rank * self.geometry.banks + req.addr.bank) as usize
+    }
+
+    fn next_command(&self, req: &Request) -> NextCommand {
+        let bank = &self.banks[self.bank_index(req)];
+        match bank.open_row() {
+            Some(r) if r == req.addr.row => NextCommand::Column,
+            Some(_) => NextCommand::Precharge,
+            None => NextCommand::Activate,
+        }
+    }
+
+    fn readiness_of(&self, now: u64, req: &Request) -> Readiness {
+        if req.kind == RequestKind::Rng {
+            // RNG requests are "served" by switching modes, not by a DRAM
+            // command; they are always selectable and never row hits.
+            return Readiness {
+                ready_now: true,
+                row_hit: false,
+            };
+        }
+        let bank = &self.banks[self.bank_index(req)];
+        match self.next_command(req) {
+            NextCommand::Column => {
+                let t = match req.kind {
+                    RequestKind::Read => bank
+                        .next_read_allowed()
+                        .max(self.bus.next_read_allowed(&self.timing)),
+                    RequestKind::Write => bank
+                        .next_write_allowed()
+                        .max(self.bus.next_write_allowed(&self.timing)),
+                    RequestKind::Rng => unreachable!("handled above"),
+                };
+                Readiness {
+                    // No new column commands once a refresh is pending (the
+                    // controller drains toward the REF).
+                    ready_now: now >= t && !self.refresh_pending,
+                    row_hit: true,
+                }
+            }
+            NextCommand::Precharge => Readiness {
+                ready_now: now >= bank.next_pre_allowed(),
+                row_hit: false,
+            },
+            NextCommand::Activate => {
+                let rank = &self.ranks[req.addr.rank as usize];
+                let t = bank
+                    .next_act_allowed()
+                    .max(rank.next_act_allowed(&self.timing));
+                Readiness {
+                    ready_now: now >= t && !self.refresh_pending,
+                    row_hit: false,
+                }
+            }
+        }
+    }
+
+    fn compute_readiness(&mut self, now: u64, writes: bool) {
+        let queue: &[Request] = if writes { &self.write_q } else { &self.read_q };
+        let mut buf = std::mem::take(&mut self.readiness_buf);
+        buf.clear();
+        buf.extend(queue.iter().map(|r| self.readiness_of(now, r)));
+        self.readiness_buf = buf;
+    }
+
+    fn issue_for(&mut self, now: u64, idx: usize, writes: bool) {
+        let req = if writes { self.write_q[idx] } else { self.read_q[idx] };
+        let bidx = self.bank_index(&req);
+        match self.next_command(&req) {
+            NextCommand::Precharge => {
+                self.banks[bidx].precharge(now, &self.timing);
+                self.stats.pres += 1;
+                self.open_banks -= 1;
+                if !self.conflict_marked.contains(&req.id) {
+                    self.conflict_marked.push(req.id);
+                }
+            }
+            NextCommand::Activate => {
+                self.banks[bidx].activate(now, req.addr.row, &self.timing);
+                self.ranks[req.addr.rank as usize].record_act(now, &self.timing);
+                self.stats.acts += 1;
+                self.open_banks += 1;
+                self.act_owner[bidx] = Some(req.id);
+            }
+            NextCommand::Column => {
+                let row_hit = self.act_owner[bidx] != Some(req.id);
+                if row_hit {
+                    self.stats.row_hits += 1;
+                } else if let Some(pos) =
+                    self.conflict_marked.iter().position(|&id| id == req.id)
+                {
+                    self.conflict_marked.swap_remove(pos);
+                    self.stats.row_conflicts += 1;
+                } else {
+                    self.stats.row_misses += 1;
+                }
+                match req.kind {
+                    RequestKind::Read => {
+                        let done = self.banks[bidx].read(now, &self.timing);
+                        self.bus.record_read(now);
+                        self.stats.reads += 1;
+                        self.policy.on_serviced(&req, row_hit);
+                        self.read_q.remove(idx);
+                        self.pending.push(Reverse(Pending { at: done, request: req }));
+                    }
+                    RequestKind::Write => {
+                        self.banks[bidx].write(now, &self.timing);
+                        self.bus.record_write(now);
+                        self.stats.writes += 1;
+                        self.policy.on_serviced(&req, row_hit);
+                        self.write_q.remove(idx);
+                    }
+                    RequestKind::Rng => unreachable!("RNG requests never issue commands"),
+                }
+            }
+        }
+    }
+
+    /// Refresh drain + REF issue. Returns true when the refresh machinery
+    /// consumed this cycle's command slot (or is draining).
+    fn refresh_step(&mut self, now: u64) -> bool {
+        if !self.refresh_pending {
+            if now >= self.next_refresh_due {
+                self.refresh_pending = true;
+            } else {
+                return false;
+            }
+        }
+        if self.open_banks == 0 {
+            let ready = self
+                .banks
+                .iter()
+                .map(Bank::next_act_allowed)
+                .max()
+                .unwrap_or(0);
+            if now >= ready {
+                let until = now + self.timing.trfc as u64;
+                for bank in &mut self.banks {
+                    bank.lock_until(until);
+                }
+                self.stats.refreshes += self.geometry.ranks as u64;
+                self.next_refresh_due += self.timing.trefi as u64;
+                self.refresh_pending = false;
+            }
+            return true;
+        }
+        // Precharge one open bank whose timing allows it.
+        for (i, bank) in self.banks.iter_mut().enumerate() {
+            if !bank.is_precharged() && now >= bank.next_pre_allowed() {
+                bank.precharge(now, &self.timing);
+                self.stats.pres += 1;
+                self.open_banks -= 1;
+                self.act_owner[i] = None;
+                return true;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::DramAddress;
+    use crate::sched::FrFcfs;
+
+    fn controller() -> ChannelController<FrFcfs> {
+        let g = Geometry::paper_default();
+        ChannelController::new(0, g, TimingParams::ddr3_1600(), FrFcfs::with_cap(g, 16))
+    }
+
+    fn read_at(id: u64, bank: u32, row: u32, col: u32) -> Request {
+        Request {
+            id,
+            core: 0,
+            kind: RequestKind::Read,
+            addr: DramAddress {
+                channel: 0,
+                rank: 0,
+                bank,
+                row,
+                col,
+            },
+            arrival: 0,
+        }
+    }
+
+    fn run_until_complete(
+        ctrl: &mut ChannelController<FrFcfs>,
+        start: u64,
+        limit: u64,
+    ) -> Vec<CompletedAccess> {
+        let mut done = Vec::new();
+        for now in start..start + limit {
+            ctrl.tick(now, &mut done);
+            if !done.is_empty() {
+                break;
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn cold_read_latency_is_act_plus_rcd_plus_cl_plus_burst() {
+        let mut c = controller();
+        let t = *c.timing();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let done = run_until_complete(&mut c, 0, 200);
+        assert_eq!(done.len(), 1);
+        // ACT at cycle 0, RD at tRCD, data at tRCD+CL+tBL.
+        assert_eq!(done[0].completed_at, (t.trcd + t.cl + t.tbl) as u64);
+    }
+
+    #[test]
+    fn row_hit_read_is_faster_than_cold_read() {
+        let mut c = controller();
+        let t = *c.timing();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let first = run_until_complete(&mut c, 0, 200)[0].completed_at;
+        let start = first + 1;
+        c.try_enqueue(read_at(2, 0, 5, 1), start).unwrap();
+        let second = run_until_complete(&mut c, start, 200)[0].completed_at;
+        let hit_latency = second - start;
+        assert!(hit_latency < first, "hit {hit_latency} vs cold {first}");
+        assert_eq!(hit_latency, (t.cl + t.tbl) as u64);
+        assert_eq!(c.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn row_conflict_precharges_first() {
+        let mut c = controller();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let first = run_until_complete(&mut c, 0, 200)[0].completed_at;
+        let start = first + 1;
+        c.try_enqueue(read_at(2, 0, 9, 0), start).unwrap();
+        run_until_complete(&mut c, start, 300);
+        assert_eq!(c.stats().row_conflicts, 1);
+        assert!(c.stats().pres >= 1);
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        let mut c = controller();
+        for i in 0..DEFAULT_QUEUE_CAPACITY as u64 {
+            c.try_enqueue(read_at(i, 0, 1, i as u32), 0).unwrap();
+        }
+        assert_eq!(
+            c.try_enqueue(read_at(99, 0, 1, 0), 0),
+            Err(EnqueueError::QueueFull)
+        );
+        assert!(!c.can_accept(RequestKind::Read));
+        assert!(c.can_accept(RequestKind::Write));
+    }
+
+    #[test]
+    fn writes_drain_opportunistically_when_no_reads() {
+        let mut c = controller();
+        let mut w = read_at(1, 0, 3, 0);
+        w.kind = RequestKind::Write;
+        c.try_enqueue(w, 0).unwrap();
+        let mut done = Vec::new();
+        for now in 0..100 {
+            c.tick(now, &mut done);
+        }
+        assert_eq!(c.stats().writes, 1);
+        assert!(c.write_queue().is_empty());
+    }
+
+    #[test]
+    fn refresh_fires_near_trefi() {
+        let mut c = controller();
+        let t = *c.timing();
+        let mut done = Vec::new();
+        for now in 0..(t.trefi as u64 + t.trfc as u64 + 10) {
+            c.tick(now, &mut done);
+        }
+        assert_eq!(c.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn refresh_blocks_reads_during_trfc() {
+        let mut c = controller();
+        let t = *c.timing();
+        let mut done = Vec::new();
+        // Run past the refresh point, then enqueue a read during tRFC.
+        for now in 0..t.trefi as u64 + 2 {
+            c.tick(now, &mut done);
+        }
+        let start = t.trefi as u64 + 2;
+        c.try_enqueue(read_at(1, 0, 5, 0), start).unwrap();
+        for now in start..start + 400 {
+            c.tick(now, &mut done);
+            if !done.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 1);
+        // The read cannot complete before the refresh lock expires.
+        let cold = (t.trcd + t.cl + t.tbl) as u64;
+        assert!(done[0].completed_at > start + cold);
+    }
+
+    #[test]
+    fn rng_request_is_returned_not_issued() {
+        let mut c = controller();
+        let mut r = read_at(7, 0, 0, 0);
+        r.kind = RequestKind::Rng;
+        c.try_enqueue(r, 0).unwrap();
+        let mut done = Vec::new();
+        let got = c.tick(0, &mut done);
+        assert_eq!(got.map(|r| r.id), Some(7));
+        assert!(c.read_queue().is_empty());
+        assert_eq!(c.stats().reads, 0);
+    }
+
+    #[test]
+    fn rng_request_waits_behind_ready_row_hits() {
+        let mut c = controller();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let first = run_until_complete(&mut c, 0, 200)[0].completed_at;
+        let start = first + 1;
+        // Row hit and an RNG request: hit is scheduled first.
+        c.try_enqueue(read_at(2, 0, 5, 1), start).unwrap();
+        let mut rng = read_at(3, 0, 0, 0);
+        rng.kind = RequestKind::Rng;
+        c.try_enqueue(rng, start).unwrap();
+        let mut done = Vec::new();
+        let sel = c.tick(start, &mut done);
+        assert!(sel.is_none(), "row hit should be scheduled before RNG");
+        assert_eq!(c.stats().reads, 2);
+        // Next cycle, the RNG request is selected.
+        let sel = c.tick(start + 1, &mut done);
+        assert_eq!(sel.map(|r| r.id), Some(3));
+    }
+
+    #[test]
+    fn drain_rng_requests_removes_only_rng() {
+        let mut c = controller();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let mut rng = read_at(2, 0, 0, 0);
+        rng.kind = RequestKind::Rng;
+        c.try_enqueue(rng, 0).unwrap();
+        let drained = c.drain_rng_requests();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id, 2);
+        assert_eq!(c.read_queue().len(), 1);
+    }
+
+    #[test]
+    fn idle_periods_recorded_between_requests() {
+        let mut c = controller();
+        let mut done = Vec::new();
+        // 50 idle cycles, then a request, then idle again.
+        for now in 0..50 {
+            c.tick(now, &mut done);
+        }
+        c.try_enqueue(read_at(1, 0, 5, 0), 50).unwrap();
+        for now in 50..200 {
+            c.tick(now, &mut done);
+        }
+        c.finish();
+        assert!(!c.stats().idle_periods.is_empty());
+        assert_eq!(c.stats().idle_periods[0], 50);
+    }
+
+    #[test]
+    fn block_until_freezes_regular_service() {
+        let mut c = controller();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        c.block_until(100);
+        let mut done = Vec::new();
+        for now in 0..100 {
+            c.tick(now, &mut done);
+        }
+        assert!(done.is_empty(), "no service while blocked");
+        assert_eq!(c.stats().rng_blocked_cycles, 100);
+        for now in 100..300 {
+            c.tick(now, &mut done);
+        }
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn prepare_rng_mode_precharges_open_banks() {
+        let mut c = controller();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let mut done = Vec::new();
+        for now in 0..30 {
+            c.tick(now, &mut done);
+        }
+        assert!(!c.all_banks_precharged());
+        let ready = c.prepare_rng_mode(30);
+        assert!(c.all_banks_precharged());
+        assert!(ready > 30, "precharge + tRP must take time");
+        // Idle channel: preparation is (nearly) free.
+        let mut idle = controller();
+        let ready_idle = idle.prepare_rng_mode(30);
+        assert_eq!(ready_idle, 30);
+    }
+
+    #[test]
+    fn read_latency_stats_match_completions() {
+        let mut c = controller();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let done = run_until_complete(&mut c, 0, 200);
+        let lat = done[0].completed_at;
+        assert_eq!(c.stats().per_core[0].latency_sum, lat);
+        assert_eq!(c.stats().per_core[0].reads, 1);
+    }
+
+    #[test]
+    fn write_drain_hysteresis_engages_at_high_watermark() {
+        let mut c = controller();
+        // Fill write queue past the high watermark while a read stream runs.
+        for i in 0..WRITE_DRAIN_HI as u64 {
+            let mut w = read_at(100 + i, (i % 8) as u32, 1, i as u32);
+            w.kind = RequestKind::Write;
+            c.try_enqueue(w, 0).unwrap();
+        }
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let mut done = Vec::new();
+        for now in 0..2000 {
+            c.tick(now, &mut done);
+            if c.write_queue().len() <= WRITE_DRAIN_LO {
+                break;
+            }
+        }
+        assert!(c.write_queue().len() <= WRITE_DRAIN_LO);
+        // The read is served only after the drain drops below the low mark.
+        assert!(c.stats().writes >= (WRITE_DRAIN_HI - WRITE_DRAIN_LO) as u64);
+    }
+}

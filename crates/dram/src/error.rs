@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a request cannot be accepted by a memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnqueueError {
+    /// The target request queue has no free entry; the requester must retry
+    /// (this is how queue back-pressure stalls the core model).
+    QueueFull,
+}
+
+impl fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnqueueError::QueueFull => write!(f, "memory request queue is full"),
+        }
+    }
+}
+
+impl Error for EnqueueError {}
+
+/// Error returned for invalid simulator configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A geometry or timing field was zero or otherwise out of range.
+    InvalidParameter {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidParameter { field, constraint } => {
+                write!(f, "invalid configuration: {field} must {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enqueue_error_displays() {
+        assert_eq!(EnqueueError::QueueFull.to_string(), "memory request queue is full");
+    }
+
+    #[test]
+    fn config_error_displays_field() {
+        let e = ConfigError::InvalidParameter {
+            field: "channels",
+            constraint: "be nonzero",
+        };
+        assert!(e.to_string().contains("channels"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Cycle-level DDR3 DRAM and memory-controller simulation substrate for the
+//! DR-STRaNGe reproduction.
+//!
+//! The paper evaluates DR-STRaNGe on a modified Ramulator; this crate is the
+//! from-scratch Rust equivalent of the parts of Ramulator the paper relies
+//! on:
+//!
+//! * [`Geometry`] / [`AddressMapping`] — the simulated DRAM organization
+//!   (paper Table 1: 4 channels × 1 rank × 8 banks × 64 K rows) and the
+//!   `RoBaRaCoCh` physical-address mapping.
+//! * [`TimingParams`] — DDR3-1600 timing parameters in bus cycles.
+//! * [`Bank`], [`RankTiming`], [`BusTiming`] — the command-timing state
+//!   machines (tRCD/tRP/tRAS/tRC/tRRD/tFAW/tCCD/turnarounds/refresh).
+//! * [`ChannelController`] — the per-channel memory controller: 32-entry
+//!   read/write queues, write-drain, refresh, and pluggable scheduling via
+//!   [`SchedulerPolicy`]; plus the hooks DR-STRaNGe uses to run RNG
+//!   generation on a channel (mode blocking, precharge-drain, RNG command
+//!   accounting).
+//! * [`FrFcfs`] (with the column cap of 16) and [`Bliss`] — the baseline
+//!   scheduling policies the paper compares against.
+//!
+//! The CPU model lives in `strange-cpu`; the DR-STRaNGe machinery (random
+//! number buffer, idleness predictors, RNG-aware scheduling) lives in
+//! `strange-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use strange_dram::{
+//!     ChannelController, DramAddress, FrFcfs, Geometry, Request, RequestKind, TimingParams,
+//! };
+//!
+//! let geometry = Geometry::paper_default();
+//! let mut ctrl = ChannelController::new(
+//!     0,
+//!     geometry,
+//!     TimingParams::ddr3_1600(),
+//!     FrFcfs::with_cap(geometry, 16),
+//! );
+//! ctrl.try_enqueue(
+//!     Request {
+//!         id: 1,
+//!         core: 0,
+//!         kind: RequestKind::Read,
+//!         addr: DramAddress { channel: 0, rank: 0, bank: 0, row: 7, col: 3 },
+//!         arrival: 0,
+//!     },
+//!     0,
+//! )?;
+//! let mut completed = Vec::new();
+//! for now in 0..100 {
+//!     ctrl.tick(now, &mut completed);
+//! }
+//! assert_eq!(completed.len(), 1);
+//! # Ok::<(), strange_dram::EnqueueError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod bank;
+mod channel;
+mod error;
+mod request;
+mod sched;
+mod stats;
+mod timing;
+
+pub use addr::{AddressMapping, DramAddress, Geometry, LINE_BYTES};
+pub use bank::{Bank, BusTiming, RankTiming};
+pub use channel::{ChannelController, DEFAULT_QUEUE_CAPACITY};
+pub use error::{ConfigError, EnqueueError};
+pub use request::{CompletedAccess, CoreId, Request, RequestId, RequestKind};
+pub use sched::{Bliss, FrFcfs, Readiness, SchedulerPolicy};
+pub use stats::{ChannelStats, CoreLatency};
+pub use timing::{TimingParams, CPU_CYCLES_PER_MEM_CYCLE, CPU_GHZ, TCK_NS};

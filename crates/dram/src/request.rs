@@ -1,0 +1,83 @@
+//! Memory requests as seen by the controller.
+
+use crate::addr::DramAddress;
+
+/// Identifier of the core (hardware context) that issued a request.
+pub type CoreId = usize;
+
+/// Monotonic request identifier, unique within a simulation.
+pub type RequestId = u64;
+
+/// The kind of a memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Demand read (blocks the issuing core's instruction window entry).
+    Read,
+    /// Writeback (does not block the core).
+    Write,
+    /// Random-number request. In the RNG-oblivious baseline these share the
+    /// read queue; under DR-STRaNGe they live in the separate RNG queue.
+    Rng,
+}
+
+/// One memory request.
+///
+/// Passive data carried between the core model, the controller queues, and
+/// the DR-STRaNGe engine; fields are public by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Unique id (used to match completions back to window slots).
+    pub id: RequestId,
+    /// Issuing core.
+    pub core: CoreId,
+    /// Read / write / RNG.
+    pub kind: RequestKind,
+    /// Decoded target location. For RNG requests the address is a
+    /// placeholder (RNG uses reserved rows picked by the mechanism).
+    pub addr: DramAddress,
+    /// Memory cycle at which the request entered the controller.
+    pub arrival: u64,
+}
+
+/// A completed read (or RNG service) returned to the core model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedAccess {
+    /// The request that finished.
+    pub request: Request,
+    /// Memory cycle at which the last data beat arrived.
+    pub completed_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> DramAddress {
+        DramAddress {
+            channel: 0,
+            rank: 0,
+            bank: 3,
+            row: 42,
+            col: 7,
+        }
+    }
+
+    #[test]
+    fn request_is_copy_and_comparable() {
+        let r = Request {
+            id: 1,
+            core: 0,
+            kind: RequestKind::Read,
+            addr: addr(),
+            arrival: 10,
+        };
+        let s = r;
+        assert_eq!(r, s);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_ne!(RequestKind::Read, RequestKind::Rng);
+        assert_ne!(RequestKind::Read, RequestKind::Write);
+    }
+}

@@ -1,0 +1,209 @@
+//! The BLISS (Blacklisting) memory scheduler.
+//!
+//! BLISS (Subramanian et al., ICCD'14 / TPDS'16) observes that
+//! interference-causing applications are the ones whose requests are
+//! serviced in long back-to-back streaks. It keeps one bit per application:
+//! when an application receives `blacklist_threshold` consecutive request
+//! services, it is blacklisted; blacklisted applications lose priority to
+//! non-blacklisted ones. All blacklist bits are cleared every
+//! `clearing_interval` cycles. Within a priority group the usual
+//! row-hit-first, then oldest order applies.
+//!
+//! The paper (Section 8.5 footnote) uses a blacklisting threshold of 4 and a
+//! clearing interval of 10 000 cycles.
+
+use crate::request::Request;
+use crate::sched::{frfcfs_best, Readiness, SchedulerPolicy};
+
+/// BLISS scheduling policy.
+///
+/// # Examples
+///
+/// ```
+/// let policy = strange_dram::Bliss::paper_default();
+/// assert_eq!(policy.blacklist_threshold(), 4);
+/// assert_eq!(policy.clearing_interval(), 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bliss {
+    blacklist_threshold: u32,
+    clearing_interval: u64,
+    blacklisted: Vec<bool>,
+    last_core: Option<usize>,
+    streak: u32,
+    next_clear: u64,
+}
+
+impl Bliss {
+    /// Creates a BLISS policy with the given threshold and interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blacklist_threshold` is zero or `clearing_interval` is
+    /// zero.
+    pub fn new(blacklist_threshold: u32, clearing_interval: u64) -> Self {
+        assert!(blacklist_threshold > 0, "blacklist threshold must be nonzero");
+        assert!(clearing_interval > 0, "clearing interval must be nonzero");
+        Bliss {
+            blacklist_threshold,
+            clearing_interval,
+            blacklisted: Vec::new(),
+            last_core: None,
+            streak: 0,
+            next_clear: clearing_interval,
+        }
+    }
+
+    /// The paper's configuration: threshold 4, clearing interval 10 000.
+    pub fn paper_default() -> Self {
+        Bliss::new(4, 10_000)
+    }
+
+    /// Configured blacklisting threshold.
+    pub fn blacklist_threshold(&self) -> u32 {
+        self.blacklist_threshold
+    }
+
+    /// Configured clearing interval in memory cycles.
+    pub fn clearing_interval(&self) -> u64 {
+        self.clearing_interval
+    }
+
+    /// Whether `core` is currently blacklisted.
+    pub fn is_blacklisted(&self, core: usize) -> bool {
+        self.blacklisted.get(core).copied().unwrap_or(false)
+    }
+
+    fn mark(&mut self, core: usize) {
+        if self.blacklisted.len() <= core {
+            self.blacklisted.resize(core + 1, false);
+        }
+        self.blacklisted[core] = true;
+    }
+}
+
+impl SchedulerPolicy for Bliss {
+    fn select(&mut self, _now: u64, queue: &[Request], readiness: &[Readiness]) -> Option<usize> {
+        // Pass 1: only non-blacklisted applications' requests.
+        let best_clean = frfcfs_best(queue, readiness, |i| readiness[i].row_hit);
+        // frfcfs_best has no notion of the blacklist, so do the grouping
+        // here: scan for the best ready request among non-blacklisted apps
+        // first; fall back to all requests.
+        let mut best: Option<usize> = None;
+        for i in 0..queue.len() {
+            if !readiness[i].ready_now || self.is_blacklisted(queue[i].core) {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    if readiness[i].row_hit && !readiness[b].row_hit {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best.or(best_clean)
+    }
+
+    fn on_serviced(&mut self, req: &Request, _row_hit: bool) {
+        if self.last_core == Some(req.core) {
+            self.streak += 1;
+        } else {
+            self.last_core = Some(req.core);
+            self.streak = 1;
+        }
+        if self.streak >= self.blacklist_threshold {
+            self.mark(req.core);
+        }
+    }
+
+    fn on_cycle(&mut self, now: u64) {
+        if now >= self.next_clear {
+            self.blacklisted.iter_mut().for_each(|b| *b = false);
+            self.next_clear = now + self.clearing_interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::read_req;
+
+    fn ready(hit: bool) -> Readiness {
+        Readiness {
+            ready_now: true,
+            row_hit: hit,
+        }
+    }
+
+    #[test]
+    fn streak_blacklists_at_threshold() {
+        let mut p = Bliss::new(4, 10_000);
+        let req = read_req(0, 2, 0, 1, 0);
+        for _ in 0..3 {
+            p.on_serviced(&req, true);
+            assert!(!p.is_blacklisted(2));
+        }
+        p.on_serviced(&req, true);
+        assert!(p.is_blacklisted(2));
+    }
+
+    #[test]
+    fn other_core_breaks_streak() {
+        let mut p = Bliss::new(3, 10_000);
+        let a = read_req(0, 0, 0, 1, 0);
+        let b = read_req(1, 1, 0, 1, 1);
+        p.on_serviced(&a, true);
+        p.on_serviced(&a, true);
+        p.on_serviced(&b, true); // breaks core 0's streak
+        p.on_serviced(&a, true);
+        p.on_serviced(&a, true);
+        assert!(!p.is_blacklisted(0));
+        p.on_serviced(&a, true);
+        assert!(p.is_blacklisted(0));
+    }
+
+    #[test]
+    fn non_blacklisted_beats_blacklisted_hit() {
+        let mut p = Bliss::new(1, 10_000);
+        let bl = read_req(0, 0, 0, 1, 0);
+        p.on_serviced(&bl, true); // threshold 1: core 0 blacklisted
+        assert!(p.is_blacklisted(0));
+        // core 0 has a row hit; core 1 a miss — core 1 still wins.
+        let queue = vec![read_req(1, 0, 0, 1, 0), read_req(2, 1, 1, 2, 3)];
+        let readiness = vec![ready(true), ready(false)];
+        assert_eq!(p.select(0, &queue, &readiness), Some(1));
+    }
+
+    #[test]
+    fn falls_back_to_blacklisted_when_alone() {
+        let mut p = Bliss::new(1, 10_000);
+        let bl = read_req(0, 0, 0, 1, 0);
+        p.on_serviced(&bl, true);
+        let queue = vec![read_req(1, 0, 0, 1, 0)];
+        let readiness = vec![ready(true)];
+        assert_eq!(p.select(0, &queue, &readiness), Some(0));
+    }
+
+    #[test]
+    fn clearing_interval_resets_blacklist() {
+        let mut p = Bliss::new(1, 100);
+        let req = read_req(0, 3, 0, 1, 0);
+        p.on_serviced(&req, true);
+        assert!(p.is_blacklisted(3));
+        p.on_cycle(99);
+        assert!(p.is_blacklisted(3));
+        p.on_cycle(100);
+        assert!(!p.is_blacklisted(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be nonzero")]
+    fn zero_threshold_rejected() {
+        Bliss::new(0, 100);
+    }
+}

@@ -1,0 +1,158 @@
+//! FR-FCFS with a column-access cap.
+//!
+//! First-Ready First-Come-First-Serve maximizes row-buffer hit rate by
+//! servicing ready row hits before older row misses, breaking ties by age.
+//! Unbounded reordering starves low-locality applications, so the paper's
+//! baseline (following Mutlu & Moscibroda, MICRO'07) caps the number of
+//! *consecutive* row hits a bank may service while older requests wait; once
+//! a bank has serviced `cap` consecutive hits, its hits lose their priority
+//! until a non-hit is serviced on that bank.
+
+use crate::addr::Geometry;
+use crate::request::Request;
+use crate::sched::{frfcfs_best, Readiness, SchedulerPolicy};
+
+/// FR-FCFS scheduling policy with a column-access cap.
+///
+/// # Examples
+///
+/// ```
+/// use strange_dram::{FrFcfs, Geometry};
+/// let policy = FrFcfs::with_cap(Geometry::paper_default(), 16);
+/// assert_eq!(policy.cap(), Some(16));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrFcfs {
+    geometry: Geometry,
+    cap: Option<u32>,
+    consecutive_hits: Vec<u32>,
+}
+
+impl FrFcfs {
+    /// Pure FR-FCFS with no column cap.
+    pub fn new(geometry: Geometry) -> Self {
+        FrFcfs {
+            geometry,
+            cap: None,
+            consecutive_hits: vec![0; (geometry.ranks * geometry.banks) as usize],
+        }
+    }
+
+    /// FR-FCFS with a column-access cap (the paper uses 16).
+    pub fn with_cap(geometry: Geometry, cap: u32) -> Self {
+        FrFcfs {
+            cap: Some(cap),
+            ..FrFcfs::new(geometry)
+        }
+    }
+
+    /// The configured cap, if any.
+    pub fn cap(&self) -> Option<u32> {
+        self.cap
+    }
+
+    fn bank_index(&self, req: &Request) -> usize {
+        (req.addr.rank * self.geometry.banks + req.addr.bank) as usize
+    }
+
+    fn hit_allowed(&self, req: &Request) -> bool {
+        match self.cap {
+            None => true,
+            Some(cap) => self.consecutive_hits[self.bank_index(req)] < cap,
+        }
+    }
+}
+
+impl SchedulerPolicy for FrFcfs {
+    fn select(&mut self, _now: u64, queue: &[Request], readiness: &[Readiness]) -> Option<usize> {
+        frfcfs_best(queue, readiness, |i| {
+            readiness[i].row_hit && self.hit_allowed(&queue[i])
+        })
+    }
+
+    fn on_serviced(&mut self, req: &Request, row_hit: bool) {
+        let idx = self.bank_index(req);
+        if row_hit {
+            self.consecutive_hits[idx] = self.consecutive_hits[idx].saturating_add(1);
+        } else {
+            self.consecutive_hits[idx] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::read_req;
+
+    fn ready_hit() -> Readiness {
+        Readiness {
+            ready_now: true,
+            row_hit: true,
+        }
+    }
+
+    fn ready_miss() -> Readiness {
+        Readiness {
+            ready_now: true,
+            row_hit: false,
+        }
+    }
+
+    #[test]
+    fn prefers_hit_over_older_miss() {
+        let mut p = FrFcfs::with_cap(Geometry::paper_default(), 16);
+        let queue = vec![read_req(0, 0, 0, 1, 0), read_req(1, 0, 0, 2, 5)];
+        let readiness = vec![ready_miss(), ready_hit()];
+        assert_eq!(p.select(0, &queue, &readiness), Some(1));
+    }
+
+    #[test]
+    fn cap_restores_age_order_after_streak() {
+        let mut p = FrFcfs::with_cap(Geometry::paper_default(), 4);
+        let hit_req = read_req(1, 0, 0, 2, 5);
+        // Four consecutive hits on bank 0 exhaust the cap.
+        for _ in 0..4 {
+            p.on_serviced(&hit_req, true);
+        }
+        let queue = vec![read_req(0, 0, 0, 1, 0), hit_req];
+        let readiness = vec![ready_miss(), ready_hit()];
+        // Hit no longer has priority: oldest ready wins.
+        assert_eq!(p.select(0, &queue, &readiness), Some(0));
+    }
+
+    #[test]
+    fn non_hit_service_resets_streak() {
+        let mut p = FrFcfs::with_cap(Geometry::paper_default(), 2);
+        let hit_req = read_req(1, 0, 0, 2, 5);
+        p.on_serviced(&hit_req, true);
+        p.on_serviced(&hit_req, true);
+        p.on_serviced(&hit_req, false); // streak broken
+        let queue = vec![read_req(0, 0, 0, 1, 0), hit_req];
+        let readiness = vec![ready_miss(), ready_hit()];
+        assert_eq!(p.select(0, &queue, &readiness), Some(1));
+    }
+
+    #[test]
+    fn cap_is_per_bank() {
+        let mut p = FrFcfs::with_cap(Geometry::paper_default(), 1);
+        let bank0 = read_req(1, 0, 0, 2, 5);
+        p.on_serviced(&bank0, true); // bank 0 capped
+        // A hit on bank 1 is still prioritized.
+        let queue = vec![read_req(0, 0, 0, 1, 0), read_req(2, 0, 1, 2, 9)];
+        let readiness = vec![ready_miss(), ready_hit()];
+        assert_eq!(p.select(0, &queue, &readiness), Some(1));
+    }
+
+    #[test]
+    fn uncapped_never_loses_hit_priority() {
+        let mut p = FrFcfs::new(Geometry::paper_default());
+        let hit_req = read_req(1, 0, 0, 2, 5);
+        for _ in 0..1000 {
+            p.on_serviced(&hit_req, true);
+        }
+        let queue = vec![read_req(0, 0, 0, 1, 0), hit_req];
+        let readiness = vec![ready_miss(), ready_hit()];
+        assert_eq!(p.select(0, &queue, &readiness), Some(1));
+    }
+}

@@ -1,0 +1,153 @@
+//! Memory request scheduling policies.
+//!
+//! The controller computes, for every queued request, whether its *next
+//! required DRAM command* (PRE, ACT, or the column command) could issue this
+//! cycle and whether the request is a row-buffer hit; a
+//! [`SchedulerPolicy`] then picks which request to advance. This mirrors how
+//! Ramulator separates policy (request ordering) from mechanism (command
+//! issue and timing).
+//!
+//! Provided policies:
+//!
+//! * [`FrFcfs`] — First-Ready First-Come-First-Serve with a column-access
+//!   cap (the paper's baseline scheduler, "FR-FCFS+Cap" with cap 16).
+//! * [`Bliss`] — the Blacklisting memory scheduler (Section 8.4 comparison).
+//!
+//! The DR-STRaNGe RNG-aware scheduler builds on these in the
+//! `strange-core` crate: per-channel regular scheduling stays FR-FCFS+Cap,
+//! while the RNG-vs-regular arbitration happens in the DR-STRaNGe engine.
+
+mod bliss;
+mod frfcfs;
+
+pub use bliss::Bliss;
+pub use frfcfs::FrFcfs;
+
+use crate::request::Request;
+
+/// Readiness of one queued request, computed by the controller each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Readiness {
+    /// The request's next required command can issue *this* cycle.
+    pub ready_now: bool,
+    /// The request targets the currently open row of its bank.
+    pub row_hit: bool,
+}
+
+/// A memory request scheduling policy.
+///
+/// Implementations select the queue index of the request whose next command
+/// the controller should issue. They may keep history (e.g. BLISS streak
+/// counters) via the `on_serviced` / `on_cycle` hooks.
+pub trait SchedulerPolicy {
+    /// Chooses a request from `queue`. Must return an index whose
+    /// `readiness[i].ready_now` is true, or `None` when nothing can issue.
+    fn select(&mut self, now: u64, queue: &[Request], readiness: &[Readiness]) -> Option<usize>;
+
+    /// Called when a request's column command issues (the request is
+    /// serviced). `row_hit` tells whether it hit the open row.
+    fn on_serviced(&mut self, req: &Request, row_hit: bool) {
+        let _ = (req, row_hit);
+    }
+
+    /// Called once per memory cycle (e.g. for BLISS's clearing interval).
+    fn on_cycle(&mut self, now: u64) {
+        let _ = now;
+    }
+}
+
+/// Baseline FR-FCFS ordering over `(ready, hit, age)`, shared by policies
+/// and by the controller's internal write-drain scheduling.
+///
+/// Returns the index of the best request, or `None` if none is ready.
+pub(crate) fn frfcfs_best(
+    queue: &[Request],
+    readiness: &[Readiness],
+    effective_hit: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for i in 0..queue.len() {
+        if !readiness[i].ready_now {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                let (bh, ih) = (effective_hit(b), effective_hit(i));
+                // Prefer row hits; ties broken by age (lower index = older).
+                if ih && !bh {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::addr::DramAddress;
+    use crate::request::{CoreId, Request, RequestKind};
+
+    /// Builds a read request for tests; `bank`/`row` select the location.
+    pub fn read_req(id: u64, core: CoreId, bank: u32, row: u32, arrival: u64) -> Request {
+        Request {
+            id,
+            core,
+            kind: RequestKind::Read,
+            addr: DramAddress {
+                channel: 0,
+                rank: 0,
+                bank,
+                row,
+                col: 0,
+            },
+            arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::read_req;
+    use super::*;
+
+    #[test]
+    fn frfcfs_best_prefers_ready_hit_then_age() {
+        let queue = vec![
+            read_req(0, 0, 0, 1, 0), // oldest, not ready
+            read_req(1, 0, 0, 2, 1), // ready, miss
+            read_req(2, 0, 1, 3, 2), // ready, hit
+        ];
+        let readiness = vec![
+            Readiness { ready_now: false, row_hit: true },
+            Readiness { ready_now: true, row_hit: false },
+            Readiness { ready_now: true, row_hit: true },
+        ];
+        let got = frfcfs_best(&queue, &readiness, |i| readiness[i].row_hit);
+        assert_eq!(got, Some(2));
+    }
+
+    #[test]
+    fn frfcfs_best_falls_back_to_oldest_ready() {
+        let queue = vec![read_req(0, 0, 0, 1, 0), read_req(1, 0, 0, 2, 1)];
+        let readiness = vec![
+            Readiness { ready_now: true, row_hit: false },
+            Readiness { ready_now: true, row_hit: false },
+        ];
+        assert_eq!(
+            frfcfs_best(&queue, &readiness, |i| readiness[i].row_hit),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn frfcfs_best_none_when_nothing_ready() {
+        let queue = vec![read_req(0, 0, 0, 1, 0)];
+        let readiness = vec![Readiness { ready_now: false, row_hit: false }];
+        assert_eq!(
+            frfcfs_best(&queue, &readiness, |i| readiness[i].row_hit),
+            None
+        );
+    }
+}

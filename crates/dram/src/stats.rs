@@ -1,0 +1,208 @@
+//! Per-channel statistics: command counts, row-buffer outcomes, idle-period
+//! tracking (Figures 5 and 18), occupancy, and per-core read latencies.
+
+/// Cap on individually recorded idle periods, to bound memory on very long
+/// runs. Periods past the cap still count toward the totals.
+const MAX_RECORDED_IDLE_PERIODS: usize = 4_000_000;
+
+/// Per-core read latency accumulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreLatency {
+    /// Sum of read service latencies (memory cycles, enqueue to data).
+    pub latency_sum: u64,
+    /// Number of completed reads.
+    pub reads: u64,
+}
+
+impl CoreLatency {
+    /// Average read latency in memory cycles (0 if no reads completed).
+    pub fn average(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.reads as f64
+        }
+    }
+}
+
+/// Statistics collected by one channel controller.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelStats {
+    /// ACT commands issued for regular requests.
+    pub acts: u64,
+    /// PRE commands issued (including refresh-drain precharges).
+    pub pres: u64,
+    /// RD commands issued for regular requests.
+    pub reads: u64,
+    /// WR commands issued.
+    pub writes: u64,
+    /// REF commands issued.
+    pub refreshes: u64,
+    /// ACT-equivalents issued in RNG mode (reduced-timing activations).
+    pub rng_acts: u64,
+    /// RD-equivalents issued in RNG mode.
+    pub rng_reads: u64,
+    /// PRE-equivalents issued in RNG mode.
+    pub rng_pres: u64,
+    /// Column commands that hit the open row.
+    pub row_hits: u64,
+    /// Column commands that required activating a closed bank.
+    pub row_misses: u64,
+    /// Column commands that required closing a different row first.
+    pub row_conflicts: u64,
+    /// Total ticks observed.
+    pub cycles: u64,
+    /// Ticks with empty queues and no RNG-mode occupancy.
+    pub idle_cycles: u64,
+    /// Ticks during which every bank was precharged.
+    pub all_precharged_cycles: u64,
+    /// Ticks spent blocked for RNG generation (on-demand or buffer fill).
+    pub rng_blocked_cycles: u64,
+    /// Completed idle periods, in cycles (for Figures 5 and 18).
+    pub idle_periods: Vec<u32>,
+    /// Idle periods not individually recorded due to the memory cap.
+    pub idle_periods_dropped: u64,
+    /// Sum of read-queue occupancy over all ticks (average = /cycles).
+    pub read_queue_occupancy_sum: u64,
+    /// Per-core read latency accumulators (indexed by core id).
+    pub per_core: Vec<CoreLatency>,
+}
+
+impl ChannelStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        ChannelStats::default()
+    }
+
+    /// Records a completed idle period of `len` cycles.
+    pub fn record_idle_period(&mut self, len: u64) {
+        if self.idle_periods.len() < MAX_RECORDED_IDLE_PERIODS {
+            self.idle_periods.push(len.min(u32::MAX as u64) as u32);
+        } else {
+            self.idle_periods_dropped += 1;
+        }
+    }
+
+    /// Records a completed read for `core` with the given service latency.
+    pub fn record_read_latency(&mut self, core: usize, latency: u64) {
+        if self.per_core.len() <= core {
+            self.per_core.resize(core + 1, CoreLatency::default());
+        }
+        let c = &mut self.per_core[core];
+        c.latency_sum += latency;
+        c.reads += 1;
+    }
+
+    /// Row-hit rate over all serviced column commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Average read-queue occupancy.
+    pub fn avg_read_queue_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.read_queue_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of ticks the channel was idle (queue-empty, not RNG-blocked).
+    pub fn idle_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.idle_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merges another channel's statistics into this one (used for
+    /// system-level aggregates; idle periods are concatenated).
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.acts += other.acts;
+        self.pres += other.pres;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes += other.refreshes;
+        self.rng_acts += other.rng_acts;
+        self.rng_reads += other.rng_reads;
+        self.rng_pres += other.rng_pres;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.cycles += other.cycles;
+        self.idle_cycles += other.idle_cycles;
+        self.all_precharged_cycles += other.all_precharged_cycles;
+        self.rng_blocked_cycles += other.rng_blocked_cycles;
+        for &p in &other.idle_periods {
+            self.record_idle_period(p as u64);
+        }
+        self.idle_periods_dropped += other.idle_periods_dropped;
+        self.read_queue_occupancy_sum += other.read_queue_occupancy_sum;
+        if self.per_core.len() < other.per_core.len() {
+            self.per_core.resize(other.per_core.len(), CoreLatency::default());
+        }
+        for (i, c) in other.per_core.iter().enumerate() {
+            self.per_core[i].latency_sum += c.latency_sum;
+            self.per_core[i].reads += c.reads;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_latency_average() {
+        let c = CoreLatency {
+            latency_sum: 100,
+            reads: 4,
+        };
+        assert_eq!(c.average(), 25.0);
+        assert_eq!(CoreLatency::default().average(), 0.0);
+    }
+
+    #[test]
+    fn row_hit_rate_handles_zero() {
+        assert_eq!(ChannelStats::new().row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_read_latency_grows_per_core() {
+        let mut s = ChannelStats::new();
+        s.record_read_latency(3, 50);
+        assert_eq!(s.per_core.len(), 4);
+        assert_eq!(s.per_core[3].reads, 1);
+        assert_eq!(s.per_core[0].reads, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ChannelStats::new();
+        a.acts = 5;
+        a.record_idle_period(10);
+        a.record_read_latency(0, 30);
+        let mut b = ChannelStats::new();
+        b.acts = 7;
+        b.record_idle_period(20);
+        b.record_read_latency(1, 40);
+        a.merge(&b);
+        assert_eq!(a.acts, 12);
+        assert_eq!(a.idle_periods, vec![10, 20]);
+        assert_eq!(a.per_core[1].latency_sum, 40);
+    }
+
+    #[test]
+    fn idle_fraction_basic() {
+        let mut s = ChannelStats::new();
+        s.cycles = 10;
+        s.idle_cycles = 4;
+        assert_eq!(s.idle_fraction(), 0.4);
+    }
+}

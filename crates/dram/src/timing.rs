@@ -1,0 +1,172 @@
+//! DDR3 timing parameters.
+//!
+//! All values are in DRAM bus cycles (tCK = 1.25 ns for DDR3-1600, bus
+//! frequency 800 MHz as in paper Table 1). The defaults follow a standard
+//! DDR3-1600 11-11-11 part (Micron 2 Gb ×8 class), which is also what
+//! Ramulator's DDR3 model and DRAMPower assume.
+
+use crate::ConfigError;
+
+/// DDR3 timing parameters in bus cycles.
+///
+/// # Examples
+///
+/// ```
+/// let t = strange_dram::TimingParams::ddr3_1600();
+/// assert_eq!(t.cl, 11);
+/// assert_eq!(t.read_latency(), 11 + 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingParams {
+    /// CAS latency: RD command to first data beat.
+    pub cl: u32,
+    /// CAS write latency: WR command to first data beat.
+    pub cwl: u32,
+    /// ACT to internal RD/WR delay.
+    pub trcd: u32,
+    /// PRE to ACT delay on the same bank.
+    pub trp: u32,
+    /// ACT to PRE minimum on the same bank.
+    pub tras: u32,
+    /// ACT to ACT minimum on the same bank (`tras + trp`).
+    pub trc: u32,
+    /// Burst length on the bus (BL8 → 4 bus cycles).
+    pub tbl: u32,
+    /// Column command to column command minimum.
+    pub tccd: u32,
+    /// RD to PRE minimum.
+    pub trtp: u32,
+    /// Write recovery: end of write data to PRE.
+    pub twr: u32,
+    /// End of write data to RD command (same rank).
+    pub twtr: u32,
+    /// ACT to ACT minimum across banks of the same rank.
+    pub trrd: u32,
+    /// Four-activate window: at most 4 ACTs per rank in this window.
+    pub tfaw: u32,
+    /// Average refresh interval (one REF owed per `trefi`).
+    pub trefi: u32,
+    /// Refresh cycle time: rank is busy this long after REF.
+    pub trfc: u32,
+    /// RD command to WR command bus turnaround.
+    pub trtw: u32,
+}
+
+impl TimingParams {
+    /// DDR3-1600 11-11-11 (tCK = 1.25 ns) parameters, the paper's DRAM.
+    pub fn ddr3_1600() -> Self {
+        TimingParams {
+            cl: 11,
+            cwl: 8,
+            trcd: 11,
+            trp: 11,
+            tras: 28,
+            trc: 39,
+            tbl: 4,
+            tccd: 4,
+            trtp: 6,
+            twr: 12,
+            twtr: 6,
+            trrd: 5,
+            tfaw: 24,
+            trefi: 6240,
+            trfc: 128,
+            trtw: 9,
+        }
+    }
+
+    /// Total read latency (command to last data beat).
+    pub fn read_latency(&self) -> u32 {
+        self.cl + self.tbl
+    }
+
+    /// Total write occupancy (command to end of write recovery).
+    pub fn write_latency(&self) -> u32 {
+        self.cwl + self.tbl + self.twr
+    }
+
+    /// Validates internal consistency (e.g. `trc >= tras + trp`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParameter`] for the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cl == 0 || self.trcd == 0 || self.trp == 0 || self.tbl == 0 {
+            return Err(ConfigError::InvalidParameter {
+                field: "cl/trcd/trp/tbl",
+                constraint: "be nonzero",
+            });
+        }
+        if self.trc < self.tras + self.trp {
+            return Err(ConfigError::InvalidParameter {
+                field: "trc",
+                constraint: "be at least tras + trp",
+            });
+        }
+        if self.tfaw < self.trrd {
+            return Err(ConfigError::InvalidParameter {
+                field: "tfaw",
+                constraint: "be at least trrd",
+            });
+        }
+        if self.trefi <= self.trfc {
+            return Err(ConfigError::InvalidParameter {
+                field: "trefi",
+                constraint: "exceed trfc",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr3_1600()
+    }
+}
+
+/// DRAM bus clock period in nanoseconds for DDR3-1600.
+pub const TCK_NS: f64 = 1.25;
+
+/// CPU clock frequency in GHz (paper Table 1).
+pub const CPU_GHZ: f64 = 4.0;
+
+/// CPU cycles per DRAM bus cycle (4 GHz / 800 MHz).
+pub const CPU_CYCLES_PER_MEM_CYCLE: u64 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_defaults_are_consistent() {
+        TimingParams::ddr3_1600().validate().unwrap();
+    }
+
+    #[test]
+    fn trc_constraint_enforced() {
+        let mut t = TimingParams::ddr3_1600();
+        t.trc = 10;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn trefi_must_exceed_trfc() {
+        let mut t = TimingParams::ddr3_1600();
+        t.trefi = t.trfc;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn read_latency_is_cl_plus_burst() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(t.read_latency(), t.cl + t.tbl);
+    }
+
+    #[test]
+    fn clock_domain_ratio_is_five() {
+        assert_eq!(CPU_CYCLES_PER_MEM_CYCLE, 5);
+        assert!((CPU_GHZ * TCK_NS - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! CACTI-style SRAM area model at 22 nm.
+//!
+//! The paper models the DR-STRaNGe structures (random number buffer, RNG
+//! request queue, idleness predictor tables) with CACTI 6.0 at 22 nm and
+//! reports 0.0022 mm² for the simple-predictor configuration and
+//! 0.012 mm² for the RL-predictor configuration (Section 8.9). This module
+//! uses a two-parameter linear model — per-bit array area plus a fixed
+//! periphery/control overhead — fitted to exactly those two published
+//! points, which it reproduces by construction; the value of the model is
+//! that it lets the area bench sweep *other* configurations (buffer sizes,
+//! table sizes) on the same scale.
+
+/// Effective SRAM bit area at 22 nm, periphery included (µm² per bit).
+pub const BIT_AREA_UM2: f64 = 0.154_4;
+
+/// Fixed controller/periphery overhead (µm²).
+pub const FIXED_OVERHEAD_UM2: f64 = 1409.7;
+
+/// Reference core area the paper normalizes against (Intel Cascade Lake,
+/// via WikiChip): 0.0022 mm² is quoted as 0.00048 % of a core, implying
+/// ≈458 mm² of reference area.
+pub const CASCADE_LAKE_REFERENCE_MM2: f64 = 458.3;
+
+/// Storage bit counts of the DR-STRaNGe structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructureBits {
+    /// Random number buffer bits (entries × 64).
+    pub buffer: u64,
+    /// RNG request queue bits (entries × entry width).
+    pub rng_queue: u64,
+    /// Idleness predictor bits (all channels).
+    pub predictor: u64,
+}
+
+impl StructureBits {
+    /// The paper's Table 1 configuration with the simple predictor:
+    /// 16-entry buffer, 32-entry RNG queue, 256-entry 2-bit table per
+    /// channel on 4 channels.
+    pub fn paper_simple() -> Self {
+        StructureBits {
+            buffer: 16 * 64,
+            rng_queue: 32 * 64,
+            predictor: 4 * 256 * 2,
+        }
+    }
+
+    /// The paper's RL configuration: the Q-learning agent needs 8 KiB
+    /// (1024 states × 2 actions × 4-byte Q-values).
+    pub fn paper_rl() -> Self {
+        StructureBits {
+            predictor: 8 * 1024 * 8,
+            ..StructureBits::paper_simple()
+        }
+    }
+
+    /// Total bits.
+    pub fn total(&self) -> u64 {
+        self.buffer + self.rng_queue + self.predictor
+    }
+}
+
+/// Area in mm² of a structure set under the fitted 22 nm model.
+///
+/// # Examples
+///
+/// ```
+/// use strange_energy::{area_mm2, StructureBits};
+///
+/// // Reproduces the paper's two published numbers.
+/// let simple = area_mm2(StructureBits::paper_simple());
+/// assert!((simple - 0.0022).abs() < 0.0002);
+/// let rl = area_mm2(StructureBits::paper_rl());
+/// assert!((rl - 0.012).abs() < 0.001);
+/// ```
+pub fn area_mm2(bits: StructureBits) -> f64 {
+    (bits.total() as f64 * BIT_AREA_UM2 + FIXED_OVERHEAD_UM2) * 1e-6
+}
+
+/// Area as a percentage of the reference Cascade Lake core area.
+pub fn area_percent_of_core(bits: StructureBits) -> f64 {
+    area_mm2(bits) / CASCADE_LAKE_REFERENCE_MM2 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_simple_area_reproduced() {
+        let a = area_mm2(StructureBits::paper_simple());
+        assert!((a - 0.0022).abs() / 0.0022 < 0.05, "got {a}");
+    }
+
+    #[test]
+    fn paper_rl_area_reproduced() {
+        let a = area_mm2(StructureBits::paper_rl());
+        assert!((a - 0.012).abs() / 0.012 < 0.05, "got {a}");
+    }
+
+    #[test]
+    fn paper_core_percentage_reproduced() {
+        let p = area_percent_of_core(StructureBits::paper_simple());
+        assert!((p - 0.00048).abs() / 0.00048 < 0.08, "got {p}");
+    }
+
+    #[test]
+    fn area_grows_with_buffer_size() {
+        let small = StructureBits {
+            buffer: 1 * 64,
+            ..StructureBits::paper_simple()
+        };
+        let large = StructureBits {
+            buffer: 64 * 64,
+            ..StructureBits::paper_simple()
+        };
+        assert!(area_mm2(large) > area_mm2(small));
+    }
+
+    #[test]
+    fn bit_accounting() {
+        let b = StructureBits::paper_simple();
+        assert_eq!(b.buffer, 1024);
+        assert_eq!(b.predictor, 2048); // 0.0625 KiB × 4 channels
+        assert_eq!(b.total(), 1024 + 2048 + 2048);
+    }
+}

@@ -1,0 +1,31 @@
+//! Energy and area models for the DR-STRaNGe reproduction (paper
+//! Section 8.9).
+//!
+//! * [`channel_energy`] / [`system_energy`] — a DRAMPower-style DDR3
+//!   energy model (IDD-current equations over command and cycle counts)
+//!   standing in for DRAMPower itself, which the paper feeds with
+//!   Ramulator traces.
+//! * [`area_mm2`] — a CACTI-style SRAM area model at 22 nm fitted to the
+//!   paper's two published area numbers (0.0022 mm² simple / 0.012 mm²
+//!   RL), used to sweep other structure sizes on the same scale.
+//!
+//! # Examples
+//!
+//! ```
+//! use strange_energy::{area_mm2, StructureBits};
+//!
+//! let mm2 = area_mm2(StructureBits::paper_simple());
+//! assert!(mm2 < 0.003); // tiny next to a CPU core
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod power;
+
+pub use area::{
+    area_mm2, area_percent_of_core, StructureBits, BIT_AREA_UM2, CASCADE_LAKE_REFERENCE_MM2,
+    FIXED_OVERHEAD_UM2,
+};
+pub use power::{channel_energy, system_energy, Ddr3PowerParams, EnergyBreakdown};

@@ -1,0 +1,272 @@
+//! DRAMPower-style DDR3 energy model.
+//!
+//! The paper feeds Ramulator's command traces into DRAMPower (Section 8.9);
+//! this module implements the same IDD-current-based energy equations over
+//! our simulator's command and cycle counts:
+//!
+//! * ACT+PRE pair energy from IDD0 net of the standby currents,
+//! * RD/WR burst energy from IDD4R/IDD4W net of active standby,
+//! * REF energy from IDD5B over tRFC,
+//! * background energy split between active standby (any bank open,
+//!   IDD3N) and precharge standby (all banks closed, IDD2N).
+//!
+//! RNG-mode rounds issue real ACT/RD/PRE commands with reduced timing;
+//! they are charged at the regular per-command energies (the reduced tRCD
+//! changes latency, not charge moved per command, to first order).
+//!
+//! Default currents follow a Micron 2 Gb ×8 DDR3-1600 datasheet; a rank is
+//! eight such devices.
+
+use strange_dram::{ChannelStats, TimingParams, TCK_NS};
+
+/// IDD currents and voltage for one DRAM device, plus rank composition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ddr3PowerParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Active-precharge current, one bank cycling (mA).
+    pub idd0: f64,
+    /// Precharge standby current (mA).
+    pub idd2n: f64,
+    /// Active standby current (mA).
+    pub idd3n: f64,
+    /// Read burst current (mA).
+    pub idd4r: f64,
+    /// Write burst current (mA).
+    pub idd4w: f64,
+    /// Refresh burst current (mA).
+    pub idd5b: f64,
+    /// Devices per rank (×8 devices on a 64-bit channel).
+    pub devices_per_rank: f64,
+    /// Energy of a reduced-timing RNG activation relative to a full
+    /// ACT-PRE pair. D-RaNGe's reduced-tRCD accesses truncate the
+    /// activation (the row never fully opens before the column read
+    /// samples the sense amplifiers), moving a fraction of the charge of a
+    /// nominal activation.
+    pub rng_act_factor: f64,
+}
+
+impl Ddr3PowerParams {
+    /// Micron 2 Gb ×8 DDR3-1600 datasheet-typical values.
+    pub fn micron_2gb_x8() -> Self {
+        Ddr3PowerParams {
+            vdd: 1.5,
+            idd0: 95.0,
+            idd2n: 42.0,
+            idd3n: 45.0,
+            idd4r: 180.0,
+            idd4w: 185.0,
+            idd5b: 215.0,
+            devices_per_rank: 8.0,
+            rng_act_factor: 0.3,
+        }
+    }
+}
+
+impl Default for Ddr3PowerParams {
+    fn default() -> Self {
+        Ddr3PowerParams::micron_2gb_x8()
+    }
+}
+
+/// Energy consumed by one channel (or a merged set of channels), in
+/// nanojoules, broken down by source.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// ACT+PRE pair energy (includes RNG-mode activations).
+    pub act_pre_nj: f64,
+    /// Read burst energy (includes RNG-mode reads).
+    pub read_nj: f64,
+    /// Write burst energy.
+    pub write_nj: f64,
+    /// Refresh energy.
+    pub refresh_nj: f64,
+    /// Background (standby) energy.
+    pub background_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.act_pre_nj + self.read_nj + self.write_nj + self.refresh_nj + self.background_nj
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_nj() * 1e-6
+    }
+
+    /// Adds another breakdown (channel aggregation).
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.act_pre_nj += other.act_pre_nj;
+        self.read_nj += other.read_nj;
+        self.write_nj += other.write_nj;
+        self.refresh_nj += other.refresh_nj;
+        self.background_nj += other.background_nj;
+    }
+}
+
+/// Computes the energy of one channel's activity.
+///
+/// # Examples
+///
+/// ```
+/// use strange_dram::{ChannelStats, TimingParams};
+/// use strange_energy::{channel_energy, Ddr3PowerParams};
+///
+/// let mut stats = ChannelStats::new();
+/// stats.cycles = 1_000_000;
+/// stats.all_precharged_cycles = 900_000;
+/// stats.acts = 10_000;
+/// stats.reads = 10_000;
+/// let e = channel_energy(&stats, &TimingParams::ddr3_1600(), &Ddr3PowerParams::default());
+/// assert!(e.total_nj() > 0.0);
+/// assert!(e.background_nj > e.read_nj, "idle channel: background dominates");
+/// ```
+pub fn channel_energy(
+    stats: &ChannelStats,
+    timing: &TimingParams,
+    params: &Ddr3PowerParams,
+) -> EnergyBreakdown {
+    // mA × V × ns = pJ; scale to nJ with 1e-3.
+    let scale = params.vdd * params.devices_per_rank * TCK_NS * 1e-3;
+
+    let trc = timing.trc as f64;
+    let tras = timing.tras as f64;
+    // Net charge of one ACT-PRE pair above the standby floor it displaces.
+    let e_act_pre = (params.idd0 * trc - (params.idd3n * tras + params.idd2n * (trc - tras)))
+        .max(0.0)
+        * scale;
+    let e_read = (params.idd4r - params.idd3n).max(0.0) * timing.tbl as f64 * scale;
+    let e_write = (params.idd4w - params.idd3n).max(0.0) * timing.tbl as f64 * scale;
+    let e_ref = (params.idd5b - params.idd3n).max(0.0) * timing.trfc as f64 * scale;
+
+    let acts = stats.acts as f64 + stats.rng_acts as f64 * params.rng_act_factor;
+    let reads = (stats.reads + stats.rng_reads) as f64;
+    let writes = stats.writes as f64;
+    let refs = stats.refreshes as f64;
+
+    let pre_cycles = stats.all_precharged_cycles as f64;
+    let act_cycles = (stats.cycles.saturating_sub(stats.all_precharged_cycles)) as f64;
+    let background = (params.idd3n * act_cycles + params.idd2n * pre_cycles) * scale;
+
+    EnergyBreakdown {
+        act_pre_nj: acts * e_act_pre,
+        read_nj: reads * e_read,
+        write_nj: writes * e_write,
+        refresh_nj: refs * e_ref,
+        background_nj: background,
+    }
+}
+
+/// Computes the energy of a whole run: the sum over per-channel stats.
+pub fn system_energy(
+    channels: &[ChannelStats],
+    timing: &TimingParams,
+    params: &Ddr3PowerParams,
+) -> EnergyBreakdown {
+    let mut total = EnergyBreakdown::default();
+    for ch in channels {
+        total.add(&channel_energy(ch, timing, params));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, pre: u64) -> ChannelStats {
+        let mut s = ChannelStats::new();
+        s.cycles = cycles;
+        s.all_precharged_cycles = pre;
+        s
+    }
+
+    #[test]
+    fn zero_activity_has_only_background() {
+        let e = channel_energy(
+            &stats(1000, 1000),
+            &TimingParams::ddr3_1600(),
+            &Ddr3PowerParams::default(),
+        );
+        assert_eq!(e.act_pre_nj, 0.0);
+        assert_eq!(e.read_nj, 0.0);
+        assert!(e.background_nj > 0.0);
+    }
+
+    #[test]
+    fn active_standby_costs_more_than_precharged() {
+        let t = TimingParams::ddr3_1600();
+        let p = Ddr3PowerParams::default();
+        let all_pre = channel_energy(&stats(1000, 1000), &t, &p);
+        let all_act = channel_energy(&stats(1000, 0), &t, &p);
+        assert!(all_act.background_nj > all_pre.background_nj);
+    }
+
+    #[test]
+    fn commands_add_energy_monotonically() {
+        let t = TimingParams::ddr3_1600();
+        let p = Ddr3PowerParams::default();
+        let mut s = stats(10_000, 5_000);
+        let base = channel_energy(&s, &t, &p).total_nj();
+        s.acts = 100;
+        s.reads = 100;
+        s.writes = 50;
+        s.refreshes = 2;
+        let busy = channel_energy(&s, &t, &p).total_nj();
+        assert!(busy > base);
+    }
+
+    #[test]
+    fn rng_commands_are_charged() {
+        let t = TimingParams::ddr3_1600();
+        let p = Ddr3PowerParams::default();
+        let mut s = stats(10_000, 5_000);
+        let before = channel_energy(&s, &t, &p).total_nj();
+        s.rng_acts = 100;
+        s.rng_reads = 100;
+        let after = channel_energy(&s, &t, &p).total_nj();
+        assert!(after > before, "RNG rounds consume DRAM energy");
+    }
+
+    #[test]
+    fn shorter_run_uses_less_energy() {
+        // The paper's 21% saving comes mostly from finishing in fewer
+        // cycles: same commands, fewer background cycles.
+        let t = TimingParams::ddr3_1600();
+        let p = Ddr3PowerParams::default();
+        let mut long = stats(1_000_000, 800_000);
+        long.acts = 10_000;
+        long.reads = 10_000;
+        let mut short = stats(800_000, 640_000);
+        short.acts = 10_000;
+        short.reads = 10_000;
+        let el = channel_energy(&long, &t, &p).total_nj();
+        let es = channel_energy(&short, &t, &p).total_nj();
+        assert!(es < el);
+        assert!((el - es) / el > 0.1, "background dominates the gap");
+    }
+
+    #[test]
+    fn system_energy_sums_channels() {
+        let t = TimingParams::ddr3_1600();
+        let p = Ddr3PowerParams::default();
+        let s = stats(1000, 500);
+        let one = channel_energy(&s, &t, &p).total_nj();
+        let four = system_energy(&[s.clone(), s.clone(), s.clone(), s.clone()], &t, &p).total_nj();
+        assert!((four - 4.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_energy_order_of_magnitude() {
+        // One RD burst on a DDR3-1600 rank ≈ a few nJ (sanity against
+        // published DRAMPower numbers).
+        let t = TimingParams::ddr3_1600();
+        let p = Ddr3PowerParams::default();
+        let mut s = stats(0, 0);
+        s.reads = 1;
+        let e = channel_energy(&s, &t, &p);
+        assert!(e.read_nj > 0.5 && e.read_nj < 20.0, "got {}", e.read_nj);
+    }
+}

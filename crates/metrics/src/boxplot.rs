@@ -1,0 +1,279 @@
+//! Box-and-whiskers statistics for the paper's distribution figures.
+//!
+//! Figures 2, 5, and 18 show interquartile boxes with Tukey whiskers
+//! (1.5 × IQR) and outlier markers. [`BoxStats::from_samples`] computes those
+//! quantities with linear-interpolation quantiles (matplotlib's default), so
+//! the bench harness can print the same box/median/whisker/outlier series
+//! the paper plots.
+
+use crate::MetricsError;
+
+/// Summary statistics for one box of a box-and-whiskers plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    min: f64,
+    q1: f64,
+    median: f64,
+    q3: f64,
+    max: f64,
+    lower_whisker: f64,
+    upper_whisker: f64,
+    outliers: Vec<f64>,
+    len: usize,
+}
+
+impl BoxStats {
+    /// Computes box statistics from unsorted samples.
+    ///
+    /// Quartiles use linear interpolation between order statistics; whiskers
+    /// extend to the most extreme sample within 1.5 × IQR of the box, and
+    /// samples beyond the whiskers are reported as outliers (the paper's "×"
+    /// marks in Figure 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::EmptyInput`] for an empty slice and
+    /// [`MetricsError::InvalidSample`] when any sample is non-finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), strange_metrics::MetricsError> {
+    /// let stats = strange_metrics::BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0])?;
+    /// assert_eq!(stats.median(), 3.0);
+    /// assert_eq!(stats.outliers(), &[100.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_samples(samples: &[f64]) -> Result<Self, MetricsError> {
+        if samples.is_empty() {
+            return Err(MetricsError::EmptyInput);
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(MetricsError::InvalidSample);
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+
+        let lower_whisker = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0]);
+        let upper_whisker = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(sorted[sorted.len() - 1]);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+
+        Ok(BoxStats {
+            min: sorted[0],
+            q1,
+            median,
+            q3,
+            max: sorted[sorted.len() - 1],
+            lower_whisker,
+            upper_whisker,
+            outliers,
+            len: sorted.len(),
+        })
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// First quartile (25th percentile).
+    pub fn q1(&self) -> f64 {
+        self.q1
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// Third quartile (75th percentile).
+    pub fn q3(&self) -> f64 {
+        self.q3
+    }
+
+    /// Largest sample — the value the paper annotates above each box.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Lower whisker position (most extreme sample within 1.5 IQR below Q1).
+    pub fn lower_whisker(&self) -> f64 {
+        self.lower_whisker
+    }
+
+    /// Upper whisker position (most extreme sample within 1.5 IQR above Q3).
+    pub fn upper_whisker(&self) -> f64 {
+        self.upper_whisker
+    }
+
+    /// Samples outside the whisker fences, ascending.
+    pub fn outliers(&self) -> &[f64] {
+        &self.outliers
+    }
+
+    /// Interquartile range `Q3 - Q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Number of samples summarized.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the box summarizes zero samples (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One-line rendering `q1/median/q3 [whisker..whisker] max` used by the
+    /// bench harness tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "q1={:.2} med={:.2} q3={:.2} whisk=[{:.2},{:.2}] max={:.2} n={}",
+            self.q1, self.median, self.q3, self.lower_whisker, self.upper_whisker, self.max,
+            self.len
+        )
+    }
+}
+
+/// Linear-interpolation quantile of an already-sorted slice, `q` in `[0,1]`.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn median_of_odd_count() {
+        let s = BoxStats::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median(), 2.0);
+    }
+
+    #[test]
+    fn median_of_even_count_interpolates() {
+        let s = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.median(), 2.5);
+    }
+
+    #[test]
+    fn quartiles_of_known_sequence() {
+        // 0..=100: q1 = 25, q3 = 75 with linear interpolation.
+        let v: Vec<f64> = (0..=100).map(f64::from).collect();
+        let s = BoxStats::from_samples(&v).unwrap();
+        assert_eq!(s.q1(), 25.0);
+        assert_eq!(s.q3(), 75.0);
+        assert_eq!(s.iqr(), 50.0);
+    }
+
+    #[test]
+    fn outliers_detected_beyond_fences() {
+        let mut v: Vec<f64> = (0..20).map(f64::from).collect();
+        v.push(1000.0);
+        let s = BoxStats::from_samples(&v).unwrap();
+        assert_eq!(s.outliers(), &[1000.0]);
+        assert!(s.upper_whisker() <= 19.0);
+        assert_eq!(s.max(), 1000.0);
+    }
+
+    #[test]
+    fn single_sample_box_is_degenerate() {
+        let s = BoxStats::from_samples(&[5.0]).unwrap();
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.median(), 5.0);
+        assert_eq!(s.max(), 5.0);
+        assert!(s.outliers().is_empty());
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(BoxStats::from_samples(&[]), Err(MetricsError::EmptyInput));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(
+            BoxStats::from_samples(&[1.0, f64::NAN]),
+            Err(MetricsError::InvalidSample)
+        );
+    }
+
+    #[test]
+    fn summary_is_nonempty() {
+        let s = BoxStats::from_samples(&[1.0, 2.0]).unwrap();
+        assert!(s.summary().contains("med="));
+    }
+
+    proptest! {
+        /// Order invariants: min <= whisker <= q1 <= median <= q3 <= whisker <= max.
+        #[test]
+        fn ordering_invariants(samples in proptest::collection::vec(-1e6f64..1e6, 1..256)) {
+            let s = BoxStats::from_samples(&samples).unwrap();
+            prop_assert!(s.min() <= s.lower_whisker() + 1e-9);
+            prop_assert!(s.lower_whisker() <= s.q1() + 1e-9);
+            prop_assert!(s.q1() <= s.median() + 1e-9);
+            prop_assert!(s.median() <= s.q3() + 1e-9);
+            prop_assert!(s.q3() <= s.upper_whisker() + 1e-9);
+            prop_assert!(s.upper_whisker() <= s.max() + 1e-9);
+        }
+
+        /// Every outlier lies strictly outside the whisker fences, and the
+        /// count of outliers plus in-fence samples equals the input length.
+        #[test]
+        fn outliers_partition(samples in proptest::collection::vec(-1e3f64..1e3, 4..128)) {
+            let s = BoxStats::from_samples(&samples).unwrap();
+            let lo_fence = s.q1() - 1.5 * s.iqr();
+            let hi_fence = s.q3() + 1.5 * s.iqr();
+            for &o in s.outliers() {
+                prop_assert!(o < lo_fence || o > hi_fence);
+            }
+            let inside = samples.iter().filter(|&&x| x >= lo_fence && x <= hi_fence).count();
+            prop_assert_eq!(inside + s.outliers().len(), samples.len());
+        }
+
+        /// Box stats are invariant under sample order.
+        #[test]
+        fn order_invariance(mut samples in proptest::collection::vec(-50.0f64..50.0, 2..64)) {
+            let a = BoxStats::from_samples(&samples).unwrap();
+            samples.reverse();
+            let b = BoxStats::from_samples(&samples).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by metric computations on malformed inputs.
+///
+/// All metrics in this crate are total functions except where an empty input
+/// or a division by zero would make the result meaningless; those cases
+/// return `Err(MetricsError)` instead of producing `NaN`/`inf` silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MetricsError {
+    /// The input slice was empty but the metric needs at least one sample.
+    EmptyInput,
+    /// A denominator (e.g. an "alone" baseline) was zero or non-finite.
+    InvalidBaseline,
+    /// A sample was negative or non-finite where that is not meaningful.
+    InvalidSample,
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::EmptyInput => write!(f, "metric input is empty"),
+            MetricsError::InvalidBaseline => {
+                write!(f, "baseline value is zero or non-finite")
+            }
+            MetricsError::InvalidSample => {
+                write!(f, "sample value is negative or non-finite")
+            }
+        }
+    }
+}
+
+impl Error for MetricsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        for err in [
+            MetricsError::EmptyInput,
+            MetricsError::InvalidBaseline,
+            MetricsError::InvalidSample,
+        ] {
+            let s = err.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+}

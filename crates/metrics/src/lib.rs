@@ -1,0 +1,50 @@
+//! Performance, fairness, and distribution metrics used throughout the
+//! DR-STRaNGe reproduction.
+//!
+//! The paper (Section 7, "Metrics") evaluates designs with:
+//!
+//! * **Normalized execution time / slowdown** of an application running in a
+//!   multi-programmed workload relative to running alone ([`slowdown`]).
+//! * **Weighted speedup** for multi-core throughput ([`weighted_speedup`]),
+//!   following Snavely & Tullsen.
+//! * The **unfairness index**: the ratio of the maximum to the minimum
+//!   memory-related slowdown (MCPI shared / MCPI alone) across the
+//!   applications of a workload ([`unfairness_index`], [`MemSlowdown`]).
+//! * **Buffer serve rate** and **predictor accuracy**, simple ratios
+//!   ([`Ratio`], [`ConfusionCounts`]).
+//!
+//! Figures 2, 5, and 18 are box-and-whiskers plots; [`boxplot`] computes the
+//! interquartile statistics (median, quartiles, whiskers, outliers) with the
+//! Tukey convention the paper's plots use.
+//!
+//! # Examples
+//!
+//! ```
+//! use strange_metrics::{unfairness_index, MemSlowdown};
+//!
+//! let slowdowns = [
+//!     MemSlowdown::from_mcpi(2.0, 1.0), // 2x memory slowdown
+//!     MemSlowdown::from_mcpi(1.2, 1.0), // 1.2x
+//! ];
+//! let unfairness = unfairness_index(&slowdowns).unwrap();
+//! assert!((unfairness - 2.0 / 1.2).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boxplot;
+pub mod table;
+
+mod error;
+mod means;
+mod perf;
+
+pub use boxplot::BoxStats;
+pub use error::MetricsError;
+pub use means::{arithmetic_mean, geometric_mean, harmonic_mean};
+pub use perf::{
+    accuracy, normalized_value, slowdown, unfairness_index, weighted_speedup, ConfusionCounts,
+    MemSlowdown, Ratio,
+};
+pub use table::{fmt_row, fmt_series, Table};

@@ -1,0 +1,167 @@
+use crate::MetricsError;
+
+/// Arithmetic mean of the samples.
+///
+/// Used for the paper's per-figure "AVG" bars over per-workload slowdowns.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::EmptyInput`] when `samples` is empty and
+/// [`MetricsError::InvalidSample`] when any sample is non-finite.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), strange_metrics::MetricsError> {
+/// let avg = strange_metrics::arithmetic_mean(&[1.0, 2.0, 3.0])?;
+/// assert_eq!(avg, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn arithmetic_mean(samples: &[f64]) -> Result<f64, MetricsError> {
+    validate(samples)?;
+    Ok(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Geometric mean of the samples.
+///
+/// The paper reports GMEAN for multi-core workload groups (Figures 7, 8, 12,
+/// 14). Computed in log space for numerical stability.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::EmptyInput`] when `samples` is empty and
+/// [`MetricsError::InvalidSample`] when any sample is non-finite or
+/// non-positive (the geometric mean of a non-positive sample is undefined).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), strange_metrics::MetricsError> {
+/// let gm = strange_metrics::geometric_mean(&[1.0, 4.0])?;
+/// assert!((gm - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn geometric_mean(samples: &[f64]) -> Result<f64, MetricsError> {
+    validate(samples)?;
+    if samples.iter().any(|&x| x <= 0.0) {
+        return Err(MetricsError::InvalidSample);
+    }
+    let log_sum: f64 = samples.iter().map(|&x| x.ln()).sum();
+    Ok((log_sum / samples.len() as f64).exp())
+}
+
+/// Harmonic mean of the samples.
+///
+/// Provided for completeness (harmonic speedup is a common companion metric
+/// to weighted speedup in the scheduling literature the paper builds on).
+///
+/// # Errors
+///
+/// Returns [`MetricsError::EmptyInput`] when `samples` is empty and
+/// [`MetricsError::InvalidSample`] when any sample is non-finite or
+/// non-positive.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), strange_metrics::MetricsError> {
+/// let hm = strange_metrics::harmonic_mean(&[1.0, 1.0])?;
+/// assert_eq!(hm, 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn harmonic_mean(samples: &[f64]) -> Result<f64, MetricsError> {
+    validate(samples)?;
+    if samples.iter().any(|&x| x <= 0.0) {
+        return Err(MetricsError::InvalidSample);
+    }
+    let recip_sum: f64 = samples.iter().map(|&x| 1.0 / x).sum();
+    Ok(samples.len() as f64 / recip_sum)
+}
+
+fn validate(samples: &[f64]) -> Result<(), MetricsError> {
+    if samples.is_empty() {
+        return Err(MetricsError::EmptyInput);
+    }
+    if samples.iter().any(|x| !x.is_finite()) {
+        return Err(MetricsError::InvalidSample);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arithmetic_mean_of_single_sample_is_sample() {
+        assert_eq!(arithmetic_mean(&[7.25]).unwrap(), 7.25);
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(arithmetic_mean(&[]), Err(MetricsError::EmptyInput));
+        assert_eq!(geometric_mean(&[]), Err(MetricsError::EmptyInput));
+        assert_eq!(harmonic_mean(&[]), Err(MetricsError::EmptyInput));
+    }
+
+    #[test]
+    fn non_finite_is_rejected() {
+        assert_eq!(
+            arithmetic_mean(&[1.0, f64::NAN]),
+            Err(MetricsError::InvalidSample)
+        );
+        assert_eq!(
+            geometric_mean(&[1.0, f64::INFINITY]),
+            Err(MetricsError::InvalidSample)
+        );
+    }
+
+    #[test]
+    fn geometric_mean_rejects_zero() {
+        assert_eq!(geometric_mean(&[0.0, 1.0]), Err(MetricsError::InvalidSample));
+    }
+
+    #[test]
+    fn harmonic_mean_rejects_negative() {
+        assert_eq!(harmonic_mean(&[-1.0, 1.0]), Err(MetricsError::InvalidSample));
+    }
+
+    proptest! {
+        /// AM >= GM >= HM for positive samples (classical inequality).
+        #[test]
+        fn mean_inequality(samples in proptest::collection::vec(0.01f64..100.0, 1..32)) {
+            let am = arithmetic_mean(&samples).unwrap();
+            let gm = geometric_mean(&samples).unwrap();
+            let hm = harmonic_mean(&samples).unwrap();
+            prop_assert!(am >= gm - 1e-9, "am={am} gm={gm}");
+            prop_assert!(gm >= hm - 1e-9, "gm={gm} hm={hm}");
+        }
+
+        /// All means lie between min and max of the samples.
+        #[test]
+        fn means_bounded_by_extremes(samples in proptest::collection::vec(0.01f64..100.0, 1..32)) {
+            let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for mean in [
+                arithmetic_mean(&samples).unwrap(),
+                geometric_mean(&samples).unwrap(),
+                harmonic_mean(&samples).unwrap(),
+            ] {
+                prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+            }
+        }
+
+        /// Means are invariant under permutation.
+        #[test]
+        fn permutation_invariance(mut samples in proptest::collection::vec(0.01f64..100.0, 2..16)) {
+            let before = geometric_mean(&samples).unwrap();
+            samples.reverse();
+            let after = geometric_mean(&samples).unwrap();
+            prop_assert!((before - after).abs() < 1e-9);
+        }
+    }
+}

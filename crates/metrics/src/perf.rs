@@ -1,0 +1,447 @@
+use crate::MetricsError;
+
+/// Slowdown of an application: shared execution time over alone execution
+/// time for the same number of retired instructions (Section 7).
+///
+/// A slowdown of 1.0 means no interference; values below 1.0 are possible for
+/// RNG applications under DR-STRaNGe because the buffer serves random numbers
+/// faster than the alone (on-demand) baseline (Figure 6, bottom).
+///
+/// # Errors
+///
+/// Returns [`MetricsError::InvalidBaseline`] when `alone_cycles` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let s = strange_metrics::slowdown(150, 100).unwrap();
+/// assert_eq!(s, 1.5);
+/// ```
+pub fn slowdown(shared_cycles: u64, alone_cycles: u64) -> Result<f64, MetricsError> {
+    if alone_cycles == 0 {
+        return Err(MetricsError::InvalidBaseline);
+    }
+    Ok(shared_cycles as f64 / alone_cycles as f64)
+}
+
+/// Normalizes `value` to `baseline` (`value / baseline`), used for the
+/// "normalized weighted speedup" and "normalized execution time" series.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::InvalidBaseline`] when `baseline` is zero or
+/// non-finite and [`MetricsError::InvalidSample`] when `value` is non-finite.
+pub fn normalized_value(value: f64, baseline: f64) -> Result<f64, MetricsError> {
+    if baseline == 0.0 || !baseline.is_finite() {
+        return Err(MetricsError::InvalidBaseline);
+    }
+    if !value.is_finite() {
+        return Err(MetricsError::InvalidSample);
+    }
+    Ok(value / baseline)
+}
+
+/// Weighted speedup of a multi-programmed workload: `Σ IPC_shared / IPC_alone`
+/// (Snavely & Tullsen), the paper's job-throughput metric for non-RNG
+/// applications in multi-core workloads (Figures 7 and 12).
+///
+/// Each element of `ipc_pairs` is `(ipc_shared, ipc_alone)` for one
+/// application.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::EmptyInput`] for an empty slice,
+/// [`MetricsError::InvalidBaseline`] when any alone IPC is zero or
+/// non-finite, and [`MetricsError::InvalidSample`] when any shared IPC is
+/// negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), strange_metrics::MetricsError> {
+/// // Two apps, each running at 80% of its alone IPC.
+/// let ws = strange_metrics::weighted_speedup(&[(0.8, 1.0), (1.6, 2.0)])?;
+/// assert!((ws - 1.6).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn weighted_speedup(ipc_pairs: &[(f64, f64)]) -> Result<f64, MetricsError> {
+    if ipc_pairs.is_empty() {
+        return Err(MetricsError::EmptyInput);
+    }
+    let mut sum = 0.0;
+    for &(shared, alone) in ipc_pairs {
+        if alone <= 0.0 || !alone.is_finite() {
+            return Err(MetricsError::InvalidBaseline);
+        }
+        if shared < 0.0 || !shared.is_finite() {
+            return Err(MetricsError::InvalidSample);
+        }
+        sum += shared / alone;
+    }
+    Ok(sum)
+}
+
+/// Memory-related slowdown of one application, the building block of the
+/// unfairness index (Section 7):
+///
+/// `MemSlowdown_i = MCPI_shared_i / MCPI_alone_i`
+///
+/// where MCPI is memory stall cycles per instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemSlowdown {
+    value: f64,
+}
+
+impl MemSlowdown {
+    /// Builds the slowdown from shared and alone MCPI values.
+    ///
+    /// Degenerate baselines are handled the way the scheduling literature
+    /// does for compute-bound applications: when the application has
+    /// (near-)zero memory stall when running alone, its memory slowdown is
+    /// defined by treating the alone MCPI as a small epsilon floor, so a
+    /// compute-bound app that starts stalling under sharing still registers
+    /// a slowdown rather than an infinity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let ms = strange_metrics::MemSlowdown::from_mcpi(0.4, 0.2);
+    /// assert_eq!(ms.value(), 2.0);
+    /// ```
+    pub fn from_mcpi(mcpi_shared: f64, mcpi_alone: f64) -> Self {
+        const EPSILON_MCPI: f64 = 1e-4;
+        let shared = mcpi_shared.max(0.0);
+        let alone = mcpi_alone.max(EPSILON_MCPI);
+        // An app cannot be *helped* by interference below parity in this
+        // model; the literature clamps at 1.0 so unfairness >= 1 always.
+        let value = (shared / alone).max(1.0);
+        MemSlowdown { value }
+    }
+
+    /// Builds a slowdown from a raw ratio, clamped at 1.0.
+    pub fn from_ratio(ratio: f64) -> Self {
+        MemSlowdown {
+            value: if ratio.is_finite() { ratio.max(1.0) } else { 1.0 },
+        }
+    }
+
+    /// The slowdown ratio (>= 1.0).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Unfairness index of a workload (Section 7):
+///
+/// `Unfairness = max_i MemSlowdown_i / min_i MemSlowdown_i`
+///
+/// An index of 1 means all applications suffer equally; larger values mean
+/// the memory scheduler unfairly prioritizes some application.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::EmptyInput`] when `slowdowns` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use strange_metrics::{unfairness_index, MemSlowdown};
+/// let u = unfairness_index(&[
+///     MemSlowdown::from_ratio(3.0),
+///     MemSlowdown::from_ratio(1.5),
+/// ]).unwrap();
+/// assert_eq!(u, 2.0);
+/// ```
+pub fn unfairness_index(slowdowns: &[MemSlowdown]) -> Result<f64, MetricsError> {
+    if slowdowns.is_empty() {
+        return Err(MetricsError::EmptyInput);
+    }
+    let max = slowdowns
+        .iter()
+        .map(MemSlowdown::value)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min = slowdowns
+        .iter()
+        .map(MemSlowdown::value)
+        .fold(f64::INFINITY, f64::min);
+    Ok(max / min)
+}
+
+/// Ratio counter for "x out of y" statistics: buffer serve rate (Figure 10)
+/// and similar. Avoids ad-hoc float pairs at call sites.
+///
+/// # Examples
+///
+/// ```
+/// let mut served = strange_metrics::Ratio::new();
+/// served.record(true);
+/// served.record(false);
+/// served.record(true);
+/// assert_eq!(served.rate(), 2.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio (rate reported as 0).
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Records one event; `hit` selects the numerator.
+    pub fn record(&mut self, hit: bool) {
+        self.hits += u64::from(hit);
+        self.total += 1;
+    }
+
+    /// Records `n` events at once, `hits` of which are numerator events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hits > n`.
+    pub fn record_many(&mut self, hits: u64, n: u64) {
+        assert!(hits <= n, "hits ({hits}) must not exceed total ({n})");
+        self.hits += hits;
+        self.total += n;
+    }
+
+    /// Numerator count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The ratio; 0.0 when nothing has been recorded.
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Merges another ratio into this one.
+    pub fn merge(&mut self, other: Ratio) {
+        self.hits += other.hits;
+        self.total += other.total;
+    }
+}
+
+/// Confusion-matrix counts for the DRAM idleness predictors (Section 5.1.2).
+///
+/// * true positive: predicted long, period was long (RNG opportunity used)
+/// * true negative: predicted short, period was short
+/// * false positive: predicted long, period was short (extra interference)
+/// * false negative: predicted short, period was long (wasted opportunity)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Predicted long and the idle period was long.
+    pub true_positive: u64,
+    /// Predicted short and the idle period was short.
+    pub true_negative: u64,
+    /// Predicted long but the idle period was short.
+    pub false_positive: u64,
+    /// Predicted short but the idle period was long.
+    pub false_negative: u64,
+}
+
+impl ConfusionCounts {
+    /// Creates zeroed counts.
+    pub fn new() -> Self {
+        ConfusionCounts::default()
+    }
+
+    /// Records one prediction outcome.
+    pub fn record(&mut self, predicted_long: bool, was_long: bool) {
+        match (predicted_long, was_long) {
+            (true, true) => self.true_positive += 1,
+            (false, false) => self.true_negative += 1,
+            (true, false) => self.false_positive += 1,
+            (false, true) => self.false_negative += 1,
+        }
+    }
+
+    /// Total number of predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.true_positive + self.true_negative + self.false_positive + self.false_negative
+    }
+
+    /// Merges another set of counts into this one.
+    pub fn merge(&mut self, other: ConfusionCounts) {
+        self.true_positive += other.true_positive;
+        self.true_negative += other.true_negative;
+        self.false_positive += other.false_positive;
+        self.false_negative += other.false_negative;
+    }
+}
+
+/// Predictor accuracy `(TP + TN) / total` as reported in Figure 14.
+///
+/// Returns 0.0 when no predictions were recorded (an idle-free workload).
+///
+/// # Examples
+///
+/// ```
+/// use strange_metrics::{accuracy, ConfusionCounts};
+/// let mut c = ConfusionCounts::new();
+/// c.record(true, true);
+/// c.record(false, true);
+/// assert_eq!(accuracy(&c), 0.5);
+/// ```
+pub fn accuracy(counts: &ConfusionCounts) -> f64 {
+    let total = counts.total();
+    if total == 0 {
+        0.0
+    } else {
+        (counts.true_positive + counts.true_negative) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn slowdown_of_equal_times_is_one() {
+        assert_eq!(slowdown(100, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn slowdown_rejects_zero_baseline() {
+        assert_eq!(slowdown(100, 0), Err(MetricsError::InvalidBaseline));
+    }
+
+    #[test]
+    fn weighted_speedup_alone_equals_core_count() {
+        // Each app running at its alone IPC contributes exactly 1.
+        let ws = weighted_speedup(&[(1.0, 1.0), (2.0, 2.0), (0.5, 0.5)]).unwrap();
+        assert!((ws - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_rejects_zero_alone_ipc() {
+        assert_eq!(
+            weighted_speedup(&[(1.0, 0.0)]),
+            Err(MetricsError::InvalidBaseline)
+        );
+    }
+
+    #[test]
+    fn mem_slowdown_clamps_below_one() {
+        let ms = MemSlowdown::from_mcpi(0.1, 0.5);
+        assert_eq!(ms.value(), 1.0);
+    }
+
+    #[test]
+    fn mem_slowdown_epsilon_floors_compute_bound_alone() {
+        // An app with zero alone MCPI that stalls under sharing gets a large
+        // but finite slowdown.
+        let ms = MemSlowdown::from_mcpi(0.5, 0.0);
+        assert!(ms.value().is_finite());
+        assert!(ms.value() > 1.0);
+    }
+
+    #[test]
+    fn unfairness_of_identical_slowdowns_is_one() {
+        let s = [MemSlowdown::from_ratio(2.5), MemSlowdown::from_ratio(2.5)];
+        assert_eq!(unfairness_index(&s).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unfairness_empty_rejected() {
+        assert_eq!(unfairness_index(&[]), Err(MetricsError::EmptyInput));
+    }
+
+    #[test]
+    fn ratio_counts_and_merges() {
+        let mut a = Ratio::new();
+        a.record_many(3, 10);
+        let mut b = Ratio::new();
+        b.record_many(2, 10);
+        a.merge(b);
+        assert_eq!(a.hits(), 5);
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.rate(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn ratio_record_many_validates() {
+        Ratio::new().record_many(2, 1);
+    }
+
+    #[test]
+    fn empty_ratio_rate_is_zero() {
+        assert_eq!(Ratio::new().rate(), 0.0);
+    }
+
+    #[test]
+    fn confusion_accuracy_perfect_predictor() {
+        let mut c = ConfusionCounts::new();
+        for _ in 0..10 {
+            c.record(true, true);
+            c.record(false, false);
+        }
+        assert_eq!(accuracy(&c), 1.0);
+    }
+
+    #[test]
+    fn confusion_accuracy_empty_is_zero() {
+        assert_eq!(accuracy(&ConfusionCounts::new()), 0.0);
+    }
+
+    proptest! {
+        /// Unfairness is always >= 1 for MemSlowdown inputs (which clamp).
+        #[test]
+        fn unfairness_at_least_one(ratios in proptest::collection::vec(0.1f64..50.0, 1..16)) {
+            let slowdowns: Vec<_> = ratios.iter().map(|&r| MemSlowdown::from_ratio(r)).collect();
+            let u = unfairness_index(&slowdowns).unwrap();
+            prop_assert!(u >= 1.0 - 1e-12);
+        }
+
+        /// Unfairness is scale-invariant: multiplying every slowdown by a
+        /// constant does not change the index.
+        #[test]
+        fn unfairness_scale_invariant(
+            ratios in proptest::collection::vec(1.0f64..10.0, 2..8),
+            scale in 1.0f64..5.0,
+        ) {
+            let a: Vec<_> = ratios.iter().map(|&r| MemSlowdown::from_ratio(r)).collect();
+            let b: Vec<_> = ratios.iter().map(|&r| MemSlowdown::from_ratio(r * scale)).collect();
+            let ua = unfairness_index(&a).unwrap();
+            let ub = unfairness_index(&b).unwrap();
+            prop_assert!((ua - ub).abs() < 1e-9);
+        }
+
+        /// Accuracy is within [0, 1] for any outcome mix.
+        #[test]
+        fn accuracy_bounded(outcomes in proptest::collection::vec((any::<bool>(), any::<bool>()), 0..64)) {
+            let mut c = ConfusionCounts::new();
+            for (p, a) in outcomes {
+                c.record(p, a);
+            }
+            let acc = accuracy(&c);
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+
+        /// Ratio::rate is within [0, 1] and consistent with counts.
+        #[test]
+        fn ratio_rate_bounded(events in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let mut r = Ratio::new();
+            for e in &events {
+                r.record(*e);
+            }
+            prop_assert!((0.0..=1.0).contains(&r.rate()));
+            prop_assert_eq!(r.total(), events.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Every figure/table bench target prints its results as aligned text rows
+//! (`paper` column next to `measured` column). This module holds the small
+//! formatter so the harness output stays uniform across all experiments.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// let mut t = strange_metrics::Table::new(&["workload", "slowdown"]);
+/// t.row(&["mcf".to_string(), "1.93".to_string()]);
+/// let s = t.render();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("mcf"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with empty
+    /// cells; longer rows extend the table width.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for rows of `&str`.
+    pub fn row_str(&mut self, cells: &[&str]) {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with column alignment and a header separator.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<w$}");
+                if i + 1 != widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            // Trim trailing spaces from padded last cells.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total.max(1)));
+        out.push('\n');
+        for r in &self.rows {
+            render_row(&mut out, r, &widths);
+        }
+        out
+    }
+}
+
+/// Formats a labelled numeric row `label: v1 v2 v3 ...` with fixed decimals.
+///
+/// # Examples
+///
+/// ```
+/// let s = strange_metrics::fmt_row("avg", &[1.0, 2.5], 2);
+/// assert_eq!(s, "avg: 1.00 2.50");
+/// ```
+pub fn fmt_row(label: &str, values: &[f64], decimals: usize) -> String {
+    let mut out = format!("{label}:");
+    for v in values {
+        let _ = write!(out, " {v:.decimals$}");
+    }
+    out
+}
+
+/// Formats an `(x, y)` series as `label: x1=y1 x2=y2 ...`.
+///
+/// # Examples
+///
+/// ```
+/// let s = strange_metrics::fmt_series("sweep", &[(2.0, 7.3), (4.0, 4.6)], 1);
+/// assert_eq!(s, "sweep: 2=7.3 4=4.6");
+/// ```
+pub fn fmt_series(label: &str, points: &[(f64, f64)], decimals: usize) -> String {
+    let mut out = format!("{label}:");
+    for (x, y) in points {
+        if (x.fract()).abs() < f64::EPSILON {
+            let _ = write!(out, " {}={y:.decimals$}", *x as i64);
+        } else {
+            let _ = write!(out, " {x}={y:.decimals$}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row_str(&["xxxx", "y"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // 'bbbb' starts at same offset as 'y'.
+        assert_eq!(lines[0].find("bbbb"), lines[2].find('y'));
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row_str(&["1"]);
+        let rendered = t.render();
+        assert!(rendered.lines().count() == 3);
+    }
+
+    #[test]
+    fn table_len_tracks_rows() {
+        let mut t = Table::new(&["a"]);
+        assert!(t.is_empty());
+        t.row_str(&["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_row_rounds() {
+        assert_eq!(fmt_row("x", &[1.234], 1), "x: 1.2");
+    }
+
+    #[test]
+    fn fmt_series_integral_x() {
+        assert_eq!(fmt_series("s", &[(1.0, 0.5)], 2), "s: 1=0.50");
+    }
+
+    #[test]
+    fn fmt_series_fractional_x() {
+        assert_eq!(fmt_series("s", &[(1.5, 0.5)], 2), "s: 1.5=0.50");
+    }
+}

@@ -1,0 +1,265 @@
+//! The DRAM-cell entropy substrate.
+//!
+//! DRAM-based TRNGs like D-RaNGe exploit manufacturing process variation:
+//! when the memory controller violates timing parameters (e.g. a strongly
+//! reduced tRCD), most cells still read deterministically (they are either
+//! comfortably fast or comfortably slow), but a small fraction sit right at
+//! the sampling boundary and fail *randomly* — these are the RNG cells.
+//!
+//! [`CellArray`] models a region of DRAM cells, each with a Bernoulli
+//! failure probability drawn from a process-variation mixture (mostly
+//! deterministic cells plus a tail of boundary cells). [`CellArray::profile`]
+//! reproduces D-RaNGe's profiling step: estimate each cell's failure
+//! probability from repeated reduced-timing reads and keep cells whose
+//! estimate falls in the RNG band around 0.5.
+//!
+//! This substitutes for real-hardware measurements (see DESIGN.md): it
+//! exercises the same profiling/selection/sampling code paths and produces
+//! bits with the same statistical character.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fraction of cells that are timing-boundary ("variable") cells.
+const VARIABLE_CELL_FRACTION: f64 = 0.05;
+/// Fraction of cells that always fail under reduced timing.
+const ALWAYS_FAIL_FRACTION: f64 = 0.10;
+
+/// The RNG-cell selection band: profile keeps cells with estimated failure
+/// probability in `[0.5 - RNG_BAND, 0.5 + RNG_BAND]` (D-RaNGe's criterion).
+pub const RNG_BAND: f64 = 0.1;
+
+/// A simulated array of DRAM cells under reduced-timing access.
+#[derive(Debug, Clone)]
+pub struct CellArray {
+    probs: Vec<f32>,
+    rng: SmallRng,
+}
+
+impl CellArray {
+    /// Creates an array of `cells` cells with process variation drawn from
+    /// `seed`. The same seed reproduces the same die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero.
+    pub fn with_process_variation(cells: usize, seed: u64) -> Self {
+        assert!(cells > 0, "cell array must be non-empty");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let probs = (0..cells)
+            .map(|_| {
+                let class: f64 = rng.gen();
+                if class < VARIABLE_CELL_FRACTION {
+                    // Boundary cells: anywhere in (0.05, 0.95).
+                    rng.gen_range(0.05..0.95) as f32
+                } else if class < VARIABLE_CELL_FRACTION + ALWAYS_FAIL_FRACTION {
+                    // Far past the boundary: (almost) always fails.
+                    rng.gen_range(0.985..1.0) as f32
+                } else {
+                    // Comfortably fast: (almost) never fails.
+                    rng.gen_range(0.0..0.015) as f32
+                }
+            })
+            .collect();
+        CellArray {
+            probs,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Number of cells in the array.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the array has no cells (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// One reduced-timing read of `cell`: true = the cell failed (sampled a
+    /// random-looking value), false = read correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn sample(&mut self, cell: usize) -> bool {
+        let p = self.probs[cell];
+        self.rng.gen::<f32>() < p
+    }
+
+    /// D-RaNGe-style profiling: read every cell `reads_per_cell` times under
+    /// reduced timing and return the indices whose estimated failure
+    /// probability lies within [`RNG_BAND`] of 0.5 — the RNG cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads_per_cell` is zero.
+    pub fn profile(&mut self, reads_per_cell: u32) -> Vec<usize> {
+        assert!(reads_per_cell > 0, "profiling needs at least one read");
+        let mut rng_cells = Vec::new();
+        for cell in 0..self.probs.len() {
+            let mut fails = 0u32;
+            for _ in 0..reads_per_cell {
+                fails += u32::from(self.sample(cell));
+            }
+            let p_hat = fails as f64 / reads_per_cell as f64;
+            if (p_hat - 0.5).abs() <= RNG_BAND {
+                rng_cells.push(cell);
+            }
+        }
+        rng_cells
+    }
+}
+
+/// A stream of true-random bits drawn from profiled RNG cells.
+///
+/// Wraps a [`CellArray`] plus the profiled RNG-cell list and round-robins
+/// reads over the cells, the way D-RaNGe interleaves accesses over RNG cells
+/// in different banks.
+///
+/// # Examples
+///
+/// ```
+/// use strange_trng::RngCellSource;
+///
+/// let mut source = RngCellSource::new(4096, 7, 100);
+/// let word = source.draw(64);
+/// let _ = word; // 64 true-random bits
+/// assert!(source.rng_cell_count() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngCellSource {
+    cells: CellArray,
+    rng_cells: Vec<usize>,
+    cursor: usize,
+}
+
+impl RngCellSource {
+    /// Builds a source over a fresh die of `cells` cells seeded by `seed`,
+    /// profiling with `reads_per_cell` reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if profiling finds no RNG cells (arrays of a few thousand
+    /// cells always contain some under the default process-variation model).
+    pub fn new(cells: usize, seed: u64, reads_per_cell: u32) -> Self {
+        let mut array = CellArray::with_process_variation(cells, seed);
+        let rng_cells = array.profile(reads_per_cell);
+        assert!(
+            !rng_cells.is_empty(),
+            "no RNG cells found; enlarge the array"
+        );
+        RngCellSource {
+            cells: array,
+            rng_cells,
+            cursor: 0,
+        }
+    }
+
+    /// Number of profiled RNG cells.
+    pub fn rng_cell_count(&self) -> usize {
+        self.rng_cells.len()
+    }
+
+    /// Draws `count` bits (1..=64) packed into the low bits of a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or greater than 64.
+    pub fn draw(&mut self, count: u32) -> u64 {
+        assert!((1..=64).contains(&count), "count must be 1..=64");
+        let mut word = 0u64;
+        for _ in 0..count {
+            let cell = self.rng_cells[self.cursor];
+            self.cursor = (self.cursor + 1) % self.rng_cells.len();
+            word = (word << 1) | u64::from(self.cells.sample(cell));
+        }
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_variation_produces_three_populations() {
+        let array = CellArray::with_process_variation(100_000, 1);
+        let near_zero = array.probs.iter().filter(|&&p| p < 0.05).count();
+        let near_one = array.probs.iter().filter(|&&p| p > 0.95).count();
+        let middle = array.len() - near_zero - near_one;
+        assert!(near_zero > 75_000, "most cells never fail: {near_zero}");
+        assert!(near_one > 7_000, "a chunk always fail: {near_one}");
+        assert!(middle > 2_000, "boundary cells exist: {middle}");
+    }
+
+    #[test]
+    fn profiling_selects_cells_near_half() {
+        let mut array = CellArray::with_process_variation(50_000, 2);
+        let probs = array.probs.clone();
+        let rng_cells = array.profile(200);
+        assert!(!rng_cells.is_empty());
+        for &c in &rng_cells {
+            // True probability should be near the band (estimation noise
+            // allows a small margin beyond it).
+            assert!(
+                (probs[c] as f64 - 0.5).abs() < RNG_BAND + 0.12,
+                "cell {c} has p={}",
+                probs[c]
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_die() {
+        let a = CellArray::with_process_variation(1000, 3);
+        let b = CellArray::with_process_variation(1000, 3);
+        assert_eq!(a.probs, b.probs);
+    }
+
+    #[test]
+    fn different_seed_different_die() {
+        let a = CellArray::with_process_variation(1000, 3);
+        let b = CellArray::with_process_variation(1000, 4);
+        assert_ne!(a.probs, b.probs);
+    }
+
+    #[test]
+    fn draw_produces_balanced_bits() {
+        let mut source = RngCellSource::new(20_000, 5, 200);
+        let mut ones = 0u64;
+        let n = 2_000u32;
+        for _ in 0..n {
+            ones += source.draw(64).count_ones() as u64;
+        }
+        let total = n as u64 * 64;
+        let ratio = ones as f64 / total as f64;
+        // RNG cells are within ±0.1 of p=0.5 by construction; the aggregate
+        // over many cells lands well inside (0.42, 0.58).
+        assert!((0.42..0.58).contains(&ratio), "ones ratio {ratio}");
+    }
+
+    #[test]
+    fn draw_respects_bit_count() {
+        let mut source = RngCellSource::new(8192, 6, 100);
+        for count in [1u32, 7, 32, 63] {
+            let word = source.draw(count);
+            if count < 64 {
+                assert_eq!(word >> count, 0, "bits above count must be zero");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "count must be 1..=64")]
+    fn draw_rejects_zero() {
+        RngCellSource::new(8192, 6, 50).draw(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn empty_array_rejected() {
+        CellArray::with_process_variation(0, 1);
+    }
+}

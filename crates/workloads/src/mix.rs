@@ -1,0 +1,323 @@
+//! Multi-programmed workload construction (paper Tables 2 and 3).
+//!
+//! * **Motivation study** (Figure 1): 172 two-core workloads — each of the
+//!   43 applications paired with each of the four RNG intensities.
+//! * **Two-core evaluation** (Figures 6, 9, 10, 11, 13, 15, 16): 43 pairs,
+//!   each application with the 5120 Mb/s RNG benchmark (640 Mb/s for
+//!   Section 8.8, 10 Gb/s for appendix A.1).
+//! * **Four-core groups** (Figures 7a, 8a): LLLS / LLHS / LHHS / HHHS — 3
+//!   applications drawn from the named intensity classes plus one RNG
+//!   benchmark ("S"), 10 workloads per group.
+//! * **Class groups** (Figures 7b, 8b, 12, 14): L/M/H groups of 4-, 8-,
+//!   and 16-core workloads (one RNG benchmark plus same-class
+//!   applications), 10 workloads per group.
+//! * **Non-RNG multicore mixes** (Figure 18): the same class groups
+//!   without the RNG benchmark, used for idle-period profiling.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use strange_cpu::TraceSource;
+
+use crate::apps::{all_apps, apps_in_class, AppSpec, IntensityClass};
+use crate::rng_app::RngBenchmark;
+use crate::synth::SyntheticTrace;
+
+/// One slot of a workload: a named catalog application or an RNG benchmark
+/// with a required throughput in Mb/s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppRef {
+    /// A catalog application by name.
+    Named(&'static str),
+    /// A synthetic RNG benchmark (`required throughput in Mb/s`).
+    Rng(u32),
+}
+
+impl AppRef {
+    /// Display label (application name or `rng<mbps>`).
+    pub fn label(&self) -> String {
+        match self {
+            AppRef::Named(n) => (*n).to_string(),
+            AppRef::Rng(mbps) => format!("rng{mbps}"),
+        }
+    }
+}
+
+/// A multi-programmed workload: an ordered list of applications, one per
+/// core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Human-readable name (used in harness tables).
+    pub name: String,
+    /// One entry per core.
+    pub apps: Vec<AppRef>,
+}
+
+impl Workload {
+    /// Builds a two-application workload (non-RNG app + RNG benchmark),
+    /// the paper's dual-core shape.
+    pub fn pair(app: &AppSpec, mbps: u32) -> Self {
+        Workload {
+            name: format!("{}+rng{}", app.name, mbps),
+            apps: vec![AppRef::Named(app.name), AppRef::Rng(mbps)],
+        }
+    }
+
+    /// Number of cores this workload occupies.
+    pub fn cores(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Index of the RNG benchmark core, if present.
+    pub fn rng_core(&self) -> Option<usize> {
+        self.apps.iter().position(|a| matches!(a, AppRef::Rng(_)))
+    }
+
+    /// Indices of non-RNG cores.
+    pub fn non_rng_cores(&self) -> Vec<usize> {
+        (0..self.apps.len())
+            .filter(|&i| !matches!(self.apps[i], AppRef::Rng(_)))
+            .collect()
+    }
+
+    /// Instantiates the trace generators, one per core. Deterministic: the
+    /// same workload always produces the same streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named application is not in the catalog (workloads are
+    /// built from the catalog, so this indicates internal inconsistency).
+    pub fn traces(&self) -> Vec<Box<dyn TraceSource + Send>> {
+        self.apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| match a {
+                AppRef::Named(name) => {
+                    let spec = crate::apps::app_by_name(name)
+                        .unwrap_or_else(|| panic!("unknown application {name}"));
+                    Box::new(SyntheticTrace::new(spec, i as u64)) as Box<dyn TraceSource + Send>
+                }
+                AppRef::Rng(mbps) => {
+                    Box::new(RngBenchmark::new(*mbps, i as u64)) as Box<dyn TraceSource + Send>
+                }
+            })
+            .collect()
+    }
+}
+
+/// The 172 motivation workloads (Figure 1 / Table 2): every application ×
+/// every RNG intensity.
+pub fn motivation_pairs() -> Vec<Workload> {
+    let mut out = Vec::new();
+    for mbps in crate::rng_app::RNG_THROUGHPUTS_MBPS {
+        for app in all_apps() {
+            out.push(Workload::pair(&app, mbps));
+        }
+    }
+    out
+}
+
+/// The 43 two-core evaluation workloads at a given RNG intensity
+/// (5120 Mb/s for the main results).
+pub fn eval_pairs(mbps: u32) -> Vec<Workload> {
+    all_apps().iter().map(|a| Workload::pair(a, mbps)).collect()
+}
+
+/// The four-core groups of Figures 7a/8a: LLLS, LLHS, LHHS, HHHS, each
+/// with `per_group` workloads (the paper uses 10).
+pub fn four_core_groups(per_group: usize, seed: u64) -> Vec<(String, Vec<Workload>)> {
+    let shapes: [(&str, [IntensityClass; 3]); 4] = [
+        (
+            "LLLS",
+            [IntensityClass::Low, IntensityClass::Low, IntensityClass::Low],
+        ),
+        (
+            "LLHS",
+            [IntensityClass::Low, IntensityClass::Low, IntensityClass::High],
+        ),
+        (
+            "LHHS",
+            [IntensityClass::Low, IntensityClass::High, IntensityClass::High],
+        ),
+        (
+            "HHHS",
+            [IntensityClass::High, IntensityClass::High, IntensityClass::High],
+        ),
+    ];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    shapes
+        .iter()
+        .map(|(name, classes)| {
+            let workloads = (0..per_group)
+                .map(|i| {
+                    let mut apps = Vec::new();
+                    // Sample distinct applications per class requirement.
+                    let mut used: Vec<&str> = Vec::new();
+                    for class in classes {
+                        let pool: Vec<AppSpec> = apps_in_class(*class)
+                            .into_iter()
+                            .filter(|a| !used.contains(&a.name))
+                            .collect();
+                        let pick = pool.choose(&mut rng).expect("class pool non-empty");
+                        used.push(pick.name);
+                        apps.push(AppRef::Named(pick.name));
+                    }
+                    apps.push(AppRef::Rng(5120));
+                    Workload {
+                        name: format!("{name}-{i}"),
+                        apps,
+                    }
+                })
+                .collect();
+            ((*name).to_string(), workloads)
+        })
+        .collect()
+}
+
+/// L/M/H class groups for `cores`-core workloads (Figures 7b, 8b, 12, 14):
+/// one RNG benchmark plus `cores - 1` applications of the class, allowing
+/// repeats when the class has fewer applications than slots.
+pub fn multicore_class_groups(
+    cores: usize,
+    per_group: usize,
+    seed: u64,
+) -> Vec<(String, Vec<Workload>)> {
+    class_groups(cores, per_group, seed, true)
+}
+
+/// The Figure 18 variant: the same class groups without the RNG benchmark
+/// (all `cores` slots are regular applications).
+pub fn nonrng_class_groups(
+    cores: usize,
+    per_group: usize,
+    seed: u64,
+) -> Vec<(String, Vec<Workload>)> {
+    class_groups(cores, per_group, seed, false)
+}
+
+fn class_groups(
+    cores: usize,
+    per_group: usize,
+    seed: u64,
+    with_rng: bool,
+) -> Vec<(String, Vec<Workload>)> {
+    assert!(cores >= 2, "class groups need at least two cores");
+    let mut rng = SmallRng::seed_from_u64(seed ^ cores as u64);
+    [IntensityClass::Low, IntensityClass::Medium, IntensityClass::High]
+        .iter()
+        .map(|class| {
+            let label = format!("{} ({})", class.letter(), cores);
+            let pool = apps_in_class(*class);
+            let slots = if with_rng { cores - 1 } else { cores };
+            let workloads = (0..per_group)
+                .map(|i| {
+                    let mut apps: Vec<AppRef> = (0..slots)
+                        .map(|_| AppRef::Named(pool.choose(&mut rng).expect("non-empty").name))
+                        .collect();
+                    if with_rng {
+                        apps.push(AppRef::Rng(5120));
+                    }
+                    Workload {
+                        name: format!("{}{}-{}", class.letter(), cores, i),
+                        apps,
+                    }
+                })
+                .collect();
+            (label, workloads)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivation_has_172_workloads() {
+        let w = motivation_pairs();
+        assert_eq!(w.len(), 172);
+        assert!(w.iter().all(|w| w.cores() == 2));
+    }
+
+    #[test]
+    fn eval_pairs_cover_all_apps() {
+        let w = eval_pairs(5120);
+        assert_eq!(w.len(), 43);
+        assert_eq!(w[0].rng_core(), Some(1));
+        assert_eq!(w[0].non_rng_cores(), vec![0]);
+    }
+
+    #[test]
+    fn four_core_groups_shapes() {
+        let groups = four_core_groups(10, 1);
+        assert_eq!(groups.len(), 4);
+        for (name, ws) in &groups {
+            assert_eq!(ws.len(), 10, "{name}");
+            for w in ws {
+                assert_eq!(w.cores(), 4);
+                assert_eq!(w.rng_core(), Some(3));
+                // The three non-RNG apps are distinct.
+                let mut names: Vec<String> =
+                    w.non_rng_cores().iter().map(|&i| w.apps[i].label()).collect();
+                names.sort();
+                names.dedup();
+                assert_eq!(names.len(), 3, "{}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn four_core_group_classes_match_labels() {
+        let groups = four_core_groups(5, 2);
+        let (name, ws) = &groups[3]; // HHHS
+        assert_eq!(name, "HHHS");
+        for w in ws {
+            for &i in &w.non_rng_cores() {
+                let app = crate::apps::app_by_name(&w.apps[i].label()).unwrap();
+                assert_eq!(app.class(), IntensityClass::High);
+            }
+        }
+    }
+
+    #[test]
+    fn class_groups_for_8_and_16_cores() {
+        for cores in [4usize, 8, 16] {
+            let groups = multicore_class_groups(cores, 10, 7);
+            assert_eq!(groups.len(), 3);
+            for (_, ws) in groups {
+                for w in ws {
+                    assert_eq!(w.cores(), cores);
+                    assert!(w.rng_core().is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonrng_groups_have_no_rng() {
+        let groups = nonrng_class_groups(8, 5, 3);
+        for (_, ws) in groups {
+            for w in ws {
+                assert_eq!(w.cores(), 8);
+                assert!(w.rng_core().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn traces_instantiate_per_core() {
+        let w = Workload::pair(&crate::apps::app_by_name("mcf").unwrap(), 5120);
+        let traces = w.traces();
+        assert_eq!(traces.len(), 2);
+    }
+
+    #[test]
+    fn group_sampling_is_seed_deterministic() {
+        let a = four_core_groups(10, 42);
+        let b = four_core_groups(10, 42);
+        assert_eq!(a, b);
+        let c = four_core_groups(10, 43);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,60 @@
+//! # DR-STRaNGe — end-to-end system design for DRAM-based TRNGs
+//!
+//! A full reproduction of *"DR-STRaNGe: End-to-End System Design for
+//! DRAM-based True Random Number Generators"* (Bostancı et al., HPCA
+//! 2022), built from scratch in Rust: the cycle-level DRAM/CPU simulation
+//! substrate, the DRAM-TRNG mechanism models (D-RaNGe, QUAC-TRNG), the
+//! DR-STRaNGe system itself (random-number buffering with DRAM idleness
+//! prediction, RNG-aware memory scheduling, and a `getrandom()`-style
+//! application interface), the paper's workloads, and the measurement
+//! stack (performance/fairness metrics, energy, area).
+//!
+//! This crate is a facade: it re-exports the workspace crates under short
+//! module names. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every figure and
+//! table.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`dram`] | `strange-dram` | DDR3 banks/timing, controller, FR-FCFS+Cap, BLISS |
+//! | [`cpu`] | `strange-cpu` | trace-driven OoO core model |
+//! | [`trng`] | `strange-trng` | D-RaNGe, QUAC-TRNG, entropy substrate, quality tests |
+//! | [`core`] | `strange-core` | buffer, predictors, RNG-aware engine, `System` |
+//! | [`workloads`] | `strange-workloads` | 43-app catalog, RNG benchmarks, mixes |
+//! | [`metrics`] | `strange-metrics` | slowdown, weighted speedup, unfairness, box plots |
+//! | [`energy`] | `strange-energy` | DRAMPower-style energy, CACTI-style area |
+//!
+//! # Quickstart
+//!
+//! Run one of the paper's dual-core workloads under the RNG-oblivious
+//! baseline and under DR-STRaNGe, and compare:
+//!
+//! ```
+//! use dr_strange::core::{System, SystemConfig};
+//! use dr_strange::trng::DRange;
+//! use dr_strange::workloads::eval_pairs;
+//!
+//! let workload = &eval_pairs(5120)[4]; // sphinx3 + rng5120
+//! let run = |config: SystemConfig| {
+//!     let config = config.with_instruction_target(20_000);
+//!     System::new(config, workload.traces(), Box::new(DRange::new(1)))
+//!         .expect("valid configuration")
+//!         .run()
+//! };
+//! let baseline = run(SystemConfig::rng_oblivious(2));
+//! let drstrange = run(SystemConfig::dr_strange(2));
+//! // DR-STRaNGe hides TRNG latency behind the random number buffer.
+//! assert!(drstrange.stats.buffer_serve_rate() > 0.0);
+//! assert!(drstrange.exec_cycles(1) <= baseline.exec_cycles(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use strange_core as core;
+pub use strange_cpu as cpu;
+pub use strange_dram as dram;
+pub use strange_energy as energy;
+pub use strange_metrics as metrics;
+pub use strange_trng as trng;
+pub use strange_workloads as workloads;

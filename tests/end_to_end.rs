@@ -1,0 +1,146 @@
+//! End-to-end integration: catalog workloads through the full system, with
+//! the paper's headline claims checked directionally at small scale.
+
+use dr_strange::core::{RunResult, System, SystemConfig};
+use dr_strange::metrics::{unfairness_index, MemSlowdown};
+use dr_strange::trng::DRange;
+use dr_strange::workloads::{app_by_name, AppRef, Workload};
+
+const TARGET: u64 = 60_000;
+
+fn run(config: SystemConfig, workload: &Workload) -> RunResult {
+    let mut sys = System::new(
+        config.with_instruction_target(TARGET),
+        workload.traces(),
+        Box::new(DRange::new(1)),
+    )
+    .expect("valid configuration");
+    let res = sys.run();
+    assert!(!res.hit_cycle_limit, "{} hit the cycle limit", workload.name);
+    res
+}
+
+fn alone(app: &AppRef) -> RunResult {
+    run(
+        SystemConfig::rng_oblivious(1),
+        &Workload {
+            name: format!("{}-alone", app.label()),
+            apps: vec![app.clone()],
+        },
+    )
+}
+
+/// The paper's central claim (Figures 6 and 9), checked as an average over
+/// a sample of catalog applications: DR-STRaNGe improves non-RNG
+/// performance, RNG performance, and fairness over the RNG-oblivious
+/// baseline.
+#[test]
+fn dr_strange_beats_baseline_on_average() {
+    let apps = ["ycsb1", "sphinx3", "soplex", "lbm", "hmmer", "gcc"];
+    let mut base_sums = (0.0, 0.0, 0.0);
+    let mut ds_sums = (0.0, 0.0, 0.0);
+    for name in apps {
+        let wl = Workload::pair(&app_by_name(name).expect("in catalog"), 5120);
+        let alone_app = alone(&wl.apps[0]);
+        let alone_rng = alone(&wl.apps[1]);
+        for (sums, cfg) in [
+            (&mut base_sums, SystemConfig::rng_oblivious(2)),
+            (&mut ds_sums, SystemConfig::dr_strange(2)),
+        ] {
+            let res = run(cfg, &wl);
+            sums.0 += res.exec_cycles(0) as f64 / alone_app.exec_cycles(0) as f64;
+            sums.1 += res.exec_cycles(1) as f64 / alone_rng.exec_cycles(0) as f64;
+            sums.2 += unfairness_index(&[
+                MemSlowdown::from_mcpi(res.cores[0].mcpi(), alone_app.cores[0].mcpi()),
+                MemSlowdown::from_mcpi(res.cores[1].mcpi(), alone_rng.cores[0].mcpi()),
+            ])
+            .expect("two apps");
+        }
+    }
+    assert!(
+        ds_sums.0 < base_sums.0,
+        "non-RNG slowdown: DR-STRaNGe {ds_sums:?} vs baseline {base_sums:?}"
+    );
+    assert!(
+        ds_sums.1 < base_sums.1,
+        "RNG slowdown: DR-STRaNGe {ds_sums:?} vs baseline {base_sums:?}"
+    );
+    assert!(
+        ds_sums.2 < base_sums.2,
+        "unfairness: DR-STRaNGe {ds_sums:?} vs baseline {base_sums:?}"
+    );
+}
+
+/// Figure 1's motivation trend: baseline interference grows with the
+/// required RNG throughput.
+#[test]
+fn baseline_interference_grows_with_rng_intensity() {
+    let app = app_by_name("milc").expect("in catalog");
+    let alone_app = alone(&AppRef::Named("milc"));
+    let mut prev = 0.0;
+    for mbps in [640u32, 2560, 10_240] {
+        let wl = Workload::pair(&app, mbps);
+        let res = run(SystemConfig::rng_oblivious(2), &wl);
+        let sd = res.exec_cycles(0) as f64 / alone_app.exec_cycles(0) as f64;
+        assert!(
+            sd > prev,
+            "slowdown must grow with intensity: {sd} after {prev} at {mbps}"
+        );
+        prev = sd;
+    }
+}
+
+/// The buffer hides TRNG latency: with DR-STRaNGe, the RNG application can
+/// run *faster* than it does alone on the RNG-oblivious baseline
+/// (Figure 6 bottom: 20.6% average improvement over alone).
+#[test]
+fn buffer_beats_alone_execution() {
+    let wl = Workload::pair(&app_by_name("povray").expect("in catalog"), 5120);
+    let alone_rng = alone(&wl.apps[1]);
+    let res = run(SystemConfig::dr_strange(2), &wl);
+    let sd = res.exec_cycles(1) as f64 / alone_rng.exec_cycles(0) as f64;
+    assert!(sd < 1.0, "RNG app should beat its alone baseline: {sd}");
+    assert!(res.stats.buffer_serve_rate() > 0.5);
+}
+
+/// Four-core workloads run to completion under every design preset.
+#[test]
+fn four_core_mixes_run_under_all_designs() {
+    let groups = dr_strange::workloads::four_core_groups(1, 5);
+    let wl = groups[1].1[0].clone(); // one LLHS workload
+    for cfg in [
+        SystemConfig::rng_oblivious(4),
+        SystemConfig::greedy_idle(4),
+        SystemConfig::dr_strange(4),
+        SystemConfig::dr_strange_rl(4),
+        SystemConfig::dr_strange_no_predictor(4),
+    ] {
+        let res = run(cfg, &wl);
+        assert_eq!(res.cores.len(), 4);
+        assert!(res.stats.rng_requests > 0);
+    }
+}
+
+/// System invariants that must hold for any run.
+#[test]
+fn run_invariants() {
+    let wl = Workload::pair(&app_by_name("gems").expect("in catalog"), 2560);
+    let res = run(SystemConfig::dr_strange(2), &wl);
+    let s = &res.stats;
+    assert_eq!(
+        s.rng_served_from_buffer + s.rng_served_on_demand,
+        s.rng_completions,
+        "every completion is either a buffer hit or on-demand"
+    );
+    assert!(s.rng_completions <= s.rng_requests);
+    assert!((0.0..=1.0).contains(&s.buffer_serve_rate()));
+    assert!((0.0..=1.0).contains(&s.predictor_accuracy()));
+    let total = res.total_channel_stats();
+    assert!(total.cycles > 0);
+    assert!(total.idle_cycles <= total.cycles);
+    // Row-buffer outcome accounting is complete.
+    assert_eq!(
+        total.row_hits + total.row_misses + total.row_conflicts,
+        total.reads + total.writes
+    );
+}

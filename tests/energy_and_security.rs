@@ -1,0 +1,119 @@
+//! Cross-crate integration: the Section 8.9 energy claim and the Section 6
+//! security properties, exercised through the full simulated system.
+
+use dr_strange::core::{RngDevice, RunResult, ServeKind, System, SystemConfig};
+use dr_strange::dram::TimingParams;
+use dr_strange::energy::{area_mm2, system_energy, Ddr3PowerParams, StructureBits};
+use dr_strange::trng::{runs_test, DRange};
+use dr_strange::workloads::{app_by_name, Workload};
+
+const TARGET: u64 = 60_000;
+
+fn run(config: SystemConfig, workload: &Workload) -> RunResult {
+    System::new(
+        config.with_instruction_target(TARGET),
+        workload.traces(),
+        Box::new(DRange::new(1)),
+    )
+    .expect("valid configuration")
+    .run()
+}
+
+/// Section 8.9: DR-STRaNGe reduces memory energy versus the RNG-oblivious
+/// baseline by finishing the same work in fewer cycles.
+#[test]
+fn dr_strange_reduces_energy() {
+    let timing = TimingParams::ddr3_1600();
+    let power = Ddr3PowerParams::default();
+    let mut base_total = 0.0;
+    let mut ds_total = 0.0;
+    let mut base_cycles = 0u64;
+    let mut ds_cycles = 0u64;
+    for name in ["sphinx3", "soplex", "ycsb1"] {
+        let wl = Workload::pair(&app_by_name(name).expect("in catalog"), 5120);
+        let base = run(SystemConfig::rng_oblivious(2), &wl);
+        let ds = run(SystemConfig::dr_strange(2), &wl);
+        base_total += system_energy(&base.channels, &timing, &power).total_nj();
+        ds_total += system_energy(&ds.channels, &timing, &power).total_nj();
+        base_cycles += base.mem_cycles;
+        ds_cycles += ds.mem_cycles;
+    }
+    assert!(
+        ds_cycles < base_cycles,
+        "total memory cycles must shrink: {ds_cycles} vs {base_cycles}"
+    );
+    assert!(
+        ds_total < base_total,
+        "energy must shrink: {ds_total} vs {base_total}"
+    );
+}
+
+/// Section 8.9: the area of the DR-STRaNGe structures is negligible, and
+/// the RL variant costs more than the simple one.
+#[test]
+fn area_claims() {
+    let simple = area_mm2(StructureBits::paper_simple());
+    let rl = area_mm2(StructureBits::paper_rl());
+    assert!(simple < 0.003);
+    assert!(rl > simple);
+    assert!(rl < 0.02);
+}
+
+/// Section 6: random numbers served through the full system are unique —
+/// the buffer discards each word after serving it.
+#[test]
+fn full_system_serves_unique_values() {
+    let wl = Workload {
+        name: "rng-only".into(),
+        apps: vec![dr_strange::workloads::AppRef::Rng(5120)],
+    };
+    let mut sys = System::new(
+        SystemConfig::dr_strange(1).with_instruction_target(300_000),
+        wl.traces(),
+        Box::new(DRange::new(99)),
+    )
+    .expect("valid configuration");
+    sys.set_value_log(true);
+    sys.run();
+    let log = sys.mem().value_log();
+    assert!(log.len() > 50, "need a meaningful sample: {}", log.len());
+    let mut sorted = log.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), log.len(), "no 64-bit value served twice");
+}
+
+/// Section 6 timing side channel: the interface exposes exactly two
+/// observable service classes (buffer vs generated), and the buffer state
+/// determines which one a caller sees.
+#[test]
+fn timing_side_channel_classes() {
+    let mut dev = RngDevice::new(Box::new(DRange::new(5)), 16);
+    let mut buf = [0u8; 8];
+    assert_eq!(dev.getrandom(&mut buf), ServeKind::Generated);
+    dev.background_fill(8);
+    assert_eq!(dev.getrandom(&mut buf), ServeKind::Buffer);
+    // Draining the buffer flips the observable class back.
+    assert_eq!(dev.getrandom(&mut buf), ServeKind::Generated);
+}
+
+/// Random values served by the full system look random (runs structure).
+#[test]
+fn served_values_pass_runs_test() {
+    let wl = Workload {
+        name: "rng-only".into(),
+        apps: vec![dr_strange::workloads::AppRef::Rng(10_240)],
+    };
+    let mut sys = System::new(
+        SystemConfig::dr_strange(1).with_instruction_target(400_000),
+        wl.traces(),
+        Box::new(DRange::new(3)),
+    )
+    .expect("valid configuration");
+    sys.set_value_log(true);
+    sys.run();
+    let log = sys.mem().value_log();
+    assert!(log.len() >= 256);
+    let z = runs_test(log).statistic;
+    assert!(z < 6.0, "served stream has no gross run structure: z = {z}");
+}
