@@ -1,0 +1,153 @@
+//! Fast-forward engine benchmark: wall-clock speedup of the event-driven
+//! simulation loop over the per-cycle reference on idle-dominated
+//! workloads (the fig05/fig15 low-utilization regime), plus a busy
+//! workload as a regression guard.
+//!
+//! Emits `BENCH_fastforward.json` (in the working directory, or at
+//! `$BENCH_FASTFORWARD_OUT`) with wall times and simulated cycles/second
+//! so CI can track the perf trajectory across PRs.
+
+use std::time::Instant;
+
+use strange_core::{SimMode, System, SystemConfig};
+use strange_trng::DRange;
+use strange_workloads::{app_by_name, eval_pairs, Workload};
+
+struct Case {
+    name: &'static str,
+    cfg: SystemConfig,
+    workload: Workload,
+}
+
+struct Measurement {
+    name: &'static str,
+    reference_ms: f64,
+    fastforward_ms: f64,
+    cycles: u64,
+    ref_cps: f64,
+    ff_cps: f64,
+    speedup: f64,
+}
+
+fn instr_target() -> u64 {
+    std::env::var("STRANGE_INSTR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120_000)
+}
+
+fn run_mode(case: &Case, mode: SimMode) -> (f64, u64) {
+    let cfg = case.cfg.clone().with_sim_mode(mode);
+    let mut sys = System::new(cfg, case.workload.traces(), Box::new(DRange::new(1)))
+        .expect("valid configuration");
+    let start = Instant::now();
+    let res = sys.run();
+    (start.elapsed().as_secs_f64() * 1e3, res.cpu_cycles)
+}
+
+fn measure(case: &Case) -> Measurement {
+    // One warm-up pass per mode, then take the best of three.
+    let best = |mode: SimMode| -> (f64, u64) {
+        run_mode(case, mode);
+        let mut best_ms = f64::INFINITY;
+        let mut cycles = 0;
+        for _ in 0..3 {
+            let (ms, c) = run_mode(case, mode);
+            if ms < best_ms {
+                best_ms = ms;
+            }
+            cycles = c;
+        }
+        (best_ms, cycles)
+    };
+    let (reference_ms, ref_cycles) = best(SimMode::Reference);
+    let (fastforward_ms, ff_cycles) = best(SimMode::FastForward);
+    assert_eq!(
+        ref_cycles, ff_cycles,
+        "{}: modes must simulate identical cycle counts",
+        case.name
+    );
+    Measurement {
+        name: case.name,
+        reference_ms,
+        fastforward_ms,
+        cycles: ref_cycles,
+        ref_cps: ref_cycles as f64 / (reference_ms / 1e3),
+        ff_cps: ff_cycles as f64 / (fastforward_ms / 1e3),
+        speedup: reference_ms / fastforward_ms,
+    }
+}
+
+fn main() {
+    let target = instr_target();
+    let pairs = eval_pairs(5120);
+    // Fig. 5/15 + Sec. 8.8 regime: a low-intensity application next to a
+    // low-intensity (640 Mb/s) RNG benchmark — long idle periods, the
+    // fast path's home turf.
+    let idle_pair = Workload::pair(&app_by_name("povray").expect("catalog"), 640);
+    let cases = vec![
+        Case {
+            name: "fig15_low_utilization",
+            cfg: SystemConfig::dr_strange(2).with_instruction_target(target),
+            workload: idle_pair.clone(),
+        },
+        Case {
+            name: "fig05_idle_baseline",
+            cfg: SystemConfig::rng_oblivious(2).with_instruction_target(target),
+            workload: idle_pair,
+        },
+        Case {
+            // Memory-intensive pair at the paper's highest RNG intensity:
+            // little to skip; guards against the event probing regressing
+            // the busy path.
+            name: "busy_guard",
+            cfg: SystemConfig::dr_strange(2).with_instruction_target(target),
+            workload: pairs[0].clone(),
+        },
+    ];
+
+    println!("fast-forward vs per-cycle reference ({target} instructions/core)\n");
+    let mut rows = Vec::new();
+    for case in &cases {
+        let m = measure(case);
+        println!(
+            "{:24} {:10} cycles  ref {:8.1} ms ({:9.0} cyc/s)  ff {:8.1} ms ({:9.0} cyc/s)  speedup {:5.2}x",
+            m.name, m.cycles, m.reference_ms, m.ref_cps, m.fastforward_ms, m.ff_cps, m.speedup
+        );
+        rows.push(m);
+    }
+
+    let json = format!(
+        "{{\n  \"instr_target\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        target,
+        rows.iter()
+            .map(|m| {
+                format!(
+                    "    {{\"name\": \"{}\", \"cycles\": {}, \"reference_ms\": {:.3}, \
+                     \"fastforward_ms\": {:.3}, \"reference_cycles_per_sec\": {:.0}, \
+                     \"fastforward_cycles_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+                    m.name,
+                    m.cycles,
+                    m.reference_ms,
+                    m.fastforward_ms,
+                    m.ref_cps,
+                    m.ff_cps,
+                    m.speedup
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let out = std::env::var("BENCH_FASTFORWARD_OUT")
+        .unwrap_or_else(|_| "BENCH_fastforward.json".to_string());
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("\nwrote {out}");
+
+    let idle = &rows[0];
+    if idle.speedup < 3.0 {
+        println!(
+            "WARNING: idle-dominated speedup {:.2}x below the 3x acceptance bar",
+            idle.speedup
+        );
+    }
+}

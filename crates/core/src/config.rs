@@ -41,6 +41,20 @@ pub enum FillMode {
     Predictive,
 }
 
+/// How the simulation loop advances time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// Tick every CPU cycle and every DRAM cycle unconditionally — the
+    /// bit-exact reference the fast-forward path is validated against.
+    Reference,
+    /// Event-driven fast-forward: when every core is dormant and every
+    /// channel quiescent, jump straight to the next event (completion,
+    /// blockade end, refresh deadline, fill round, timing readiness) and
+    /// bulk-apply the per-cycle accounting for the skipped span. Produces
+    /// results bit-identical to [`SimMode::Reference`].
+    FastForward,
+}
+
 /// Which DRAM idleness predictor gates predictive filling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredictorKind {
@@ -102,6 +116,9 @@ pub struct SystemConfig {
     pub priorities: Vec<u8>,
     /// Safety cap on simulated CPU cycles (0 = derive from the target).
     pub max_cpu_cycles: u64,
+    /// How the simulation loop advances time (defaults to
+    /// [`SimMode::FastForward`]; results are identical either way).
+    pub sim_mode: SimMode,
 }
 
 impl SystemConfig {
@@ -126,6 +143,7 @@ impl SystemConfig {
             buffer_serve_latency: 10,
             priorities: Vec::new(),
             max_cpu_cycles: 0,
+            sim_mode: SimMode::FastForward,
         }
     }
 
@@ -198,6 +216,12 @@ impl SystemConfig {
     /// Sets the low-utilization threshold (0 disables).
     pub fn with_low_util_threshold(mut self, threshold: usize) -> Self {
         self.low_util_threshold = threshold;
+        self
+    }
+
+    /// Sets the simulation-loop mode (reference vs. fast-forward).
+    pub fn with_sim_mode(mut self, sim_mode: SimMode) -> Self {
+        self.sim_mode = sim_mode;
         self
     }
 

@@ -64,6 +64,13 @@ impl SchedulerPolicy for AnyPolicy {
             AnyPolicy::Bliss(p) => p.on_cycle(now),
         }
     }
+
+    fn on_cycles_skipped(&mut self, from: u64, to: u64) {
+        match self {
+            AnyPolicy::FrFcfs(p) => p.on_cycles_skipped(from, to),
+            AnyPolicy::Bliss(p) => p.on_cycles_skipped(from, to),
+        }
+    }
 }
 
 enum AnyPredictor {
@@ -221,6 +228,142 @@ impl MemSubsystem {
         }
     }
 
+    /// The earliest memory cycle at or after `now` at which a tick of the
+    /// subsystem could do anything beyond the linear per-cycle accounting
+    /// that [`MemSubsystem::skip_to`] replays in bulk.
+    ///
+    /// Composes, over the engine state and every channel: the end of a
+    /// demand-generation episode, due RNG completions, a non-empty RNG
+    /// queue (arbitration runs per-cycle), per-channel events
+    /// ([`ChannelController::next_event_at`]), fill-round completions,
+    /// idle-period edges the predictive path has not yet processed, greedy
+    /// threshold crossings, and the low-utilization retry pacing window.
+    /// `u64::MAX` means no memory-side event bounds the skip.
+    pub fn next_event_at(&self, now: u64) -> u64 {
+        // The RNG queue's arbitration (burst coalescing, starvation
+        // counter) runs every cycle while the queue is non-empty.
+        if self.config.routing == RngRouting::Aware && !self.rng_queue.is_empty() {
+            return now;
+        }
+        let mut event = u64::MAX;
+        if let Some(f) = self.demand_finish {
+            event = event.min(f);
+        }
+        if let Some(&Reverse((due, _, _))) = self.rng_done.peek() {
+            event = event.min(due);
+        }
+        for ch in &self.channels {
+            if let Some(t) = ch.next_event_at(now) {
+                event = event.min(t);
+                if event <= now {
+                    return now;
+                }
+            }
+        }
+        match self.config.fill {
+            FillMode::None => {}
+            FillMode::GreedyOracle => {
+                let threshold = self.config.period_threshold;
+                for (i, ch) in self.channels.iter().enumerate() {
+                    // One batch lands exactly when idle_len reaches the
+                    // threshold; the tick that makes it so must run live.
+                    if ch.queues_empty()
+                        && !self.buffer.is_full()
+                        && self.fill[i].idle_len < threshold
+                    {
+                        event = event.min(now + (threshold - 1 - self.fill[i].idle_len));
+                    }
+                }
+            }
+            FillMode::Predictive => {
+                let demand_active = self.demand_finish.is_some();
+                let low_util = self.config.low_util_threshold;
+                let pace = 8 * self.mechanism.batch_latency();
+                for (i, ch) in self.channels.iter().enumerate() {
+                    let st = &self.fill[i];
+                    if let Some(end) = st.fill_end {
+                        event = event.min(end);
+                    }
+                    let idle_now = ch.queues_empty();
+                    if idle_now != st.was_idle {
+                        // An unprocessed idle-period edge: the next tick
+                        // predicts or trains, so it must run live.
+                        return now;
+                    }
+                    if idle_now {
+                        if st.prediction == Some(Prediction::Long)
+                            && st.fill_end.is_none()
+                            && !self.buffer.is_full()
+                            && !demand_active
+                            && !ch.is_blocked(now)
+                        {
+                            // A fill round would start this cycle.
+                            return now;
+                        }
+                    } else if low_util > 0
+                        && st.fill_end.is_none()
+                        && !demand_active
+                        && !ch.is_blocked(now)
+                        && !self.buffer.is_full()
+                        && ch.read_queue_len() < low_util
+                    {
+                        // The low-utilization path re-evaluates once the
+                        // pacing window elapses (the predicate's time is
+                        // deterministic even though its outcome calls the
+                        // predictor, which only the live tick may do).
+                        event = event.min((st.last_low_util_end + pace).max(now));
+                    }
+                }
+            }
+        }
+        event.max(now)
+    }
+
+    /// Bulk-applies the per-cycle accounting for the dead memory-cycle
+    /// span `from..to`, leaving the subsystem in exactly the state that
+    /// ticking it once per cycle would (the caller must guarantee
+    /// `to <= next_event_at(from)` and that no request enters the
+    /// subsystem during the span).
+    pub fn skip_to(&mut self, from: u64, to: u64) {
+        if to <= from {
+            return;
+        }
+        debug_assert!(self.next_event_at(from) >= to, "skip_to past an engine event");
+        let n = to - from;
+        // `tick` refreshes these every cycle; replay the final values.
+        self.mem_now = to - 1;
+        self.rng_queue_len_last = self.rng_queue.len();
+        for ch in &mut self.channels {
+            ch.skip_to(from, to);
+        }
+        match self.config.fill {
+            FillMode::None => {}
+            // Idle-length counters advance per-cycle in both fill modes;
+            // edges cannot occur inside a dead span (queue contents only
+            // change at events), so idleness is uniform across it.
+            FillMode::GreedyOracle => {
+                for i in 0..self.channels.len() {
+                    if self.channels[i].queues_empty() {
+                        self.fill[i].idle_len += n;
+                        self.fill[i].was_idle = true;
+                    } else {
+                        self.fill[i].idle_len = 0;
+                        self.fill[i].was_idle = false;
+                    }
+                }
+            }
+            FillMode::Predictive => {
+                for i in 0..self.channels.len() {
+                    let idle_now = self.channels[i].queues_empty();
+                    debug_assert_eq!(idle_now, self.fill[i].was_idle, "edge inside dead span");
+                    if idle_now {
+                        self.fill[i].idle_len += n;
+                    }
+                }
+            }
+        }
+    }
+
     /// Advances the memory side by one DRAM bus cycle; completed requests
     /// are appended to `completions` as `(core, request-id)` pairs.
     pub fn tick(&mut self, now: u64, completions: &mut Vec<(CoreId, RequestId)>) {
@@ -352,7 +495,9 @@ impl MemSubsystem {
         let mut oldest_reg: Option<Request> = None;
         for ch in &self.channels {
             for req in ch.read_queue() {
-                if oldest_reg.map_or(true, |o| req.arrival < o.arrival) {
+                // Queues are swap_remove-scrambled; age is (arrival, id),
+                // never queue position.
+                if oldest_reg.map_or(true, |o| (req.arrival, req.id) < (o.arrival, o.id)) {
                     oldest_reg = Some(*req);
                 }
                 if !self.rng_app[req.core] {

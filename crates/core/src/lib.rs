@@ -20,6 +20,46 @@
 //! baseline, Greedy Idle, DR-STRaNGe, and ablations), with presets matching
 //! every configuration the paper evaluates.
 //!
+//! # Event-driven fast-forward (the next-event contract)
+//!
+//! DR-STRaNGe's whole premise is that DRAM sits idle most of the time, so
+//! the simulator's hot loop would otherwise spend the majority of its
+//! iterations ticking components that provably do nothing. Under
+//! [`SimMode::FastForward`] (the default), [`System::run`] jumps dead
+//! spans in one step while staying bit-identical to
+//! [`SimMode::Reference`] — `tests/determinism.rs` asserts equality of
+//! every statistic, snapshot, and served random value across both modes.
+//!
+//! Each layer upholds a two-method contract:
+//!
+//! * **Next event** — a *read-only* bound on the earliest cycle at which
+//!   a tick could do anything beyond linear bookkeeping. Layers must be
+//!   conservative: returning "now" merely forfeits skipping, while
+//!   returning a later cycle than the true next event would silently
+//!   diverge from the reference. The bounds are:
+//!   [`strange_dram::ChannelController::next_event_at`] (in-flight data,
+//!   RNG blockade end, refresh deadline, earliest bank/rank/bus readiness
+//!   over queued requests), [`strange_cpu::Core::next_ready_cycle`]
+//!   (stall-until on outstanding misses, pure-compute bubble stretches),
+//!   and [`MemSubsystem::next_event_at`] (demand-episode boundaries, RNG
+//!   completions, fill rounds, greedy threshold crossings, unprocessed
+//!   idle-period edges, low-utilization pacing — plus every channel).
+//! * **Skip** — a bulk replay of the per-cycle accounting for a span the
+//!   caller proved dead: [`strange_dram::ChannelController::skip_to`],
+//!   [`strange_cpu::Core::skip_cycles`], [`MemSubsystem::skip_to`], and
+//!   [`strange_dram::SchedulerPolicy::on_cycles_skipped`] for policies
+//!   with per-cycle state (BLISS's clearing interval). After a skip the
+//!   component must be indistinguishable from having ticked every cycle.
+//!
+//! [`System::run`] composes these: the global dead span is the minimum of
+//! every core's and the memory subsystem's next event (memory events are
+//! converted through the 5:1 CPU/DRAM clock ratio), capped at the
+//! finish-check boundary on which the run would end so both modes report
+//! identical total cycle counts. Anything inside an active span falls
+//! back to the per-cycle path. New engine features must either prove
+//! their state changes only at cycles already reported as events, or
+//! extend `next_event_at` accordingly.
+//!
 //! # Examples
 //!
 //! Run a two-application workload (one RNG benchmark, one synthetic
@@ -53,7 +93,7 @@ mod stats;
 mod system;
 
 pub use buffer::RandomNumberBuffer;
-pub use config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SystemConfig};
+pub use config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SimMode, SystemConfig};
 pub use engine::{AnyPolicy, MemSubsystem};
 pub use interface::{RngDevice, ServeKind};
 pub use predictor::{

@@ -3,7 +3,7 @@
 use strange_metrics::{ConfusionCounts, Ratio};
 
 /// Counters accumulated by the DR-STRaNGe engine during a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SystemStats {
     /// Random-number requests issued by all cores.
     pub rng_requests: u64,

@@ -11,9 +11,18 @@ use strange_cpu::{Core, CoreStats, FinishSnapshot, TraceSource};
 use strange_dram::{ChannelStats, ConfigError, CoreId, RequestId, CPU_CYCLES_PER_MEM_CYCLE};
 use strange_trng::TrngMechanism;
 
-use crate::config::SystemConfig;
+use crate::config::{SimMode, SystemConfig};
 use crate::engine::MemSubsystem;
 use crate::stats::SystemStats;
+
+/// How often the run loop re-checks whether every core has finished (in
+/// CPU cycles). Both simulation modes quantize the finish check to the
+/// same boundaries so they report identical total cycle counts.
+const FINISH_CHECK_PERIOD: u64 = 64;
+
+/// Cycles stepped per-cycle before re-probing for a skippable span while
+/// the system is active.
+const ACTIVE_BLOCK: u64 = 32;
 
 /// Outcome of one core's execution.
 #[derive(Debug, Clone)]
@@ -93,6 +102,7 @@ pub struct System {
     cores: Vec<Core>,
     mem: MemSubsystem,
     cpu_cycle: u64,
+    skipped_cycles: u64,
     completions: Vec<(CoreId, RequestId)>,
 }
 
@@ -127,6 +137,7 @@ impl System {
             cores,
             mem,
             cpu_cycle: 0,
+            skipped_cycles: 0,
             completions: Vec::new(),
         })
     }
@@ -152,6 +163,14 @@ impl System {
         self.cpu_cycle
     }
 
+    /// CPU cycles fast-forwarded (not individually ticked) so far. Zero
+    /// under [`SimMode::Reference`]; tests use this to prove the fast
+    /// path actually engages rather than degenerating to per-cycle
+    /// stepping (which would make mode-equivalence checks vacuous).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
     /// Advances the system by `n` CPU cycles (test/diagnostic hook; `run`
     /// is the normal entry point).
     pub fn step_cpu_cycles(&mut self, n: u64) {
@@ -175,19 +194,111 @@ impl System {
         self.cpu_cycle += 1;
     }
 
+    /// The end of the dead span starting at the current cycle: the
+    /// earliest upcoming core or memory event, capped at `stop`. Equal to
+    /// the current cycle when something happens right now.
+    fn next_event(&self, stop: u64) -> u64 {
+        let now = self.cpu_cycle;
+        let mut end = stop;
+        for core in &self.cores {
+            match core.next_ready_cycle(now) {
+                // Fully stalled: bounded by memory events only.
+                None => {}
+                Some(t) => {
+                    if t <= now {
+                        return now;
+                    }
+                    end = end.min(t);
+                }
+            }
+        }
+        // The next memory tick runs at the next multiple of the clock
+        // ratio; events there bound the CPU-cycle span.
+        let mem_next = self.cpu_cycle.div_ceil(CPU_CYCLES_PER_MEM_CYCLE);
+        let mem_event = self.mem.next_event_at(mem_next);
+        if mem_event != u64::MAX {
+            end = end.min(mem_event.saturating_mul(CPU_CYCLES_PER_MEM_CYCLE));
+        }
+        end.max(now)
+    }
+
+    /// Caps a dead-span skip target at the finish-check boundary on which
+    /// the run would end, so fast-forward stops on exactly the same cycle
+    /// as the per-cycle reference. Within a dead span a core's finish
+    /// state can only flip during a pure-compute stretch, which
+    /// [`Core::finish_within`] predicts in closed form.
+    fn capped_at_run_end(&self, target: u64) -> u64 {
+        let now = self.cpu_cycle;
+        if target <= now {
+            return target;
+        }
+        let span = target - now;
+        let mut last_finish = 0u64;
+        for core in &self.cores {
+            match core.finish_within(now, span) {
+                Some(at) => last_finish = last_finish.max(at),
+                // Some core cannot finish in this span: the run cannot
+                // end inside it, so the full skip is safe.
+                None => return target,
+            }
+        }
+        // Every core is finished by `last_finish`; the reference loop
+        // breaks at the first finish-check boundary after it.
+        let boundary = (last_finish / FINISH_CHECK_PERIOD + 1) * FINISH_CHECK_PERIOD;
+        target.min(boundary)
+    }
+
+    /// Jumps the system to `target`, bulk-applying the skipped span's
+    /// accounting across the memory subsystem and every core.
+    fn skip_to(&mut self, target: u64) {
+        let now = self.cpu_cycle;
+        debug_assert!(target > now);
+        // Memory ticks that fall inside the skipped CPU span.
+        let mem_lo = now.div_ceil(CPU_CYCLES_PER_MEM_CYCLE);
+        let mem_hi = target.div_ceil(CPU_CYCLES_PER_MEM_CYCLE);
+        if mem_hi > mem_lo {
+            self.mem.skip_to(mem_lo, mem_hi);
+        }
+        for core in &mut self.cores {
+            core.skip_cycles(now, target - now);
+        }
+        self.skipped_cycles += target - now;
+        self.cpu_cycle = target;
+    }
+
     /// Runs the workload until every core reaches its instruction target
     /// (or the safety cycle limit trips) and returns the results.
+    ///
+    /// [`SimMode::Reference`] ticks every cycle; [`SimMode::FastForward`]
+    /// skips dead spans via the next-event machinery. Both produce
+    /// bit-identical results (asserted by `tests/determinism.rs`).
     pub fn run(&mut self) -> RunResult {
         let limit = self.config.cycle_limit();
+        let fast = self.config.sim_mode == SimMode::FastForward;
         while self.cpu_cycle < limit {
-            if self.cores.iter().all(Core::is_finished) {
+            // Finish checks happen on fixed boundaries in both modes so
+            // the reported cycle totals agree.
+            if self.cpu_cycle % FINISH_CHECK_PERIOD == 0
+                && self.cores.iter().all(Core::is_finished)
+            {
                 break;
             }
-            // Step a block of cycles between finish checks to keep the
-            // check off the per-cycle path.
-            let block = 64.min(limit - self.cpu_cycle);
-            for _ in 0..block {
-                self.step_cpu_cycles(1);
+            let boundary =
+                ((self.cpu_cycle / FINISH_CHECK_PERIOD + 1) * FINISH_CHECK_PERIOD).min(limit);
+            if fast {
+                let target = self.capped_at_run_end(self.next_event(limit));
+                if target > self.cpu_cycle {
+                    self.skip_to(target);
+                } else {
+                    let block = ACTIVE_BLOCK.min(boundary - self.cpu_cycle);
+                    for _ in 0..block {
+                        self.step_one();
+                    }
+                }
+            } else {
+                while self.cpu_cycle < boundary {
+                    self.step_one();
+                }
             }
         }
         self.mem.finish();

@@ -143,6 +143,139 @@ impl Core {
         self.window.complete(id)
     }
 
+    /// The earliest CPU cycle at or after `now` at which this core could
+    /// interact with the memory system or otherwise needs cycle-by-cycle
+    /// simulation, assuming no completion is delivered in the meantime.
+    ///
+    /// * `None` — the core is fully stalled (head instruction waiting on
+    ///   memory, window full): nothing changes until a completion arrives,
+    ///   so only external events bound the dead span.
+    /// * `Some(t)` with `t > now` — the core is in a pure-compute stretch
+    ///   (no outstanding requests, only bubble instructions until `t`);
+    ///   every cycle in `now..t` can be replayed by
+    ///   [`Core::skip_cycles`].
+    /// * `Some(now)` — the core is active this cycle; no skipping.
+    pub fn next_ready_cycle(&self, now: u64) -> Option<u64> {
+        let width = self.config.issue_width;
+        if self.window.outstanding() > 0 {
+            if self.window.head_pending().is_some() && !self.window.has_space() {
+                None
+            } else {
+                Some(now)
+            }
+        } else if self.config.window_size >= width {
+            // With only ready entries in flight, the core consumes exactly
+            // `issue_width` bubbles per cycle; the cycle that reaches the
+            // trace's memory operation must run live.
+            Some(now + self.bubbles_left as u64 / width as u64)
+        } else {
+            Some(now)
+        }
+    }
+
+    /// Instructions retired over `cycles` dead pure-compute cycles, given
+    /// `w0` ready entries in flight at span start: `width` per cycle once
+    /// the window holds at least `width` entries (from the second cycle
+    /// at the latest).
+    fn pure_compute_retired(&self, w0: u64, cycles: u64) -> u64 {
+        let width = self.config.issue_width as u64;
+        if w0 >= width {
+            width * cycles
+        } else if cycles == 0 {
+            0
+        } else {
+            w0 + width * (cycles - 1)
+        }
+    }
+
+    /// The 1-based pure-compute cycle on which cumulative retirement first
+    /// reaches `need` more instructions (callers guarantee it does).
+    fn pure_compute_crossing(&self, w0: u64, need: u64) -> u64 {
+        let width = self.config.issue_width as u64;
+        if w0 >= width {
+            need.div_ceil(width)
+        } else if need <= w0 {
+            1
+        } else {
+            1 + (need - w0).div_ceil(width)
+        }
+    }
+
+    /// The cycle at which this core first counts as finished if the next
+    /// `n` cycles are dead (no memory interaction): `Some(now)` when the
+    /// target is already reached, the exact crossing cycle when a
+    /// pure-compute stretch reaches it within the span, `None` otherwise.
+    /// Used by the fast-forward loop to stop runs on the same
+    /// finish-check boundaries as the per-cycle reference.
+    pub fn finish_within(&self, now: u64, n: u64) -> Option<u64> {
+        if self.finish.is_some() {
+            return Some(now);
+        }
+        if self.window.outstanding() > 0 {
+            // Stalled: nothing retires, so the target cannot be crossed.
+            return None;
+        }
+        let w0 = self.window.len() as u64;
+        if self.stats.retired + self.pure_compute_retired(w0, n) < self.target {
+            return None;
+        }
+        let cross = self.pure_compute_crossing(w0, self.target - self.stats.retired);
+        Some(now + cross - 1)
+    }
+
+    /// Replays `n` dead cycles in bulk, leaving the core in exactly the
+    /// state `n` calls to [`Core::tick`] would (the caller must guarantee
+    /// `now + n <= next_ready_cycle(now)`, i.e. the span is dead).
+    pub fn skip_cycles(&mut self, now: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.window.outstanding() > 0 {
+            // Fully stalled: only the cycle and stall counters advance.
+            debug_assert!(
+                self.window.head_pending().is_some() && !self.window.has_space(),
+                "skip of an active core"
+            );
+            self.stats.cycles += n;
+            match self.window.head_pending() {
+                Some(PendingKind::Load) => self.stats.mem_stall_cycles += n,
+                Some(PendingKind::Rng) => self.stats.rng_stall_cycles += n,
+                None => {}
+            }
+            return;
+        }
+        // Pure compute: retire/issue evolve in closed form. Each cycle
+        // issues exactly `width` bubbles; retirement is `width` per cycle
+        // once the window holds at least `width` ready entries (from the
+        // second cycle on at the latest).
+        let width = self.config.issue_width as u64;
+        debug_assert!(
+            n <= self.bubbles_left as u64 / width,
+            "skip across a memory operation"
+        );
+        let w0 = self.window.len() as u64;
+        let total_retired = self.pure_compute_retired(w0, n);
+        if self.finish.is_none() && self.stats.retired + total_retired >= self.target {
+            // The instruction target is crossed mid-span: reconstruct the
+            // snapshot the per-cycle path would have taken, with the exact
+            // crossing cycle and the stats as of the end of that cycle's
+            // retire stage.
+            let cross = self.pure_compute_crossing(w0, self.target - self.stats.retired);
+            let mut stats = self.stats;
+            stats.cycles += cross;
+            stats.retired += self.pure_compute_retired(w0, cross);
+            self.finish = Some(FinishSnapshot {
+                at_cycle: now + cross - 1,
+                stats,
+            });
+        }
+        self.stats.cycles += n;
+        self.stats.retired += total_retired;
+        self.window
+            .skip_ready(total_retired as usize, (width * n) as usize);
+        self.bubbles_left -= (width * n) as u32;
+    }
+
     /// Advances the core by one CPU cycle against `mem`.
     pub fn tick<M: MemorySystem>(&mut self, now: u64, mem: &mut M) {
         self.stats.cycles += 1;
@@ -386,6 +519,159 @@ mod tests {
         run(&mut core, &mut mem, 300);
         assert!(core.is_finished());
         assert_eq!(core.stats().mem_stall_cycles, 0);
+    }
+
+    /// A memory that answers after a fixed latency relative to issue time.
+    struct LatencyMem {
+        next_id: RequestId,
+        now: u64,
+        latency: u64,
+        inflight: Vec<(RequestId, u64)>,
+    }
+
+    impl LatencyMem {
+        fn new(latency: u64) -> Self {
+            LatencyMem {
+                next_id: 0,
+                now: 0,
+                latency,
+                inflight: Vec::new(),
+            }
+        }
+
+        fn deliver_due(&mut self, now: u64) -> Vec<RequestId> {
+            let mut out = Vec::new();
+            self.inflight.retain(|&(id, due)| {
+                if due <= now {
+                    out.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            out
+        }
+
+        fn next_due(&self) -> Option<u64> {
+            self.inflight.iter().map(|&(_, due)| due).min()
+        }
+    }
+
+    impl MemorySystem for LatencyMem {
+        fn try_load(&mut self, _core: CoreId, _addr: u64) -> Option<RequestId> {
+            self.next_id += 1;
+            self.inflight.push((self.next_id, self.now + self.latency));
+            Some(self.next_id)
+        }
+
+        fn try_store(&mut self, _core: CoreId, _addr: u64) -> bool {
+            true
+        }
+
+        fn try_rng(&mut self, _core: CoreId) -> Option<RequestId> {
+            self.next_id += 1;
+            self.inflight.push((self.next_id, self.now + self.latency));
+            Some(self.next_id)
+        }
+    }
+
+    fn drive_reference(core: &mut Core, mem: &mut LatencyMem, cycles: u64) {
+        for now in 0..cycles {
+            mem.now = now;
+            for id in mem.deliver_due(now) {
+                core.complete(id);
+            }
+            core.tick(now, mem);
+        }
+    }
+
+    fn drive_fast_forward(core: &mut Core, mem: &mut LatencyMem, cycles: u64) -> u64 {
+        let mut skipped = 0;
+        let mut now = 0;
+        while now < cycles {
+            mem.now = now;
+            for id in mem.deliver_due(now) {
+                core.complete(id);
+            }
+            let span_end = match core.next_ready_cycle(now) {
+                None => mem.next_due().expect("stalled core has a request").min(cycles),
+                Some(t) => t.min(cycles),
+            };
+            if span_end > now {
+                core.skip_cycles(now, span_end - now);
+                skipped += span_end - now;
+                now = span_end;
+            } else {
+                core.tick(now, mem);
+                now += 1;
+            }
+        }
+        skipped
+    }
+
+    fn equivalence_trace(ops: Vec<TraceOp>, latency: u64, target: u64, cycles: u64) {
+        let mk = |ops: &[TraceOp]| {
+            Core::new(
+                0,
+                CoreConfig::paper_default(),
+                Box::new(LoopTrace::new(ops.to_vec())),
+                target,
+            )
+        };
+        let mut reference = mk(&ops);
+        let mut fast = mk(&ops);
+        drive_reference(&mut reference, &mut LatencyMem::new(latency), cycles);
+        let skipped = drive_fast_forward(&mut fast, &mut LatencyMem::new(latency), cycles);
+        assert!(skipped > cycles / 2, "test must exercise skipping: {skipped}");
+        assert_eq!(fast.stats(), reference.stats());
+        assert_eq!(
+            fast.finish().map(|f| (f.at_cycle, f.stats)),
+            reference.finish().map(|f| (f.at_cycle, f.stats))
+        );
+    }
+
+    #[test]
+    fn skip_matches_per_cycle_for_compute_bound_trace() {
+        equivalence_trace(vec![TraceOp::Load { gap: 2999, addr: 0 }], 0, 3000, 5000);
+    }
+
+    #[test]
+    fn skip_matches_per_cycle_for_memory_stalled_trace() {
+        equivalence_trace(vec![TraceOp::Load { gap: 9, addr: 0 }], 400, 2000, 20_000);
+    }
+
+    #[test]
+    fn skip_matches_per_cycle_for_rng_stalled_trace() {
+        equivalence_trace(vec![TraceOp::Rng { gap: 600 }], 900, 2000, 30_000);
+    }
+
+    #[test]
+    fn skip_matches_per_cycle_across_finish_boundary() {
+        // Target crossed mid pure-compute span: the snapshot cycle and
+        // stats must match the per-cycle path exactly.
+        equivalence_trace(vec![TraceOp::Load { gap: 4999, addr: 0 }], 10, 1234, 4000);
+    }
+
+    #[test]
+    fn next_ready_cycle_reports_dormancy() {
+        let trace = LoopTrace::new(vec![TraceOp::Rng { gap: 0 }]);
+        let mut core = Core::new(0, CoreConfig::paper_default(), Box::new(trace), 100);
+        let mut mem = LatencyMem::new(u64::MAX / 2);
+        let mut now = 0;
+        // Run until the window fills with the head stalled on the RNG op.
+        while core.next_ready_cycle(now).is_some() {
+            core.tick(now, &mut mem);
+            now += 1;
+            assert!(now < 1000, "core must reach the fully stalled state");
+        }
+        assert!(core.next_ready_cycle(now).is_none());
+        let before = *core.stats();
+        core.skip_cycles(now, 500);
+        assert_eq!(core.stats().cycles, before.cycles + 500);
+        assert_eq!(
+            core.stats().rng_stall_cycles,
+            before.rng_stall_cycles + 500
+        );
     }
 
     #[test]

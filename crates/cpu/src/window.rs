@@ -44,6 +44,7 @@ struct Entry {
 pub struct InstructionWindow {
     capacity: usize,
     entries: VecDeque<Entry>,
+    outstanding: usize,
 }
 
 impl InstructionWindow {
@@ -57,7 +58,15 @@ impl InstructionWindow {
         InstructionWindow {
             capacity,
             entries: VecDeque::with_capacity(capacity),
+            outstanding: 0,
         }
+    }
+
+    /// Number of in-flight instructions still waiting on a memory answer.
+    /// Zero means every entry is ready — the window cannot receive a
+    /// completion, so the core's evolution is a pure function of its trace.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
     }
 
     /// Maximum number of in-flight instructions.
@@ -105,6 +114,7 @@ impl InstructionWindow {
             ready: false,
             pending: Some((id, kind)),
         });
+        self.outstanding += 1;
     }
 
     /// Marks the instruction waiting on request `id` as ready. Returns true
@@ -114,11 +124,40 @@ impl InstructionWindow {
             if let Some((rid, _)) = e.pending {
                 if rid == id && !e.ready {
                     e.ready = true;
+                    self.outstanding -= 1;
                     return true;
                 }
             }
         }
         false
+    }
+
+    /// Fast-forward helper: retires `retired` entries and inserts
+    /// `inserted` ready ones in bulk. Only valid while nothing is
+    /// outstanding (every entry is an indistinguishable ready slot), which
+    /// is exactly the regime `Core::skip_cycles` uses it in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry is outstanding, more entries would be retired
+    /// than pass through, or the result would overflow the window.
+    pub fn skip_ready(&mut self, retired: usize, inserted: usize) {
+        assert_eq!(self.outstanding, 0, "bulk skip with outstanding entries");
+        // Retirement draws from both the initial entries and the ones
+        // inserted during the span, so only the net length must balance.
+        assert!(
+            retired <= self.entries.len() + inserted,
+            "retiring more than pass through the window"
+        );
+        let new_len = self.entries.len() + inserted - retired;
+        assert!(new_len <= self.capacity, "window overflow");
+        self.entries.resize(
+            new_len,
+            Entry {
+                ready: true,
+                pending: None,
+            },
+        );
     }
 
     /// Retires up to `width` ready instructions from the head; returns how

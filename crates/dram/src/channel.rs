@@ -14,6 +14,22 @@
 //! RNG-oblivious baseline) are *selected* like ordinary requests but not
 //! issued as DRAM commands; they are returned to the caller, which switches
 //! the system into RNG mode (see `strange-core`).
+//!
+//! # Fast-forward support
+//!
+//! The controller participates in event-driven fast-forward simulation
+//! through two methods that the engine layer composes into a global
+//! next-event bound:
+//!
+//! * [`ChannelController::next_event_at`] computes the earliest cycle at
+//!   which a tick could do anything beyond linear bookkeeping — the head
+//!   of the in-flight data heap, the end of an RNG blockade, the next
+//!   refresh deadline, or the earliest bank/rank/bus readiness over the
+//!   queued requests.
+//! * [`ChannelController::skip_to`] bulk-applies the per-cycle accounting
+//!   (cycle/idle/occupancy counters, idle-period tracking, scheduler
+//!   catch-up) for a span the caller has proven dead, leaving the
+//!   controller bit-identical to having ticked through it.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -22,7 +38,7 @@ use crate::addr::{AddressMapping, Geometry};
 use crate::bank::{Bank, BusTiming, RankTiming};
 use crate::error::EnqueueError;
 use crate::request::{CompletedAccess, Request, RequestId, RequestKind};
-use crate::sched::{frfcfs_best, Readiness, SchedulerPolicy};
+use crate::sched::{age_key, frfcfs_best, Readiness, SchedulerPolicy};
 use crate::stats::ChannelStats;
 use crate::timing::TimingParams;
 
@@ -61,6 +77,115 @@ enum NextCommand {
     Column,
 }
 
+/// The command-timing state of one channel: banks, ranks, and the data
+/// bus, plus the timing parameters that govern them.
+///
+/// Grouping these in one struct lets readiness computation borrow the
+/// timing state immutably while the controller's scratch buffer is
+/// borrowed mutably (no `mem::take` dance in the per-cycle hot path).
+#[derive(Debug, Clone)]
+struct CommandTiming {
+    timing: TimingParams,
+    geometry: Geometry,
+    banks: Vec<Bank>,
+    ranks: Vec<RankTiming>,
+    bus: BusTiming,
+}
+
+impl CommandTiming {
+    fn bank_index(&self, req: &Request) -> usize {
+        (req.addr.rank * self.geometry.banks + req.addr.bank) as usize
+    }
+
+    fn next_command(&self, req: &Request) -> NextCommand {
+        let bank = &self.banks[self.bank_index(req)];
+        match bank.open_row() {
+            Some(r) if r == req.addr.row => NextCommand::Column,
+            Some(_) => NextCommand::Precharge,
+            None => NextCommand::Activate,
+        }
+    }
+
+    /// Earliest cycle the request's next required command could issue,
+    /// considering bank, rank, and bus constraints (but not a pending
+    /// refresh — callers handle refresh separately).
+    fn ready_at(&self, req: &Request) -> u64 {
+        if req.kind == RequestKind::Rng {
+            // RNG requests are served by switching modes, not by a DRAM
+            // command; they are always selectable.
+            return 0;
+        }
+        self.ready_at_for(req, self.next_command(req))
+    }
+
+    /// [`CommandTiming::ready_at`] with the request's next command already
+    /// resolved, so the per-cycle readiness path looks it up only once.
+    fn ready_at_for(&self, req: &Request, next: NextCommand) -> u64 {
+        let bank = &self.banks[self.bank_index(req)];
+        match next {
+            NextCommand::Column => match req.kind {
+                RequestKind::Read => bank
+                    .next_read_allowed()
+                    .max(self.bus.next_read_allowed(&self.timing)),
+                RequestKind::Write => bank
+                    .next_write_allowed()
+                    .max(self.bus.next_write_allowed(&self.timing)),
+                RequestKind::Rng => unreachable!("RNG requests have no commands"),
+            },
+            NextCommand::Precharge => bank.next_pre_allowed(),
+            NextCommand::Activate => {
+                let rank = &self.ranks[req.addr.rank as usize];
+                bank.next_act_allowed()
+                    .max(rank.next_act_allowed(&self.timing))
+            }
+        }
+    }
+
+    fn readiness_of(&self, now: u64, req: &Request, refresh_pending: bool) -> Readiness {
+        if req.kind == RequestKind::Rng {
+            // Always selectable and never a row hit.
+            return Readiness {
+                ready_now: true,
+                row_hit: false,
+            };
+        }
+        let next = self.next_command(req);
+        let t = self.ready_at_for(req, next);
+        match next {
+            // No new column or activate commands once a refresh is pending
+            // (the controller drains toward the REF).
+            NextCommand::Column => Readiness {
+                ready_now: now >= t && !refresh_pending,
+                row_hit: true,
+            },
+            NextCommand::Activate => Readiness {
+                ready_now: now >= t && !refresh_pending,
+                row_hit: false,
+            },
+            NextCommand::Precharge => Readiness {
+                ready_now: now >= t,
+                row_hit: false,
+            },
+        }
+    }
+
+    /// Recomputes readiness for every request in `queue` into `buf`.
+    fn fill_readiness(
+        &self,
+        now: u64,
+        queue: &[Request],
+        refresh_pending: bool,
+        buf: &mut Vec<Readiness>,
+    ) {
+        buf.clear();
+        buf.extend(
+            queue
+                .iter()
+                .map(|r| self.readiness_of(now, r, refresh_pending)),
+        );
+    }
+}
+
 /// A per-channel memory controller.
 ///
 /// Generic over the read-queue [`SchedulerPolicy`] so that the different
@@ -69,13 +194,9 @@ enum NextCommand {
 #[derive(Debug, Clone)]
 pub struct ChannelController<P> {
     id: u32,
-    timing: TimingParams,
-    geometry: Geometry,
+    ct: CommandTiming,
     mapping: AddressMapping,
     policy: P,
-    banks: Vec<Bank>,
-    ranks: Vec<RankTiming>,
-    bus: BusTiming,
     read_q: Vec<Request>,
     write_q: Vec<Request>,
     queue_capacity: usize,
@@ -99,13 +220,15 @@ impl<P: SchedulerPolicy> ChannelController<P> {
         let nbanks = (geometry.ranks * geometry.banks) as usize;
         ChannelController {
             id,
-            timing,
-            geometry,
+            ct: CommandTiming {
+                timing,
+                geometry,
+                banks: vec![Bank::new(); nbanks],
+                ranks: vec![RankTiming::new(); geometry.ranks as usize],
+                bus: BusTiming::new(),
+            },
             mapping: AddressMapping::new(geometry).expect("valid geometry"),
             policy,
-            banks: vec![Bank::new(); nbanks],
-            ranks: vec![RankTiming::new(); geometry.ranks as usize],
-            bus: BusTiming::new(),
             read_q: Vec::with_capacity(DEFAULT_QUEUE_CAPACITY),
             write_q: Vec::with_capacity(DEFAULT_QUEUE_CAPACITY),
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
@@ -131,16 +254,18 @@ impl<P: SchedulerPolicy> ChannelController<P> {
 
     /// The timing parameters in force.
     pub fn timing(&self) -> &TimingParams {
-        &self.timing
+        &self.ct.timing
     }
 
     /// Immutable view of the read queue (includes RNG requests in designs
-    /// that route them through it).
+    /// that route them through it). Not in arrival order — the controller
+    /// removes serviced entries with `swap_remove` and orders by the
+    /// requests' own `(arrival, id)` keys.
     pub fn read_queue(&self) -> &[Request] {
         &self.read_q
     }
 
-    /// Immutable view of the write queue.
+    /// Immutable view of the write queue (not in arrival order).
     pub fn write_queue(&self) -> &[Request] {
         &self.write_q
     }
@@ -207,7 +332,7 @@ impl<P: SchedulerPolicy> ChannelController<P> {
 
     /// Arrival cycle and core of the oldest queued read, if any.
     pub fn oldest_read(&self) -> Option<&Request> {
-        self.read_q.first()
+        self.read_q.iter().min_by_key(|r| age_key(r))
     }
 
     /// Blocks the channel for RNG generation until `cycle` (exclusive).
@@ -249,10 +374,11 @@ impl<P: SchedulerPolicy> ChannelController<P> {
     /// mode-switch cost: expensive under load, nearly free when idle.
     pub fn prepare_rng_mode(&mut self, now: u64) -> u64 {
         let mut ready = now;
-        for bank in &mut self.banks {
+        let timing = self.ct.timing;
+        for bank in &mut self.ct.banks {
             if !bank.is_precharged() {
                 let t = now.max(bank.next_pre_allowed());
-                bank.precharge(t, &self.timing);
+                bank.precharge(t, &timing);
                 self.stats.pres += 1;
                 self.stats.rng_pres += 1;
             }
@@ -290,6 +416,97 @@ impl<P: SchedulerPolicy> ChannelController<P> {
     /// Whether every bank is precharged (used by tests and the engine).
     pub fn all_banks_precharged(&self) -> bool {
         self.open_banks == 0
+    }
+
+    /// The earliest cycle at or after `now` at which a tick of this
+    /// controller could do anything beyond the linear per-cycle accounting
+    /// that [`ChannelController::skip_to`] replays in bulk.
+    ///
+    /// The bound considers: the head of the in-flight data heap, the end
+    /// of an RNG blockade, a due (or pending) refresh, and the earliest
+    /// bank/rank/bus readiness over whichever queue the controller would
+    /// serve. A return value of `now` means the controller must be ticked
+    /// cycle by cycle; every cycle in `now..next_event_at(now)` is
+    /// guaranteed dead.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        let mut event = u64::MAX;
+        if let Some(&Reverse(p)) = self.pending.peek() {
+            event = event.min(p.at);
+        }
+        if now < self.blocked_until {
+            // While blocked only data return happens; everything else
+            // resumes when the blockade lifts.
+            return Some(event.min(self.blocked_until).max(now));
+        }
+        if self.refresh_pending {
+            // Refresh drain/REF issue spans only a handful of cycles; run
+            // them per-cycle rather than modelling the drain here.
+            return Some(now);
+        }
+        event = event.min(self.next_refresh_due);
+
+        // Which queue would the controller serve? Mirrors the tick-time
+        // write-drain hysteresis update, which is a pure function of the
+        // (span-stable) queue lengths.
+        let drain = if self.write_q.len() >= WRITE_DRAIN_HI {
+            true
+        } else if self.write_q.len() <= WRITE_DRAIN_LO {
+            false
+        } else {
+            self.in_write_drain
+        };
+        let serve_writes = drain || (self.read_q.is_empty() && !self.write_q.is_empty());
+        let queue: &[Request] = if serve_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
+        for req in queue {
+            event = event.min(self.ct.ready_at(req));
+        }
+        Some(event.max(now))
+    }
+
+    /// Bulk-applies the per-cycle accounting for the dead span
+    /// `from..to`, leaving the controller in exactly the state that
+    /// ticking it once per cycle would (the caller must guarantee
+    /// `to <= next_event_at(from)`).
+    pub fn skip_to(&mut self, from: u64, to: u64) {
+        if to <= from {
+            return;
+        }
+        debug_assert!(
+            self.next_event_at(from).is_none_or(|e| e >= to),
+            "skip_to past a channel event"
+        );
+        let n = to - from;
+        self.policy.on_cycles_skipped(from, to);
+        self.stats.cycles += n;
+        self.stats.read_queue_occupancy_sum += self.read_q.len() as u64 * n;
+        if self.open_banks == 0 {
+            self.stats.all_precharged_cycles += n;
+        }
+        let blocked = from < self.blocked_until;
+        if blocked {
+            debug_assert!(to <= self.blocked_until, "skip across a blockade edge");
+            self.stats.rng_blocked_cycles += n;
+        } else {
+            // Unblocked ticks update the write-drain hysteresis from the
+            // (span-stable) queue lengths every cycle; replay it once so
+            // `in_write_drain` does not go stale across the span.
+            if self.write_q.len() >= WRITE_DRAIN_HI {
+                self.in_write_drain = true;
+            } else if self.write_q.len() <= WRITE_DRAIN_LO {
+                self.in_write_drain = false;
+            }
+        }
+        if self.queues_empty() && !blocked {
+            self.cur_idle += n;
+            self.stats.idle_cycles += n;
+        } else if self.cur_idle > 0 {
+            self.stats.record_idle_period(self.cur_idle);
+            self.cur_idle = 0;
+        }
     }
 
     /// Advances the controller by one DRAM bus cycle.
@@ -353,10 +570,11 @@ impl<P: SchedulerPolicy> ChannelController<P> {
             self.in_write_drain || (self.read_q.is_empty() && !self.write_q.is_empty());
 
         if serve_writes {
-            self.compute_readiness(now, /* writes: */ true);
-            let readiness = std::mem::take(&mut self.readiness_buf);
-            let pick = frfcfs_best(&self.write_q, &readiness, |i| readiness[i].row_hit);
-            self.readiness_buf = readiness;
+            self.ct
+                .fill_readiness(now, &self.write_q, self.refresh_pending, &mut self.readiness_buf);
+            let pick = frfcfs_best(&self.write_q, &self.readiness_buf, |i| {
+                self.readiness_buf[i].row_hit
+            });
             if let Some(i) = pick {
                 self.issue_for(now, i, true);
             }
@@ -368,19 +586,21 @@ impl<P: SchedulerPolicy> ChannelController<P> {
         }
 
         // 5. Policy-driven read scheduling.
-        self.compute_readiness(now, false);
-        let readiness = std::mem::take(&mut self.readiness_buf);
-        let pick = self.policy.select(now, &self.read_q, &readiness);
+        self.ct
+            .fill_readiness(now, &self.read_q, self.refresh_pending, &mut self.readiness_buf);
+        let pick = self.policy.select(now, &self.read_q, &self.readiness_buf);
         let mut rng_selected = None;
         if let Some(i) = pick {
-            debug_assert!(readiness[i].ready_now, "policy selected a non-ready request");
+            debug_assert!(
+                self.readiness_buf[i].ready_now,
+                "policy selected a non-ready request"
+            );
             if self.read_q[i].kind == RequestKind::Rng {
-                rng_selected = Some(self.read_q.remove(i));
+                rng_selected = Some(self.read_q.swap_remove(i));
             } else {
                 self.issue_for(now, i, false);
             }
         }
-        self.readiness_buf = readiness;
         rng_selected
     }
 
@@ -393,78 +613,13 @@ impl<P: SchedulerPolicy> ChannelController<P> {
         }
     }
 
-    fn bank_index(&self, req: &Request) -> usize {
-        (req.addr.rank * self.geometry.banks + req.addr.bank) as usize
-    }
-
-    fn next_command(&self, req: &Request) -> NextCommand {
-        let bank = &self.banks[self.bank_index(req)];
-        match bank.open_row() {
-            Some(r) if r == req.addr.row => NextCommand::Column,
-            Some(_) => NextCommand::Precharge,
-            None => NextCommand::Activate,
-        }
-    }
-
-    fn readiness_of(&self, now: u64, req: &Request) -> Readiness {
-        if req.kind == RequestKind::Rng {
-            // RNG requests are "served" by switching modes, not by a DRAM
-            // command; they are always selectable and never row hits.
-            return Readiness {
-                ready_now: true,
-                row_hit: false,
-            };
-        }
-        let bank = &self.banks[self.bank_index(req)];
-        match self.next_command(req) {
-            NextCommand::Column => {
-                let t = match req.kind {
-                    RequestKind::Read => bank
-                        .next_read_allowed()
-                        .max(self.bus.next_read_allowed(&self.timing)),
-                    RequestKind::Write => bank
-                        .next_write_allowed()
-                        .max(self.bus.next_write_allowed(&self.timing)),
-                    RequestKind::Rng => unreachable!("handled above"),
-                };
-                Readiness {
-                    // No new column commands once a refresh is pending (the
-                    // controller drains toward the REF).
-                    ready_now: now >= t && !self.refresh_pending,
-                    row_hit: true,
-                }
-            }
-            NextCommand::Precharge => Readiness {
-                ready_now: now >= bank.next_pre_allowed(),
-                row_hit: false,
-            },
-            NextCommand::Activate => {
-                let rank = &self.ranks[req.addr.rank as usize];
-                let t = bank
-                    .next_act_allowed()
-                    .max(rank.next_act_allowed(&self.timing));
-                Readiness {
-                    ready_now: now >= t && !self.refresh_pending,
-                    row_hit: false,
-                }
-            }
-        }
-    }
-
-    fn compute_readiness(&mut self, now: u64, writes: bool) {
-        let queue: &[Request] = if writes { &self.write_q } else { &self.read_q };
-        let mut buf = std::mem::take(&mut self.readiness_buf);
-        buf.clear();
-        buf.extend(queue.iter().map(|r| self.readiness_of(now, r)));
-        self.readiness_buf = buf;
-    }
-
     fn issue_for(&mut self, now: u64, idx: usize, writes: bool) {
         let req = if writes { self.write_q[idx] } else { self.read_q[idx] };
-        let bidx = self.bank_index(&req);
-        match self.next_command(&req) {
+        let bidx = self.ct.bank_index(&req);
+        let timing = self.ct.timing;
+        match self.ct.next_command(&req) {
             NextCommand::Precharge => {
-                self.banks[bidx].precharge(now, &self.timing);
+                self.ct.banks[bidx].precharge(now, &timing);
                 self.stats.pres += 1;
                 self.open_banks -= 1;
                 if !self.conflict_marked.contains(&req.id) {
@@ -472,8 +627,8 @@ impl<P: SchedulerPolicy> ChannelController<P> {
                 }
             }
             NextCommand::Activate => {
-                self.banks[bidx].activate(now, req.addr.row, &self.timing);
-                self.ranks[req.addr.rank as usize].record_act(now, &self.timing);
+                self.ct.banks[bidx].activate(now, req.addr.row, &timing);
+                self.ct.ranks[req.addr.rank as usize].record_act(now, &timing);
                 self.stats.acts += 1;
                 self.open_banks += 1;
                 self.act_owner[bidx] = Some(req.id);
@@ -492,19 +647,19 @@ impl<P: SchedulerPolicy> ChannelController<P> {
                 }
                 match req.kind {
                     RequestKind::Read => {
-                        let done = self.banks[bidx].read(now, &self.timing);
-                        self.bus.record_read(now);
+                        let done = self.ct.banks[bidx].read(now, &timing);
+                        self.ct.bus.record_read(now);
                         self.stats.reads += 1;
                         self.policy.on_serviced(&req, row_hit);
-                        self.read_q.remove(idx);
+                        self.read_q.swap_remove(idx);
                         self.pending.push(Reverse(Pending { at: done, request: req }));
                     }
                     RequestKind::Write => {
-                        self.banks[bidx].write(now, &self.timing);
-                        self.bus.record_write(now);
+                        self.ct.banks[bidx].write(now, &timing);
+                        self.ct.bus.record_write(now);
                         self.stats.writes += 1;
                         self.policy.on_serviced(&req, row_hit);
-                        self.write_q.remove(idx);
+                        self.write_q.swap_remove(idx);
                     }
                     RequestKind::Rng => unreachable!("RNG requests never issue commands"),
                 }
@@ -524,26 +679,28 @@ impl<P: SchedulerPolicy> ChannelController<P> {
         }
         if self.open_banks == 0 {
             let ready = self
+                .ct
                 .banks
                 .iter()
                 .map(Bank::next_act_allowed)
                 .max()
                 .unwrap_or(0);
             if now >= ready {
-                let until = now + self.timing.trfc as u64;
-                for bank in &mut self.banks {
+                let until = now + self.ct.timing.trfc as u64;
+                for bank in &mut self.ct.banks {
                     bank.lock_until(until);
                 }
-                self.stats.refreshes += self.geometry.ranks as u64;
-                self.next_refresh_due += self.timing.trefi as u64;
+                self.stats.refreshes += self.ct.geometry.ranks as u64;
+                self.next_refresh_due += self.ct.timing.trefi as u64;
                 self.refresh_pending = false;
             }
             return true;
         }
         // Precharge one open bank whose timing allows it.
-        for (i, bank) in self.banks.iter_mut().enumerate() {
+        let timing = self.ct.timing;
+        for (i, bank) in self.ct.banks.iter_mut().enumerate() {
             if !bank.is_precharged() && now >= bank.next_pre_allowed() {
-                bank.precharge(now, &self.timing);
+                bank.precharge(now, &timing);
                 self.stats.pres += 1;
                 self.open_banks -= 1;
                 self.act_owner[i] = None;
@@ -824,5 +981,159 @@ mod tests {
         assert!(c.write_queue().len() <= WRITE_DRAIN_LO);
         // The read is served only after the drain drops below the low mark.
         assert!(c.stats().writes >= (WRITE_DRAIN_HI - WRITE_DRAIN_LO) as u64);
+    }
+
+    /// Drives a reference clone per-cycle and a fast-forward clone with
+    /// skip_to over the same dead span, asserting identical state — both
+    /// right after the span and after 500 further live ticks, so latent
+    /// divergence (e.g. stale hysteresis) surfaces too.
+    fn assert_skip_matches_ticks(c: &ChannelController<FrFcfs>, from: u64) {
+        let event = c.next_event_at(from).unwrap_or(u64::MAX);
+        assert!(event > from, "span must be dead to compare");
+        let to = event.min(from + 5000);
+        let mut reference = c.clone();
+        let mut scratch = Vec::new();
+        for now in from..to {
+            let sel = reference.tick(now, &mut scratch);
+            assert!(sel.is_none(), "dead span must not select requests");
+        }
+        // Completions in the dead span would have been lost.
+        assert!(scratch.is_empty(), "dead span must not complete requests");
+        let mut fast = c.clone();
+        fast.skip_to(from, to);
+        assert_eq!(fast.stats(), reference.stats());
+        assert_eq!(fast.cur_idle, reference.cur_idle);
+        assert_eq!(fast.in_write_drain, reference.in_write_drain);
+        // Continue both live and require them to stay in lockstep.
+        let mut ref_done = Vec::new();
+        let mut fast_done = Vec::new();
+        for now in to..to + 500 {
+            reference.tick(now, &mut ref_done);
+            fast.tick(now, &mut fast_done);
+        }
+        assert_eq!(fast.stats(), reference.stats(), "post-span divergence");
+        assert_eq!(fast_done.len(), ref_done.len());
+    }
+
+    #[test]
+    fn next_event_on_quiet_channel_is_refresh_deadline() {
+        let c = controller();
+        let t = *c.timing();
+        assert_eq!(c.next_event_at(0), Some(t.trefi as u64));
+        assert_skip_matches_ticks(&c, 0);
+    }
+
+    #[test]
+    fn next_event_during_blockade_is_blockade_end() {
+        let mut c = controller();
+        c.block_until(500);
+        assert_eq!(c.next_event_at(0), Some(500));
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        // Still 500: queued work cannot start while blocked.
+        assert_eq!(c.next_event_at(10), Some(500));
+        assert_skip_matches_ticks(&c, 10);
+    }
+
+    #[test]
+    fn next_event_sees_pending_data_return() {
+        let mut c = controller();
+        let t = *c.timing();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let mut done = Vec::new();
+        // Tick through ACT and RD; data is then in flight.
+        for now in 0..=(t.trcd as u64) {
+            c.tick(now, &mut done);
+        }
+        let due = (t.trcd + t.cl + t.tbl) as u64;
+        assert_eq!(c.next_event_at(t.trcd as u64 + 1), Some(due));
+        assert_skip_matches_ticks(&c, t.trcd as u64 + 1);
+    }
+
+    #[test]
+    fn next_event_sees_bank_timing_readiness() {
+        let mut c = controller();
+        let t = *c.timing();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let mut done = Vec::new();
+        c.tick(0, &mut done); // ACT at cycle 0
+        // The RD cannot issue before tRCD: the next event is exactly that.
+        assert_eq!(c.next_event_at(1), Some(t.trcd as u64));
+        assert_skip_matches_ticks(&c, 1);
+    }
+
+    #[test]
+    fn next_event_is_now_when_request_ready() {
+        let mut c = controller();
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        assert_eq!(c.next_event_at(0), Some(0), "ACT can issue immediately");
+    }
+
+    #[test]
+    fn skip_preserves_open_idle_period() {
+        let mut c = controller();
+        let mut done = Vec::new();
+        for now in 0..50 {
+            c.tick(now, &mut done);
+        }
+        let event = c.next_event_at(50).unwrap();
+        c.skip_to(50, event.min(1000));
+        let mut reference = controller();
+        for now in 0..event.min(1000) {
+            reference.tick(now, &mut done);
+        }
+        assert_eq!(c.cur_idle, reference.cur_idle);
+        assert_eq!(c.stats().idle_cycles, reference.stats().idle_cycles);
+    }
+
+    #[test]
+    fn skip_replays_write_drain_hysteresis() {
+        // Engage the write drain, let it drop into the hysteresis band,
+        // then compare skip vs per-cycle across the next dead span (and
+        // beyond): the skipped clone must not keep a stale drain flag.
+        let mut c = controller();
+        for i in 0..WRITE_DRAIN_HI as u64 {
+            let mut w = read_at(100 + i, (i % 8) as u32, 1, i as u32);
+            w.kind = RequestKind::Write;
+            c.try_enqueue(w, 0).unwrap();
+        }
+        c.try_enqueue(read_at(1, 0, 5, 0), 0).unwrap();
+        let mut done = Vec::new();
+        let mut now = 0;
+        // Drain until the flag would clear on the next update.
+        while c.write_queue().len() > WRITE_DRAIN_LO {
+            c.tick(now, &mut done);
+            now += 1;
+        }
+        assert!(c.in_write_drain, "flag still set at the issuing tick");
+        // Find the next dead span and compare the two paths through it.
+        loop {
+            let event = c.next_event_at(now).unwrap();
+            if event > now {
+                assert_skip_matches_ticks(&c, now);
+                break;
+            }
+            c.tick(now, &mut done);
+            now += 1;
+            assert!(now < 10_000, "a dead span must appear");
+        }
+    }
+
+    #[test]
+    fn swap_remove_keeps_age_order_semantics() {
+        // Three same-bank reads to distinct rows: they are serviced oldest
+        // first despite swap_remove scrambling queue positions.
+        let mut c = controller();
+        c.try_enqueue(read_at(1, 0, 1, 0), 0).unwrap();
+        c.try_enqueue(read_at(2, 0, 2, 0), 1).unwrap();
+        c.try_enqueue(read_at(3, 0, 3, 0), 2).unwrap();
+        let mut done = Vec::new();
+        for now in 0..1000 {
+            c.tick(now, &mut done);
+            if done.len() == 3 {
+                break;
+            }
+        }
+        let order: Vec<u64> = done.iter().map(|d| d.request.id).collect();
+        assert_eq!(order, vec![1, 2, 3]);
     }
 }

@@ -13,7 +13,7 @@
 //! clearing interval of 10 000 cycles.
 
 use crate::request::Request;
-use crate::sched::{frfcfs_best, Readiness, SchedulerPolicy};
+use crate::sched::{age_key, frfcfs_best, Readiness, SchedulerPolicy};
 
 /// BLISS scheduling policy.
 ///
@@ -84,11 +84,9 @@ impl Bliss {
 
 impl SchedulerPolicy for Bliss {
     fn select(&mut self, _now: u64, queue: &[Request], readiness: &[Readiness]) -> Option<usize> {
-        // Pass 1: only non-blacklisted applications' requests.
-        let best_clean = frfcfs_best(queue, readiness, |i| readiness[i].row_hit);
         // frfcfs_best has no notion of the blacklist, so do the grouping
         // here: scan for the best ready request among non-blacklisted apps
-        // first; fall back to all requests.
+        // first; fall back to all requests only when that yields nothing.
         let mut best: Option<usize> = None;
         for i in 0..queue.len() {
             if !readiness[i].ready_now || self.is_blacklisted(queue[i].core) {
@@ -97,7 +95,8 @@ impl SchedulerPolicy for Bliss {
             best = match best {
                 None => Some(i),
                 Some(b) => {
-                    if readiness[i].row_hit && !readiness[b].row_hit {
+                    let (bh, ih) = (readiness[b].row_hit, readiness[i].row_hit);
+                    if (ih && !bh) || (ih == bh && age_key(&queue[i]) < age_key(&queue[b])) {
                         Some(i)
                     } else {
                         Some(b)
@@ -105,7 +104,7 @@ impl SchedulerPolicy for Bliss {
                 }
             };
         }
-        best.or(best_clean)
+        best.or_else(|| frfcfs_best(queue, readiness, |i| readiness[i].row_hit))
     }
 
     fn on_serviced(&mut self, req: &Request, _row_hit: bool) {
@@ -125,6 +124,20 @@ impl SchedulerPolicy for Bliss {
             self.blacklisted.iter_mut().for_each(|b| *b = false);
             self.next_clear = now + self.clearing_interval;
         }
+    }
+
+    fn on_cycles_skipped(&mut self, from: u64, to: u64) {
+        // Replicates per-cycle `on_cycle` over `from..to` in closed form:
+        // the first cycle at or past `next_clear` clears the blacklist (no
+        // services happen in a skipped span, so later clears are no-ops),
+        // and subsequent triggers land exactly every `clearing_interval`.
+        let first = from.max(self.next_clear);
+        if from >= to || first >= to {
+            return;
+        }
+        self.blacklisted.iter_mut().for_each(|b| *b = false);
+        let triggers = (to - 1 - first) / self.clearing_interval;
+        self.next_clear = first + (triggers + 1) * self.clearing_interval;
     }
 }
 

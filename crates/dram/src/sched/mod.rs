@@ -54,6 +54,22 @@ pub trait SchedulerPolicy {
     fn on_cycle(&mut self, now: u64) {
         let _ = now;
     }
+
+    /// Fast-forward catch-up: must leave the policy in exactly the state
+    /// that calling [`SchedulerPolicy::on_cycle`] once for every cycle in
+    /// `from..to` would, given that no request is serviced in that span.
+    /// Policies without per-cycle state need not override this.
+    fn on_cycles_skipped(&mut self, from: u64, to: u64) {
+        let _ = (from, to);
+    }
+}
+
+/// Age ordering key for a request: arrival cycle, with the globally
+/// monotone request id as the tie-break. Queues are not kept in arrival
+/// order (the controller uses `swap_remove`), so age comparisons must use
+/// this key rather than queue position.
+pub(crate) fn age_key(req: &Request) -> (u64, u64) {
+    (req.arrival, req.id)
 }
 
 /// Baseline FR-FCFS ordering over `(ready, hit, age)`, shared by policies
@@ -74,8 +90,8 @@ pub(crate) fn frfcfs_best(
             None => best = Some(i),
             Some(b) => {
                 let (bh, ih) = (effective_hit(b), effective_hit(i));
-                // Prefer row hits; ties broken by age (lower index = older).
-                if ih && !bh {
+                // Prefer row hits; ties broken by age.
+                if (ih && !bh) || (ih == bh && age_key(&queue[i]) < age_key(&queue[b])) {
                     best = Some(i);
                 }
             }

@@ -26,7 +26,7 @@ impl CoreLatency {
 }
 
 /// Statistics collected by one channel controller.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// ACT commands issued for regular requests.
     pub acts: u64,

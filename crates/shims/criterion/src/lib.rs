@@ -1,0 +1,184 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this path dependency
+//! provides `Criterion`, benchmark groups, `Bencher::iter`/`iter_batched`,
+//! and the `criterion_group!`/`criterion_main!` macros with a simple
+//! median-of-samples timer. Numbers are printed to stdout; there is no
+//! statistical machinery, HTML report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by the shim's timer).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Fresh setup for every routine invocation.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&self.name, id, self.throughput);
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Times benchmark routines.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and size the inner loop to ~1ms per sample.
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(5) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = Duration::from_millis(5)
+            .checked_div(warmup_iters.max(1) as u32)
+            .unwrap_or_default();
+        let inner = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..inner {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / inner as u32);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let ns = median.as_nanos().max(1);
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 * 1e9 / ns as f64;
+                println!("{group}/{id}: {ns} ns/iter ({rate:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 * 1e9 / ns as f64;
+                println!("{group}/{id}: {ns} ns/iter ({rate:.0} B/s)");
+            }
+            None => println!("{group}/{id}: {ns} ns/iter"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("nop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21, |x| x * 2, BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+}

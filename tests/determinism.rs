@@ -1,8 +1,10 @@
 //! Full-stack determinism: identical configurations and seeds must yield
 //! bit-identical results, which the experiment harness relies on (alone
-//! baselines are cached and reused across figures).
+//! baselines are cached and reused across figures) — and the event-driven
+//! fast-forward engine must be bit-identical to the per-cycle reference
+//! across every design point.
 
-use dr_strange::core::{RunResult, System, SystemConfig};
+use dr_strange::core::{RunResult, SchedulerKind, SimMode, System, SystemConfig};
 use dr_strange::energy::{system_energy, Ddr3PowerParams};
 use dr_strange::trng::{DRange, QuacTrng};
 use dr_strange::workloads::{eval_pairs, Workload};
@@ -72,13 +74,153 @@ fn mechanism_changes_timing_deterministically() {
 
 #[test]
 fn workload_traces_are_reproducible() {
-    use dr_strange::cpu::TraceSource;
     let wl = &eval_pairs(5120)[0];
     let mut t1 = wl.traces();
     let mut t2 = wl.traces();
     for (a, b) in t1.iter_mut().zip(t2.iter_mut()) {
         for _ in 0..500 {
             assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}
+
+/// Fast-forward vs. per-cycle reference: the two simulation modes must be
+/// bit-identical in every observable output, for every design point.
+mod fastforward {
+    use super::*;
+
+    /// Runs `cfg` in both modes on `wl` and asserts bit-identical results,
+    /// including the served random values. Returns the fraction of CPU
+    /// cycles the fast mode skipped, so callers can assert the comparison
+    /// was not vacuous (a fast path degenerating to per-cycle stepping
+    /// would trivially match the reference).
+    fn assert_modes_identical(cfg: SystemConfig, wl: &Workload, label: &str) -> f64 {
+        let run = |mode: SimMode| {
+            let cfg = cfg.clone().with_sim_mode(mode);
+            let mut sys = System::new(cfg, wl.traces(), Box::new(DRange::new(3)))
+                .expect("valid configuration");
+            sys.set_value_log(true);
+            let res = sys.run();
+            let values = sys.mem().value_log().to_vec();
+            let skipped = sys.skipped_cycles();
+            (res, values, skipped)
+        };
+        let (reference, ref_values, ref_skipped) = run(SimMode::Reference);
+        let (fast, fast_values, fast_skipped) = run(SimMode::FastForward);
+        assert_eq!(ref_skipped, 0, "{label}: reference mode must not skip");
+        assert!(fast_skipped > 0, "{label}: fast-forward must skip something");
+        assert_eq!(fast.cpu_cycles, reference.cpu_cycles, "{label}: cpu cycles");
+        assert_eq!(fast.mem_cycles, reference.mem_cycles, "{label}: mem cycles");
+        assert_eq!(
+            fast.hit_cycle_limit, reference.hit_cycle_limit,
+            "{label}: cycle limit"
+        );
+        assert_eq!(fast.stats, reference.stats, "{label}: engine stats");
+        assert_eq!(fast.channels, reference.channels, "{label}: channel stats");
+        assert_eq!(fast.cores.len(), reference.cores.len());
+        for (i, (f, r)) in fast.cores.iter().zip(&reference.cores).enumerate() {
+            assert_eq!(
+                f.finish.map(|s| (s.at_cycle, s.stats)),
+                r.finish.map(|s| (s.at_cycle, s.stats)),
+                "{label}: core {i} finish snapshot"
+            );
+            assert_eq!(f.end_stats, r.end_stats, "{label}: core {i} end stats");
+        }
+        assert_eq!(fast_values, ref_values, "{label}: served random values");
+        fast_skipped as f64 / fast.cpu_cycles as f64
+    }
+
+    fn base(cfg: SystemConfig) -> SystemConfig {
+        cfg.with_instruction_target(25_000)
+    }
+
+    #[test]
+    fn oblivious_baseline_frfcfs_cap() {
+        let wl = &eval_pairs(5120)[10];
+        assert_modes_identical(base(SystemConfig::rng_oblivious(2)), wl, "oblivious");
+    }
+
+    #[test]
+    fn oblivious_pure_frfcfs() {
+        let wl = &eval_pairs(5120)[4];
+        let cfg = base(SystemConfig::rng_oblivious(2)).with_scheduler(SchedulerKind::FrFcfs);
+        assert_modes_identical(cfg, wl, "frfcfs");
+    }
+
+    #[test]
+    fn oblivious_bliss() {
+        let wl = &eval_pairs(5120)[7];
+        let cfg = base(SystemConfig::rng_oblivious(2)).with_scheduler(SchedulerKind::Bliss);
+        assert_modes_identical(cfg, wl, "bliss");
+    }
+
+    #[test]
+    fn dr_strange_predictive_simple() {
+        let wl = &eval_pairs(5120)[10];
+        assert_modes_identical(base(SystemConfig::dr_strange(2)), wl, "dr-strange");
+    }
+
+    #[test]
+    fn dr_strange_bliss_scheduler() {
+        let wl = &eval_pairs(5120)[13];
+        let cfg = base(SystemConfig::dr_strange(2)).with_scheduler(SchedulerKind::Bliss);
+        assert_modes_identical(cfg, wl, "dr-strange+bliss");
+    }
+
+    #[test]
+    fn dr_strange_qlearning_predictor() {
+        let wl = &eval_pairs(5120)[2];
+        assert_modes_identical(base(SystemConfig::dr_strange_rl(2)), wl, "dr-strange+rl");
+    }
+
+    #[test]
+    fn dr_strange_no_predictor() {
+        let wl = &eval_pairs(5120)[5];
+        assert_modes_identical(
+            base(SystemConfig::dr_strange_no_predictor(2)),
+            wl,
+            "no-pred",
+        );
+    }
+
+    #[test]
+    fn greedy_oracle_fill() {
+        let wl = &eval_pairs(5120)[10];
+        assert_modes_identical(base(SystemConfig::greedy_idle(2)), wl, "greedy");
+    }
+
+    #[test]
+    fn priorities_and_starvation_path() {
+        let wl = &eval_pairs(5120)[10];
+        let cfg = base(SystemConfig::dr_strange(2))
+            .with_buffer_entries(1)
+            .with_priorities(vec![2, 1]);
+        assert_modes_identical(cfg, wl, "priorities");
+    }
+
+    #[test]
+    fn four_core_mixed_workload() {
+        let wl = &dr_strange::workloads::four_core_groups(1, 7)[0].1[0];
+        assert_modes_identical(base(SystemConfig::dr_strange(4)), wl, "four-core");
+    }
+
+    #[test]
+    fn idle_dominated_low_utilization_pair() {
+        // The fig05/fig15 regime where skipping dominates (the benchmark's
+        // ≥3x speedup case): low-intensity app + 640 Mb/s RNG benchmark.
+        // Here the vast majority of cycles must actually be skipped.
+        let app = dr_strange::workloads::app_by_name("povray").expect("catalog");
+        let wl = Workload::pair(&app, 640);
+        for (cfg, label) in [
+            (SystemConfig::dr_strange(2), "idle-dominated"),
+            (SystemConfig::rng_oblivious(2), "idle-oblivious"),
+            (SystemConfig::greedy_idle(2), "idle-greedy"),
+        ] {
+            let skipped = assert_modes_identical(base(cfg), &wl, label);
+            assert!(
+                skipped > 0.5,
+                "{label}: skipped fraction {skipped:.2} too low for an idle-dominated run"
+            );
         }
     }
 }
