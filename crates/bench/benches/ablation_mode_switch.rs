@@ -7,7 +7,7 @@
 //! largely insensitive to it — evidence the headline results do not hinge
 //! on the calibrated constant.
 
-use strange_bench::{banner, mean, Design, Harness, Mech};
+use strange_bench::{banner, eval_pair_matrix_par, mean, Design, Harness, Mech};
 use strange_workloads::eval_pairs;
 
 fn main() {
@@ -16,7 +16,8 @@ fn main() {
         "(beyond the paper) baseline slowdown grows with switch cost; \
          DR-STRANGE stays flat thanks to the buffer",
     );
-    let mut h = Harness::new();
+    let h = Harness::new();
+    let designs = [Design::Oblivious, Design::DrStrange];
     // A representative subset keeps the sweep affordable.
     let workloads: Vec<_> = eval_pairs(5120).into_iter().step_by(5).collect();
     println!(
@@ -24,19 +25,11 @@ fn main() {
         "switch cost", "baseline nonRNG sd", "DR-STRANGE nonRNG sd"
     );
     for cycles in [10u64, 20, 40, 80, 160] {
-        let mech = Mech::DRangeSwitch(cycles);
-        let base: Vec<f64> = workloads
-            .iter()
-            .map(|w| h.eval_pair(Design::Oblivious, w, mech).nonrng_slowdown)
-            .collect();
-        let ds: Vec<f64> = workloads
-            .iter()
-            .map(|w| h.eval_pair(Design::DrStrange, w, mech).nonrng_slowdown)
-            .collect();
-        println!(
-            "{cycles:<12} {:>18.3} {:>18.3}",
-            mean(&base),
-            mean(&ds)
-        );
+        // The mechanism (and thus the alone-cache key) changes per sweep
+        // point, so each point is its own parallel matrix.
+        let matrix =
+            eval_pair_matrix_par(&h, &designs, &workloads, Mech::DRangeSwitch(cycles));
+        let avg = |d: usize| mean(&matrix[d].iter().map(|e| e.nonrng_slowdown).collect::<Vec<_>>());
+        println!("{cycles:<12} {:>18.3} {:>18.3}", avg(0), avg(1));
     }
 }

@@ -5,7 +5,7 @@
 //! lower thresholds classify too many periods as long (more misprediction
 //! stalls), higher thresholds waste fill opportunities.
 
-use strange_bench::{banner, mean, Design, Harness, Mech};
+use strange_bench::{banner, eval_pair_matrix_par, mean, Design, Harness, Mech};
 use strange_workloads::eval_pairs;
 
 fn main() {
@@ -14,17 +14,23 @@ fn main() {
         "(beyond the paper) 40 cycles — one 8-bit round — balances \
          misprediction stalls against wasted fill opportunities",
     );
-    let mut h = Harness::new();
+    let h = Harness::new();
     let workloads: Vec<_> = eval_pairs(5120).into_iter().step_by(5).collect();
+    // The whole sweep is one (threshold × workload) parallel matrix.
+    let designs: Vec<Design> = [10u64, 20, 40, 80, 160]
+        .into_iter()
+        .map(Design::PeriodThreshold)
+        .collect();
+    let matrix = eval_pair_matrix_par(&h, &designs, &workloads, Mech::DRange);
     println!(
         "{:<10} {:>16} {:>13} {:>12} {:>10}",
         "threshold", "nonRNG slowdown", "RNG slowdown", "serve rate", "accuracy"
     );
-    for threshold in [10u64, 20, 40, 80, 160] {
-        let evals: Vec<_> = workloads
-            .iter()
-            .map(|w| h.eval_pair(Design::PeriodThreshold(threshold), w, Mech::DRange))
-            .collect();
+    for (d, design) in designs.iter().enumerate() {
+        let evals = &matrix[d];
+        let Design::PeriodThreshold(threshold) = design else {
+            unreachable!("sweep designs are thresholds");
+        };
         println!(
             "{threshold:<10} {:>16.3} {:>13.3} {:>12.2} {:>10.2}",
             mean(&evals.iter().map(|e| e.nonrng_slowdown).collect::<Vec<_>>()),

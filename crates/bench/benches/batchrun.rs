@@ -1,0 +1,130 @@
+//! Batched-runner benchmark: wall-clock speedup of the parallel
+//! (design × workload) matrix evaluation over the sequential reference,
+//! plus the probe cache's contribution to busy-workload fast-forward.
+//!
+//! Emits `BENCH_batchrun.json` (in the working directory, or at
+//! `$BENCH_BATCHRUN_OUT`) with:
+//!
+//! * sequential vs parallel wall time for a figure-style matrix (3 designs
+//!   × `STRANGE_BATCH_WORKLOADS` dual-core workloads, default 12) and the
+//!   resulting speedup — bit-identity between the two paths is asserted,
+//!   not assumed;
+//! * the busy-workload fast-forward speedup over the per-cycle reference
+//!   with the O(1) next-event probe cache enabled and disabled.
+//!
+//! The parallel speedup scales with the host core count (`STRANGE_THREADS`
+//! caps it); on a single-core host it is ~1x by construction.
+
+use std::time::Instant;
+
+use strange_bench::{
+    eval_pair_matrix_with_threads, runner, Design, Harness, Mech, ScaleConfig,
+};
+use strange_core::{SimMode, System, SystemConfig};
+use strange_trng::DRange;
+use strange_workloads::{eval_pairs, Workload};
+
+fn batch_workloads() -> usize {
+    std::env::var("STRANGE_BATCH_WORKLOADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(12)
+}
+
+/// Wall time of one full run of `cfg` over `workload`.
+fn run_wall_ms(cfg: &SystemConfig, workload: &Workload) -> f64 {
+    let mut sys = System::new(cfg.clone(), workload.traces(), Box::new(DRange::new(1)))
+        .expect("valid configuration");
+    let start = Instant::now();
+    sys.run();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Best-of-three wall time (one warm-up pass first).
+fn best_of_three(cfg: &SystemConfig, workload: &Workload) -> f64 {
+    run_wall_ms(cfg, workload);
+    (0..3)
+        .map(|_| run_wall_ms(cfg, workload))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    let threads = runner::worker_threads();
+    let designs = [Design::Oblivious, Design::Greedy, Design::DrStrange];
+    let workloads: Vec<Workload> = eval_pairs(5120)
+        .into_iter()
+        .take(batch_workloads())
+        .collect();
+    println!(
+        "batched runner: {} designs x {} workloads, {} instructions/core, {} threads\n",
+        designs.len(),
+        workloads.len(),
+        scale.instr,
+        threads
+    );
+
+    // Sequential reference (one worker, fresh harness/alone cache).
+    let seq_harness = Harness::with_scale(scale);
+    let t0 = Instant::now();
+    let seq = eval_pair_matrix_with_threads(&seq_harness, &designs, &workloads, Mech::DRange, 1);
+    let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Parallel run (fresh harness so the alone runs are recomputed too).
+    let par_harness = Harness::with_scale(scale);
+    let t0 = Instant::now();
+    let par =
+        eval_pair_matrix_with_threads(&par_harness, &designs, &workloads, Mech::DRange, threads);
+    let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(seq, par, "parallel matrix must be bit-identical");
+    let parallel_speedup = sequential_ms / parallel_ms;
+    println!(
+        "matrix: sequential {sequential_ms:8.1} ms | parallel {parallel_ms:8.1} ms | speedup {parallel_speedup:5.2}x"
+    );
+
+    // Probe-cache contribution on a busy workload (the paper's most
+    // memory-intensive pair at the highest RNG intensity): fast-forward
+    // vs per-cycle reference, cache on and off.
+    let busy = eval_pairs(5120).remove(0);
+    let base = SystemConfig::dr_strange(2).with_instruction_target(scale.instr);
+    let reference_ms = best_of_three(&base.clone().with_sim_mode(SimMode::Reference), &busy);
+    let ff_cache_on_ms = best_of_three(&base.clone().with_probe_cache(true), &busy);
+    let ff_cache_off_ms = best_of_three(&base.with_probe_cache(false), &busy);
+    let busy_speedup_cache_on = reference_ms / ff_cache_on_ms;
+    let busy_speedup_cache_off = reference_ms / ff_cache_off_ms;
+    println!(
+        "busy fast-forward: reference {reference_ms:7.1} ms | ff(cache on) {ff_cache_on_ms:7.1} ms \
+         ({busy_speedup_cache_on:4.2}x) | ff(cache off) {ff_cache_off_ms:7.1} ms ({busy_speedup_cache_off:4.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"instr_target\": {},\n  \"threads\": {},\n  \"designs\": {},\n  \"workloads\": {},\n  \
+         \"sequential_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"parallel_speedup\": {:.3},\n  \
+         \"busy_reference_ms\": {:.3},\n  \"busy_ff_cache_on_ms\": {:.3},\n  \"busy_ff_cache_off_ms\": {:.3},\n  \
+         \"busy_speedup_cache_on\": {:.3},\n  \"busy_speedup_cache_off\": {:.3}\n}}\n",
+        scale.instr,
+        threads,
+        designs.len(),
+        workloads.len(),
+        sequential_ms,
+        parallel_ms,
+        parallel_speedup,
+        reference_ms,
+        ff_cache_on_ms,
+        ff_cache_off_ms,
+        busy_speedup_cache_on,
+        busy_speedup_cache_off,
+    );
+    let out = std::env::var("BENCH_BATCHRUN_OUT")
+        .unwrap_or_else(|_| "BENCH_batchrun.json".to_string());
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("\nwrote {out}");
+
+    if threads > 1 && parallel_speedup < 1.5 {
+        println!(
+            "WARNING: parallel speedup {parallel_speedup:.2}x below expectation for {threads} threads"
+        );
+    }
+}

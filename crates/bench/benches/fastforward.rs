@@ -6,9 +6,17 @@
 //! Emits `BENCH_fastforward.json` (in the working directory, or at
 //! `$BENCH_FASTFORWARD_OUT`) with wall times and simulated cycles/second
 //! so CI can track the perf trajectory across PRs.
+//!
+//! Scale comes from the shared [`ScaleConfig`] (so `STRANGE_INSTR`
+//! applies uniformly across every bench target). Note: the unset-env
+//! default is therefore the harness default (200 000 instructions/core);
+//! before PR 2 this bench privately defaulted to 120 000, so absolute
+//! wall times are only comparable at a pinned `STRANGE_INSTR` (CI pins
+//! 60 000).
 
 use std::time::Instant;
 
+use strange_bench::ScaleConfig;
 use strange_core::{SimMode, System, SystemConfig};
 use strange_trng::DRange;
 use strange_workloads::{app_by_name, eval_pairs, Workload};
@@ -27,13 +35,6 @@ struct Measurement {
     ref_cps: f64,
     ff_cps: f64,
     speedup: f64,
-}
-
-fn instr_target() -> u64 {
-    std::env::var("STRANGE_INSTR")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(120_000)
 }
 
 fn run_mode(case: &Case, mode: SimMode) -> (f64, u64) {
@@ -79,7 +80,9 @@ fn measure(case: &Case) -> Measurement {
 }
 
 fn main() {
-    let target = instr_target();
+    // Explicit scale-config injection (shared with the harness) instead of
+    // a private environment read.
+    let target = ScaleConfig::from_env().instr;
     let pairs = eval_pairs(5120);
     // Fig. 5/15 + Sec. 8.8 regime: a low-intensity application next to a
     // low-intensity (640 Mb/s) RNG benchmark — long idle periods, the

@@ -15,7 +15,7 @@ fn main() {
         "non-RNG slowdown grows with RNG intensity (avg 1.93x at 5 Gb/s); \
          RNG apps slow down 6-21%; unfairness 1.32 -> 2.61",
     );
-    let mut h = Harness::new();
+    let h = Harness::new();
     let mech = Mech::DRange;
 
     println!(

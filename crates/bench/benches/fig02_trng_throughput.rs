@@ -15,7 +15,7 @@ fn main() {
         "slowdown and unfairness shrink with TRNG throughput and saturate \
          beyond ~3.2 Gb/s (max slowdown 7.3 -> 2.5; max unfairness 8.5 -> 2.3)",
     );
-    let mut h = Harness::new();
+    let h = Harness::new();
     let workloads = eval_pairs(5120);
 
     println!("--- non-RNG slowdown (left panel) ---");

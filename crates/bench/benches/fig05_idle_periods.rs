@@ -5,7 +5,7 @@
 //! the 198 cycles a 64-bit generation needs — which is why DR-STRaNGe
 //! generates in 8-bit batches (40 cycles) instead.
 
-use strange_bench::{banner, Design, Harness, Mech};
+use strange_bench::{banner, Design, Harness, Mech, RunJob};
 use strange_metrics::BoxStats;
 use strange_workloads::{figure_apps, AppRef, Workload};
 
@@ -28,12 +28,20 @@ fn main() {
     );
     let mut below_198_total = 0u64;
     let mut total = 0u64;
-    for app in figure_apps() {
-        let wl = Workload {
-            name: format!("{}-alone", app.name),
-            apps: vec![AppRef::Named(app.name)],
-        };
-        let res = h.run(Design::Oblivious, &wl, Mech::DRange);
+    // One independent alone-run per figure app: a single parallel batch.
+    let apps = figure_apps();
+    let jobs: Vec<RunJob> = apps
+        .iter()
+        .map(|app| {
+            let wl = Workload {
+                name: format!("{}-alone", app.name),
+                apps: vec![AppRef::Named(app.name)],
+            };
+            RunJob::new(Design::Oblivious, wl, Mech::DRange)
+        })
+        .collect();
+    let results = h.run_many(&jobs);
+    for (app, res) in apps.iter().zip(&results) {
         let mut periods: Vec<f64> = Vec::new();
         for ch in &res.channels {
             periods.extend(ch.idle_periods.iter().map(|&p| p as f64));

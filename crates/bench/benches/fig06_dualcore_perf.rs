@@ -7,7 +7,7 @@
 //! and 10.7%); RNG applications run 20.6% *faster* than alone.
 
 use strange_bench::{
-    banner, eval_pair_matrix, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
+    banner, eval_pair_matrix_par, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
 };
 use strange_workloads::eval_pairs;
 
@@ -19,8 +19,8 @@ fn main() {
     );
     let designs = [Design::Oblivious, Design::Greedy, Design::DrStrange];
     let workloads = eval_pairs(5120);
-    let mut h = Harness::new();
-    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+    let h = Harness::new();
+    let matrix = eval_pair_matrix_par(&h, &designs, &workloads, Mech::DRange);
 
     print_pair_metric(
         "non-RNG application slowdown (top panel)",

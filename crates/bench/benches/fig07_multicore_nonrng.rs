@@ -6,24 +6,19 @@
 //! Paper anchors: +7.6% average for four-core workloads (growing with
 //! memory intensity); +12.1%/+8.2%/+6.1% for H/M/L class groups.
 
-use strange_bench::{banner, gmean, per_group, Design, Harness, Mech, MIX_SEED};
+use strange_bench::{banner, eval_multi_matrix_par, gmean, Design, Harness, Mech, MIX_SEED};
 use strange_workloads::{four_core_groups, multicore_class_groups, Workload};
 
-fn group_speedups(
-    h: &mut Harness,
-    name: &str,
-    workloads: &[Workload],
-) -> (f64, f64) {
-    let mut greedy = Vec::new();
-    let mut drst = Vec::new();
-    for wl in workloads {
-        let base = h.eval_multi(Design::Oblivious, wl, Mech::DRange).weighted_speedup;
-        let g = h.eval_multi(Design::Greedy, wl, Mech::DRange).weighted_speedup;
-        let d = h.eval_multi(Design::DrStrange, wl, Mech::DRange).weighted_speedup;
-        greedy.push(g / base);
-        drst.push(d / base);
-    }
-    let (g, d) = (gmean(&greedy), gmean(&drst));
+const DESIGNS: [Design; 3] = [Design::Oblivious, Design::Greedy, Design::DrStrange];
+
+fn group_speedups(h: &Harness, name: &str, workloads: &[Workload]) -> (f64, f64) {
+    let matrix = eval_multi_matrix_par(h, &DESIGNS, workloads, Mech::DRange);
+    let normalized = |d: usize| -> Vec<f64> {
+        (0..workloads.len())
+            .map(|w| matrix[d][w].weighted_speedup / matrix[0][w].weighted_speedup)
+            .collect()
+    };
+    let (g, d) = (gmean(&normalized(1)), gmean(&normalized(2)));
     println!("{name:<10} {g:>10.3} {d:>12.3}");
     (g, d)
 }
@@ -34,21 +29,21 @@ fn main() {
         "DR-STRANGE: +7.6% avg on 4-core groups; +12.1%/+8.2%/+6.1% on \
          H/M/L class groups; beats Greedy in nearly all groups",
     );
-    let mut h = Harness::new();
+    let h = Harness::new();
     println!("{:<10} {:>10} {:>12}", "group", "Greedy", "DR-STRANGE");
 
     println!("--- (a) four-core groups ---");
     let mut all = Vec::new();
-    for (name, ws) in four_core_groups(per_group(), MIX_SEED) {
-        all.push(group_speedups(&mut h, &name, &ws));
+    for (name, ws) in four_core_groups(h.scale().per_group, MIX_SEED) {
+        all.push(group_speedups(&h, &name, &ws));
     }
     let gm: Vec<f64> = all.iter().map(|x| x.1).collect();
     println!("GMEAN      {:>23.3}", gmean(&gm));
 
     println!("--- (b) 4/8/16-core class groups ---");
     for cores in [4usize, 8, 16] {
-        for (name, ws) in multicore_class_groups(cores, per_group(), MIX_SEED) {
-            group_speedups(&mut h, &name, &ws);
+        for (name, ws) in multicore_class_groups(cores, h.scale().per_group, MIX_SEED) {
+            group_speedups(&h, &name, &ws);
         }
     }
 }

@@ -5,24 +5,19 @@
 //! in the four-core groups, and by 4.5%/6.7%/16.9% in H/M/L class groups;
 //! never worse than Greedy.
 
-use strange_bench::{banner, mean, per_group, Design, Harness, Mech, MIX_SEED};
+use strange_bench::{banner, eval_multi_matrix_par, mean, Design, Harness, Mech, MIX_SEED};
 use strange_workloads::{four_core_groups, multicore_class_groups, Workload};
 
-fn group_slowdowns(h: &mut Harness, name: &str, workloads: &[Workload]) {
-    let mut rows = [Vec::new(), Vec::new(), Vec::new()];
-    for wl in workloads {
-        for (i, d) in [Design::Oblivious, Design::Greedy, Design::DrStrange]
-            .into_iter()
-            .enumerate()
-        {
-            rows[i].push(h.eval_multi(d, wl, Mech::DRange).rng_slowdown);
-        }
-    }
+const DESIGNS: [Design; 3] = [Design::Oblivious, Design::Greedy, Design::DrStrange];
+
+fn group_slowdowns(h: &Harness, name: &str, workloads: &[Workload]) {
+    let matrix = eval_multi_matrix_par(h, &DESIGNS, workloads, Mech::DRange);
+    let avg = |d: usize| mean(&matrix[d].iter().map(|e| e.rng_slowdown).collect::<Vec<_>>());
     println!(
         "{name:<10} {:>12.3} {:>10.3} {:>12.3}",
-        mean(&rows[0]),
-        mean(&rows[1]),
-        mean(&rows[2])
+        avg(0),
+        avg(1),
+        avg(2)
     );
 }
 
@@ -32,19 +27,19 @@ fn main() {
         "DR-STRANGE improves RNG apps by 17.8% avg on 4-core groups and \
          4.5%/6.7%/16.9% on H/M/L groups; at least matches Greedy everywhere",
     );
-    let mut h = Harness::new();
+    let h = Harness::new();
     println!(
         "{:<10} {:>12} {:>10} {:>12}",
         "group", "Oblivious", "Greedy", "DR-STRANGE"
     );
     println!("--- (a) four-core groups ---");
-    for (name, ws) in four_core_groups(per_group(), MIX_SEED) {
-        group_slowdowns(&mut h, &name, &ws);
+    for (name, ws) in four_core_groups(h.scale().per_group, MIX_SEED) {
+        group_slowdowns(&h, &name, &ws);
     }
     println!("--- (b) 4/8/16-core class groups ---");
     for cores in [4usize, 8, 16] {
-        for (name, ws) in multicore_class_groups(cores, per_group(), MIX_SEED) {
-            group_slowdowns(&mut h, &name, &ws);
+        for (name, ws) in multicore_class_groups(cores, h.scale().per_group, MIX_SEED) {
+            group_slowdowns(&h, &name, &ws);
         }
     }
 }

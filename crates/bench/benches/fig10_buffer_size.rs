@@ -6,7 +6,7 @@
 //! buffer past 16 entries helps only a few workloads (jp2e, cactus, libq).
 
 use strange_bench::{
-    banner, eval_pair_matrix, mean, print_pair_metric, Design, Harness, Mech, PairEval,
+    banner, eval_pair_matrix_par, mean, print_pair_metric, Design, Harness, Mech, PairEval,
 };
 use strange_workloads::eval_pairs;
 
@@ -24,8 +24,8 @@ fn main() {
         Design::Buffered(64),
     ];
     let workloads = eval_pairs(5120);
-    let mut h = Harness::new();
-    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+    let h = Harness::new();
+    let matrix = eval_pair_matrix_par(&h, &designs, &workloads, Mech::DRange);
 
     print_pair_metric(
         "non-RNG slowdown (top)",

@@ -6,7 +6,7 @@
 //! and non-RNG performance by 8.9% on these RNG-heavy workloads.
 
 use strange_bench::{
-    banner, eval_pair_matrix, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
+    banner, eval_pair_matrix_par, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
     PairEval,
 };
 use strange_workloads::eval_pairs;
@@ -23,8 +23,8 @@ fn main() {
         Design::RngAwareNoBuffer,
     ];
     let workloads = eval_pairs(5120);
-    let mut h = Harness::new();
-    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+    let h = Harness::new();
+    let matrix = eval_pair_matrix_par(&h, &designs, &workloads, Mech::DRange);
 
     print_pair_metric(
         "non-RNG slowdown (top)",

@@ -7,7 +7,9 @@
 //! RNG performance by 9.9%; prioritizing RNG helps both app types in
 //! 4-core workloads.
 
-use strange_bench::{banner, gmean, mean, per_group, Design, Harness, Mech, MIX_SEED};
+use strange_bench::{
+    banner, eval_multi_matrix_par, gmean, mean, Design, Harness, Mech, MIX_SEED,
+};
 use strange_workloads::multicore_class_groups;
 
 fn main() {
@@ -16,7 +18,12 @@ fn main() {
         "non-RNG-prioritized: +8.9% weighted speedup; RNG-prioritized: \
          +9.9% RNG performance (both vs the RNG-oblivious baseline)",
     );
-    let mut h = Harness::new();
+    let h = Harness::new();
+    let designs = [
+        Design::Oblivious,
+        Design::Priority(false),
+        Design::Priority(true),
+    ];
     println!(
         "{:<8} {:>14} {:>14} {:>12} {:>12}",
         "cores", "WS(non-RNG hi)", "WS(RNG hi)", "sdRNG(nonhi)", "sdRNG(hi)"
@@ -26,19 +33,16 @@ fn main() {
     for cores in [4usize, 8, 16] {
         let mut ws = [Vec::new(), Vec::new()];
         let mut sd = [Vec::new(), Vec::new()];
-        let mut base_sd = Vec::new();
-        for (_, workloads) in multicore_class_groups(cores, per_group(), MIX_SEED) {
-            for wl in &workloads {
-                let base = h.eval_multi(Design::Oblivious, wl, Mech::DRange);
-                base_sd.push(base.rng_slowdown);
-                for (i, d) in [Design::Priority(false), Design::Priority(true)]
-                    .into_iter()
-                    .enumerate()
-                {
-                    let e = h.eval_multi(d, wl, Mech::DRange);
-                    ws[i].push(e.weighted_speedup / base.weighted_speedup);
-                    sd[i].push(e.rng_slowdown / base.rng_slowdown);
-                }
+        let workloads: Vec<_> = multicore_class_groups(cores, h.scale().per_group, MIX_SEED)
+            .into_iter()
+            .flat_map(|(_, ws)| ws)
+            .collect();
+        let matrix = eval_multi_matrix_par(&h, &designs, &workloads, Mech::DRange);
+        for (w, base) in matrix[0].iter().enumerate() {
+            for i in 0..2 {
+                let e = matrix[i + 1][w];
+                ws[i].push(e.weighted_speedup / base.weighted_speedup);
+                sd[i].push(e.rng_slowdown / base.rng_slowdown);
             }
         }
         println!(

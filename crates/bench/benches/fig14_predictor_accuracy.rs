@@ -6,7 +6,10 @@
 //! workloads; accuracy drops with core count as idleness shrinks and
 //! interference patterns grow more complex.
 
-use strange_bench::{banner, gmean, mean, per_group, Design, Harness, Mech, MIX_SEED};
+use strange_bench::{
+    banner, eval_multi_matrix_par, eval_pair_matrix_par, gmean, mean, Design, Harness, Mech,
+    MIX_SEED,
+};
 use strange_workloads::{eval_pairs, multicore_class_groups};
 
 fn main() {
@@ -14,16 +17,18 @@ fn main() {
         "Figure 14: Predictor accuracy (2-core per workload; 2-16 core GMEAN)",
         "simple ~80.0% and RL ~80.3% on 2-core; both degrade with core count",
     );
-    let mut h = Harness::new();
+    let h = Harness::new();
+    let designs = [Design::DrStrange, Design::DrStrangeRl];
     let workloads = eval_pairs(5120);
 
     println!("--- 2-core per-workload accuracy (%) ---");
     println!("{:<10} {:>12} {:>14}", "app", "DR-STRANGE", "DR-STRANGE+RL");
+    let matrix = eval_pair_matrix_par(&h, &designs, &workloads, Mech::DRange);
     let mut simple2 = Vec::new();
     let mut rl2 = Vec::new();
-    for wl in &workloads {
-        let s = h.eval_pair(Design::DrStrange, wl, Mech::DRange).accuracy * 100.0;
-        let r = h.eval_pair(Design::DrStrangeRl, wl, Mech::DRange).accuracy * 100.0;
+    for (w, wl) in workloads.iter().enumerate() {
+        let s = matrix[0][w].accuracy * 100.0;
+        let r = matrix[1][w].accuracy * 100.0;
         if simple2.len() < 23 {
             println!("{:<10} {s:>12.1} {r:>14.1}", wl.apps[0].label());
         }
@@ -41,21 +46,21 @@ fn main() {
         gmean(&rl2.iter().map(|x| x.max(1e-9)).collect::<Vec<_>>())
     );
     for cores in [4usize, 8, 16] {
-        let mut s_all = Vec::new();
-        let mut r_all = Vec::new();
-        for (_, ws) in multicore_class_groups(cores, per_group(), MIX_SEED) {
-            for wl in &ws {
-                s_all.push(
-                    (h.eval_multi(Design::DrStrange, wl, Mech::DRange).accuracy * 100.0)
-                        .max(1e-9),
-                );
-                r_all.push(
-                    (h.eval_multi(Design::DrStrangeRl, wl, Mech::DRange).accuracy * 100.0)
-                        .max(1e-9),
-                );
-            }
-        }
-        println!("{cores:<8} {:>12.1} {:>14.1}", gmean(&s_all), gmean(&r_all));
+        let group_wls: Vec<_> = multicore_class_groups(cores, h.scale().per_group, MIX_SEED)
+            .into_iter()
+            .flat_map(|(_, ws)| ws)
+            .collect();
+        let m = eval_multi_matrix_par(&h, &designs, &group_wls, Mech::DRange);
+        let acc = |d: usize| -> Vec<f64> {
+            m[d].iter()
+                .map(|e| (e.accuracy * 100.0).max(1e-9))
+                .collect()
+        };
+        println!(
+            "{cores:<8} {:>12.1} {:>14.1}",
+            gmean(&acc(0)),
+            gmean(&acc(1))
+        );
     }
     println!(
         "\npaper-vs-measured: 2-core accuracy paper 80.0%/80.3% | measured {:.1}%/{:.1}%",

@@ -7,7 +7,7 @@
 //! non-RNG app improves more than the RNG app.
 
 use strange_bench::{
-    banner, eval_pair_matrix, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
+    banner, eval_pair_matrix_par, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
     PairEval,
 };
 use strange_workloads::eval_pairs;
@@ -20,8 +20,8 @@ fn main() {
     );
     let designs = [Design::Oblivious, Design::Greedy, Design::DrStrange];
     let workloads = eval_pairs(5120);
-    let mut h = Harness::new();
-    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::Quac);
+    let h = Harness::new();
+    let matrix = eval_pair_matrix_par(&h, &designs, &workloads, Mech::Quac);
 
     print_pair_metric(
         "non-RNG slowdown (top)",

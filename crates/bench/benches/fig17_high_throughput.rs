@@ -5,7 +5,7 @@
 //! by 34.9%/24.5% and fairness by 56.9% over the baseline.
 
 use strange_bench::{
-    banner, eval_pair_matrix, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
+    banner, eval_pair_matrix_par, improvement_pct, mean, print_pair_metric, Design, Harness, Mech,
     PairEval,
 };
 use strange_workloads::{eval_pairs, RNG_THROUGHPUT_HIGH_MBPS};
@@ -18,8 +18,8 @@ fn main() {
     );
     let designs = [Design::Oblivious, Design::Greedy, Design::DrStrange];
     let workloads = eval_pairs(RNG_THROUGHPUT_HIGH_MBPS);
-    let mut h = Harness::new();
-    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+    let h = Harness::new();
+    let matrix = eval_pair_matrix_par(&h, &designs, &workloads, Mech::DRange);
 
     print_pair_metric(
         "non-RNG slowdown (top)",

@@ -5,7 +5,7 @@
 //! generation time; idle periods shrink with core count and memory
 //! intensity.
 
-use strange_bench::{banner, per_group, Design, Harness, Mech, MIX_SEED};
+use strange_bench::{banner, Design, Harness, Mech, RunJob, MIX_SEED};
 use strange_metrics::BoxStats;
 use strange_workloads::nonrng_class_groups;
 
@@ -25,10 +25,14 @@ fn main() {
     let mut below = 0u64;
     let mut total = 0u64;
     for cores in [4usize, 8, 16] {
-        for (name, workloads) in nonrng_class_groups(cores, per_group(), MIX_SEED) {
+        for (name, workloads) in nonrng_class_groups(cores, h.scale().per_group, MIX_SEED) {
+            // The group's runs are independent: one parallel batch each.
+            let jobs: Vec<RunJob> = workloads
+                .iter()
+                .map(|wl| RunJob::new(Design::Oblivious, wl.clone(), Mech::DRange))
+                .collect();
             let mut periods: Vec<f64> = Vec::new();
-            for wl in &workloads {
-                let res = h.run(Design::Oblivious, wl, Mech::DRange);
+            for res in h.run_many(&jobs) {
                 for ch in &res.channels {
                     periods.extend(ch.idle_periods.iter().map(|&p| p as f64));
                 }

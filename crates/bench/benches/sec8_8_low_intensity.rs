@@ -5,7 +5,7 @@
 //! interference to begin with — and fairness barely changes.
 
 use strange_bench::{
-    banner, eval_pair_matrix, improvement_pct, mean, Design, Harness, Mech, PairEval,
+    banner, eval_pair_matrix_par, improvement_pct, mean, Design, Harness, Mech, PairEval,
 };
 use strange_workloads::eval_pairs;
 
@@ -16,8 +16,8 @@ fn main() {
     );
     let designs = [Design::Oblivious, Design::DrStrange];
     let workloads = eval_pairs(640);
-    let mut h = Harness::new();
-    let matrix = eval_pair_matrix(&mut h, &designs, &workloads, Mech::DRange);
+    let h = Harness::new();
+    let matrix = eval_pair_matrix_par(&h, &designs, &workloads, Mech::DRange);
 
     let avg = |d: usize, f: fn(&PairEval) -> f64| {
         mean(&matrix[d].iter().map(f).collect::<Vec<_>>())

@@ -13,10 +13,35 @@
 //!   runs that slowdown/MCPI normalization needs, and computes the paper's
 //!   per-workload metrics ([`PairEval`], [`MultiEval`]).
 //!
-//! Scale is controlled by environment variables so the full suite stays
-//! tractable on one machine:
+//! # Batched, multi-threaded execution
 //!
-//! * `STRANGE_INSTR` — instructions per core (default 60 000; the paper
+//! A figure is a (design × workload) matrix of independent, deterministic
+//! simulations, so the harness runs them on a scoped worker pool (see
+//! [`runner`]):
+//!
+//! * [`Harness::run_many`] executes a batch of [`RunJob`]s in parallel and
+//!   returns the results in job order.
+//! * [`eval_pair_matrix_par`] / [`eval_multi_matrix_par`] evaluate a whole
+//!   figure matrix in parallel, after pre-warming the alone-run cache so
+//!   workers never duplicate a baseline.
+//!
+//! The worker count comes from `STRANGE_THREADS` (default: the host's
+//! available parallelism). Parallel results are **bit-identical** to the
+//! sequential path: every job is self-contained, the alone cache
+//! deduplicates in-flight computations through per-key `OnceLock`s (each
+//! baseline is computed exactly once, no matter how many workers want it),
+//! and outputs are collected in index order. `tests/parallel_determinism.rs`
+//! asserts this equivalence.
+//!
+//! # Scale configuration
+//!
+//! Scale is a [`ScaleConfig`] value injected into the harness, not an
+//! ambient global: [`Harness::with_scale`] pins it explicitly (tests use
+//! this instead of mutating the process environment), while
+//! [`Harness::new`] / [`ScaleConfig::from_env`] read the conventional
+//! environment variables **once per process** (memoized):
+//!
+//! * `STRANGE_INSTR` — instructions per core (default 200 000; the paper
 //!   simulates 200 M-instruction SimPoints, so absolute numbers differ but
 //!   the comparisons are at equal work).
 //! * `STRANGE_PER_GROUP` — multi-programmed workloads per group for the
@@ -25,7 +50,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod runner;
+
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use strange_core::{
     FillMode, PredictorKind, RngRouting, RunResult, SchedulerKind, System, SystemConfig,
@@ -34,23 +62,59 @@ use strange_metrics::{geometric_mean, unfairness_index, MemSlowdown};
 use strange_trng::{DRange, QuacTrng, ThroughputTrng, TrngMechanism};
 use strange_workloads::{AppRef, Workload};
 
+static INSTR_TARGET: OnceLock<u64> = OnceLock::new();
+static PER_GROUP: OnceLock<usize> = OnceLock::new();
+
 /// Instructions each core must retire (env `STRANGE_INSTR`, default
 /// 200 000 — large enough that the boot-time buffer pre-fill covers well
-/// under a fifth of each run's RNG demand).
+/// under a fifth of each run's RNG demand). Read once per process; tests
+/// inject scale through [`Harness::with_scale`] instead of mutating the
+/// environment.
 pub fn instr_target() -> u64 {
-    std::env::var("STRANGE_INSTR")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000)
+    *INSTR_TARGET.get_or_init(|| {
+        std::env::var("STRANGE_INSTR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000)
+    })
 }
 
 /// Workloads per multicore group (env `STRANGE_PER_GROUP`, default 3; the
-/// paper uses 10).
+/// paper uses 10). Read once per process.
 pub fn per_group() -> usize {
-    std::env::var("STRANGE_PER_GROUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3)
+    *PER_GROUP.get_or_init(|| {
+        std::env::var("STRANGE_PER_GROUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3)
+    })
+}
+
+/// Experiment scale, plumbed explicitly through the harness instead of
+/// re-read from the environment per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Instructions each core must retire.
+    pub instr: u64,
+    /// Workloads per multicore group.
+    pub per_group: usize,
+}
+
+impl ScaleConfig {
+    /// The process-wide scale from `STRANGE_INSTR` / `STRANGE_PER_GROUP`
+    /// (memoized environment reads).
+    pub fn from_env() -> Self {
+        ScaleConfig {
+            instr: instr_target(),
+            per_group: per_group(),
+        }
+    }
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig::from_env()
+    }
 }
 
 /// Seed for the randomized workload-group sampling (fixed so every bench
@@ -144,8 +208,15 @@ impl Design {
         }
     }
 
-    /// System configuration for this design on `workload`.
+    /// System configuration for this design on `workload` at the
+    /// process-default scale ([`instr_target`]).
     pub fn config(&self, workload: &Workload) -> SystemConfig {
+        self.config_scaled(workload, instr_target())
+    }
+
+    /// System configuration for this design on `workload` with an
+    /// explicit per-core instruction target.
+    pub fn config_scaled(&self, workload: &Workload, instr: u64) -> SystemConfig {
         let cores = workload.cores();
         let cfg = match self {
             Design::Oblivious => SystemConfig::rng_oblivious(cores),
@@ -166,7 +237,7 @@ impl Design {
                 cfg.buffer_entries = 0;
                 cfg
             }
-            Design::Buffered(0) => return Design::RngAwareNoBuffer.config(workload),
+            Design::Buffered(0) => return Design::RngAwareNoBuffer.config_scaled(workload, instr),
             Design::Buffered(entries) => SystemConfig {
                 predictor: PredictorKind::AlwaysLong,
                 low_util_threshold: 0,
@@ -191,12 +262,12 @@ impl Design {
                 cfg
             }
         };
-        cfg.with_instruction_target(instr_target())
+        cfg.with_instruction_target(instr)
     }
 }
 
 /// Cached outcome of an application running alone on the baseline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AloneRun {
     /// Execution cycles for the instruction target.
     pub exec_cycles: u64,
@@ -207,7 +278,7 @@ pub struct AloneRun {
 }
 
 /// Per-workload metrics for a dual-core (app + RNG benchmark) run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairEval {
     /// Non-RNG application slowdown over running alone.
     pub nonrng_slowdown: f64,
@@ -224,7 +295,7 @@ pub struct PairEval {
 }
 
 /// Per-workload metrics for a multicore run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MultiEval {
     /// Weighted speedup over the non-RNG applications.
     pub weighted_speedup: f64,
@@ -237,16 +308,72 @@ pub struct MultiEval {
     pub accuracy: f64,
 }
 
-/// The experiment runner with an alone-run cache.
-#[derive(Default)]
+/// One batched simulation: a design point applied to a workload with a
+/// TRNG mechanism.
+#[derive(Debug, Clone)]
+pub struct RunJob {
+    /// The design point to simulate.
+    pub design: Design,
+    /// The workload to run.
+    pub workload: Workload,
+    /// The TRNG mechanism under test.
+    pub mech: Mech,
+}
+
+impl RunJob {
+    /// Creates a job.
+    pub fn new(design: Design, workload: Workload, mech: Mech) -> Self {
+        RunJob {
+            design,
+            workload,
+            mech,
+        }
+    }
+}
+
+type AloneKey = (String, String);
+
+/// The experiment runner with a thread-safe alone-run cache.
+///
+/// All evaluation methods take `&self`, so one harness can be shared by
+/// every worker of a batched run. The alone cache holds one `OnceLock`
+/// per key: concurrent requests for the same baseline block on the first
+/// computation instead of duplicating it.
 pub struct Harness {
-    alone_cache: HashMap<(String, String), AloneRun>,
+    scale: ScaleConfig,
+    alone_cache: Mutex<HashMap<AloneKey, Arc<OnceLock<AloneRun>>>>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
 }
 
 impl Harness {
-    /// Creates an empty harness.
+    /// Creates a harness at the process-default scale
+    /// ([`ScaleConfig::from_env`]).
     pub fn new() -> Self {
-        Harness::default()
+        Harness::with_scale(ScaleConfig::from_env())
+    }
+
+    /// Creates a harness with an explicitly injected scale (tests and
+    /// callers that must not depend on ambient environment variables).
+    pub fn with_scale(scale: ScaleConfig) -> Self {
+        Harness {
+            scale,
+            alone_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The scale this harness runs at.
+    pub fn scale(&self) -> ScaleConfig {
+        self.scale
+    }
+
+    /// Number of distinct alone baselines cached so far.
+    pub fn alone_cache_len(&self) -> usize {
+        self.alone_cache.lock().expect("alone cache poisoned").len()
     }
 
     /// Runs `workload` under `design` with `mech`.
@@ -256,30 +383,58 @@ impl Harness {
     /// Panics if the configuration is invalid (internal error) — bench
     /// targets are expected to abort loudly.
     pub fn run(&self, design: Design, workload: &Workload, mech: Mech) -> RunResult {
-        let config = design.config(workload);
+        let config = design.config_scaled(workload, self.scale.instr);
         System::new(config, workload.traces(), mech.build())
             .expect("valid configuration")
             .run()
     }
 
-    /// The alone-run baseline for `app` (cached).
-    pub fn alone(&mut self, app: &AppRef, mech: Mech) -> AloneRun {
+    /// Runs a batch of jobs on the worker pool ([`runner::worker_threads`]
+    /// workers) and returns the results in job order.
+    pub fn run_many(&self, jobs: &[RunJob]) -> Vec<RunResult> {
+        runner::run_indexed(jobs.len(), runner::worker_threads(), |i| {
+            let job = &jobs[i];
+            self.run(job.design, &job.workload, job.mech)
+        })
+    }
+
+    /// The alone-run baseline for `app` (cached; computed exactly once per
+    /// `(app, mechanism)` even under concurrent callers).
+    pub fn alone(&self, app: &AppRef, mech: Mech) -> AloneRun {
         let key = (app.label(), mech.key());
-        if let Some(hit) = self.alone_cache.get(&key) {
-            return *hit;
+        let cell = {
+            let mut cache = self.alone_cache.lock().expect("alone cache poisoned");
+            Arc::clone(cache.entry(key).or_default())
+        };
+        // The map lock is released before the (expensive) computation;
+        // `get_or_init` blocks racing workers on this key only.
+        *cell.get_or_init(|| {
+            let wl = Workload {
+                name: format!("{}-alone", app.label()),
+                apps: vec![app.clone()],
+            };
+            let res = self.run(Design::Oblivious, &wl, mech);
+            AloneRun {
+                exec_cycles: res.exec_cycles(0),
+                mcpi: res.cores[0].mcpi(),
+                ipc: res.cores[0].ipc(),
+            }
+        })
+    }
+
+    /// Pre-computes the alone baselines every app in `workloads` needs, in
+    /// parallel over distinct apps. Matrix evaluation calls this first so
+    /// workers start from a warm cache instead of serializing on the most
+    /// popular baseline (every pair workload shares its RNG benchmark).
+    pub fn warm_alone_cache(&self, workloads: &[Workload], mech: Mech, threads: usize) {
+        let mut seen = HashMap::new();
+        for wl in workloads {
+            for app in &wl.apps {
+                seen.entry(app.label()).or_insert_with(|| app.clone());
+            }
         }
-        let wl = Workload {
-            name: format!("{}-alone", app.label()),
-            apps: vec![app.clone()],
-        };
-        let res = self.run(Design::Oblivious, &wl, mech);
-        let alone = AloneRun {
-            exec_cycles: res.exec_cycles(0),
-            mcpi: res.cores[0].mcpi(),
-            ipc: res.cores[0].ipc(),
-        };
-        self.alone_cache.insert(key, alone);
-        alone
+        let apps: Vec<AppRef> = seen.into_values().collect();
+        runner::run_indexed(apps.len(), threads, |i| self.alone(&apps[i], mech));
     }
 
     /// Evaluates a dual-core pair workload under `design`.
@@ -287,7 +442,7 @@ impl Harness {
     /// # Panics
     ///
     /// Panics if `workload` is not a two-core app+RNG pair.
-    pub fn eval_pair(&mut self, design: Design, workload: &Workload, mech: Mech) -> PairEval {
+    pub fn eval_pair(&self, design: Design, workload: &Workload, mech: Mech) -> PairEval {
         assert_eq!(workload.cores(), 2, "pair workloads have two cores");
         let rng_core = workload.rng_core().expect("pair has an RNG benchmark");
         let app_core = 1 - rng_core;
@@ -310,7 +465,7 @@ impl Harness {
     }
 
     /// Evaluates a multicore workload under `design`.
-    pub fn eval_multi(&mut self, design: Design, workload: &Workload, mech: Mech) -> MultiEval {
+    pub fn eval_multi(&self, design: Design, workload: &Workload, mech: Mech) -> MultiEval {
         let res = self.run(design, workload, mech);
         let rng_core = workload.rng_core();
         let mut ipc_pairs = Vec::new();
@@ -336,22 +491,92 @@ impl Harness {
     }
 }
 
-/// Evaluates every workload under every design: `matrix[d][w]`.
+/// Evaluates every workload under every design sequentially:
+/// `matrix[d][w]`. The reference path the parallel variant must match.
 pub fn eval_pair_matrix(
-    harness: &mut Harness,
+    harness: &Harness,
     designs: &[Design],
     workloads: &[Workload],
     mech: Mech,
 ) -> Vec<Vec<PairEval>> {
-    designs
-        .iter()
-        .map(|d| {
-            workloads
-                .iter()
-                .map(|w| harness.eval_pair(*d, w, mech))
-                .collect()
-        })
-        .collect()
+    eval_pair_matrix_with_threads(harness, designs, workloads, mech, 1)
+}
+
+/// [`eval_pair_matrix`] on the shared worker pool
+/// ([`runner::worker_threads`] workers). Bit-identical to the sequential
+/// path.
+pub fn eval_pair_matrix_par(
+    harness: &Harness,
+    designs: &[Design],
+    workloads: &[Workload],
+    mech: Mech,
+) -> Vec<Vec<PairEval>> {
+    eval_pair_matrix_with_threads(harness, designs, workloads, mech, runner::worker_threads())
+}
+
+/// [`eval_pair_matrix`] with an explicit worker count (determinism tests
+/// compare thread counts against each other).
+pub fn eval_pair_matrix_with_threads(
+    harness: &Harness,
+    designs: &[Design],
+    workloads: &[Workload],
+    mech: Mech,
+    threads: usize,
+) -> Vec<Vec<PairEval>> {
+    if workloads.is_empty() {
+        return vec![Vec::new(); designs.len()];
+    }
+    if threads > 1 {
+        harness.warm_alone_cache(workloads, mech, threads);
+    }
+    let w = workloads.len();
+    let flat = runner::run_indexed(designs.len() * w, threads, |i| {
+        harness.eval_pair(designs[i / w], &workloads[i % w], mech)
+    });
+    flat.chunks(w).map(<[PairEval]>::to_vec).collect()
+}
+
+/// Evaluates every workload under every design sequentially (multicore
+/// metrics): `matrix[d][w]`.
+pub fn eval_multi_matrix(
+    harness: &Harness,
+    designs: &[Design],
+    workloads: &[Workload],
+    mech: Mech,
+) -> Vec<Vec<MultiEval>> {
+    eval_multi_matrix_with_threads(harness, designs, workloads, mech, 1)
+}
+
+/// [`eval_multi_matrix`] on the shared worker pool. Bit-identical to the
+/// sequential path.
+pub fn eval_multi_matrix_par(
+    harness: &Harness,
+    designs: &[Design],
+    workloads: &[Workload],
+    mech: Mech,
+) -> Vec<Vec<MultiEval>> {
+    eval_multi_matrix_with_threads(harness, designs, workloads, mech, runner::worker_threads())
+}
+
+/// [`eval_multi_matrix`] with an explicit worker count.
+pub fn eval_multi_matrix_with_threads(
+    harness: &Harness,
+    designs: &[Design],
+    workloads: &[Workload],
+    mech: Mech,
+    threads: usize,
+) -> Vec<Vec<MultiEval>> {
+    if workloads.is_empty() {
+        return vec![Vec::new(); designs.len()];
+    }
+    if threads > 1 {
+        harness.warm_alone_cache(workloads, mech, threads);
+    }
+    let w = workloads.len();
+    let flat = runner::run_indexed(designs.len() * w, threads, |i| {
+        harness.eval_multi(designs[i / w], &workloads[i % w], mech)
+    });
+    flat.chunks(w).map(<[MultiEval]>::to_vec).collect()
 }
 
 /// Prints one panel of a dual-core figure: rows are the paper's 23
@@ -366,21 +591,21 @@ pub fn print_pair_metric(
 ) {
     println!("--- {title} ---");
     let mut header = vec!["workload".to_string()];
-    header.extend(designs.iter().map(|d| d.label()));
+    header.extend(designs.iter().map(Design::label));
     let mut table = strange_metrics::Table::new(
         &header.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let figure_rows = workloads.len().min(23);
     for w in 0..figure_rows {
         let mut row = vec![workloads[w].apps[0].label()];
-        for d in 0..designs.len() {
-            row.push(format!("{:.2}", metric(&matrix[d][w])));
+        for design_row in matrix {
+            row.push(format!("{:.2}", metric(&design_row[w])));
         }
         table.row(&row);
     }
     let mut avg_row = vec![format!("AVG({})", workloads.len())];
-    for d in 0..designs.len() {
-        let vals: Vec<f64> = matrix[d].iter().map(&metric).collect();
+    for design_row in matrix {
+        let vals: Vec<f64> = design_row.iter().map(&metric).collect();
         avg_row.push(format!("{:.3}", mean(&vals)));
     }
     table.row(&avg_row);
@@ -392,9 +617,11 @@ pub fn banner(experiment: &str, paper: &str) {
     println!("\n=== {experiment} ===");
     println!("paper: {paper}");
     println!(
-        "scale: {} instructions/core (STRANGE_INSTR), {} workloads/group (STRANGE_PER_GROUP)\n",
+        "scale: {} instructions/core (STRANGE_INSTR), {} workloads/group \
+         (STRANGE_PER_GROUP), {} worker threads (STRANGE_THREADS)\n",
         instr_target(),
-        per_group()
+        per_group(),
+        runner::worker_threads()
     );
 }
 
@@ -422,6 +649,13 @@ mod tests {
     use super::*;
     use strange_workloads::app_by_name;
 
+    fn tiny_scale() -> ScaleConfig {
+        ScaleConfig {
+            instr: 5_000,
+            per_group: 2,
+        }
+    }
+
     #[test]
     fn designs_produce_valid_configs() {
         let wl = Workload::pair(&app_by_name("mcf").unwrap(), 5120);
@@ -441,6 +675,11 @@ mod tests {
             Design::PeriodThreshold(80),
         ] {
             d.config(&wl).validate().unwrap();
+            assert_eq!(
+                d.config_scaled(&wl, 1234).instruction_target,
+                1234,
+                "explicit scale must be honored"
+            );
             assert!(!d.label().is_empty());
         }
     }
@@ -459,14 +698,39 @@ mod tests {
 
     #[test]
     fn alone_cache_hits() {
-        let mut h = Harness::new();
-        std::env::set_var("STRANGE_INSTR", "5000");
+        // Scale is injected explicitly — no process-environment mutation,
+        // so this test is safe under the parallel test runner.
+        let h = Harness::with_scale(tiny_scale());
         let app = AppRef::Named("povray");
         let a = h.alone(&app, Mech::DRange);
         let b = h.alone(&app, Mech::DRange);
         assert_eq!(a.exec_cycles, b.exec_cycles);
-        assert_eq!(h.alone_cache.len(), 1);
-        std::env::remove_var("STRANGE_INSTR");
+        assert_eq!(h.alone_cache_len(), 1);
+    }
+
+    #[test]
+    fn alone_cache_dedups_across_worker_threads() {
+        let h = Harness::with_scale(tiny_scale());
+        let app = AppRef::Named("povray");
+        let runs = runner::run_indexed(8, 4, |_| h.alone(&app, Mech::DRange));
+        assert_eq!(h.alone_cache_len(), 1, "computed exactly once");
+        assert!(runs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn run_many_preserves_job_order() {
+        let h = Harness::with_scale(tiny_scale());
+        let wl = Workload::pair(&app_by_name("povray").unwrap(), 640);
+        let jobs = vec![
+            RunJob::new(Design::Oblivious, wl.clone(), Mech::DRange),
+            RunJob::new(Design::DrStrange, wl.clone(), Mech::DRange),
+        ];
+        let batch = h.run_many(&jobs);
+        assert_eq!(batch.len(), 2);
+        let seq_base = h.run(Design::Oblivious, &wl, Mech::DRange);
+        let seq_ds = h.run(Design::DrStrange, &wl, Mech::DRange);
+        assert_eq!(batch[0].cpu_cycles, seq_base.cpu_cycles);
+        assert_eq!(batch[1].cpu_cycles, seq_ds.cpu_cycles);
     }
 
     #[test]

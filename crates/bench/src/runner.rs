@@ -1,0 +1,104 @@
+//! Hand-rolled scoped worker pool for batched experiment runs.
+//!
+//! The build environment has no crates.io access, so instead of rayon this
+//! module provides the one primitive the harness needs: run `n` index-
+//! addressed jobs on a bounded set of `std::thread::scope` workers pulling
+//! from an atomic work queue, and return the results **in index order**
+//! regardless of which worker computed what. Each simulation is
+//! deterministic and self-contained, so parallel execution is bit-identical
+//! to sequential execution by construction (asserted by
+//! `tests/parallel_determinism.rs`).
+//!
+//! The worker count comes from `STRANGE_THREADS` (default: the host's
+//! available parallelism), read once per process.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Worker threads used by the batched entry points (`STRANGE_THREADS`,
+/// default: available parallelism). Read once per process; at least 1.
+pub fn worker_threads() -> usize {
+    *THREADS.get_or_init(|| {
+        std::env::var("STRANGE_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Runs `f(0..n)` on up to `threads` scoped workers and returns the
+/// results in index order. With `threads <= 1` (or fewer than two jobs)
+/// the jobs run inline on the caller's thread — the sequential reference
+/// path that the parallel path must match bit-for-bit.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (bench targets are expected to abort
+/// loudly on internal errors).
+pub fn run_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    // `Mutex<Option<T>>` slots only require `T: Send` (a shared `OnceLock`
+    // would demand `T: Sync`); each slot is locked exactly once, by the
+    // worker that drew its index.
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                let prev = slots[i].lock().expect("slot poisoned").replace(value);
+                assert!(prev.is_none(), "job {i} ran twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 8] {
+            let out = run_indexed(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(run_indexed(2, 16, |i| i), vec![0, 1]);
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn worker_threads_is_at_least_one() {
+        assert!(worker_threads() >= 1);
+    }
+}

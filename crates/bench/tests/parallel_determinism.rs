@@ -1,0 +1,103 @@
+//! The batched, multi-threaded runner must be **bit-identical** to the
+//! sequential harness: same `RunResult`s, same per-workload metrics, same
+//! alone-cache values — for any worker count. Every simulation is
+//! deterministic and self-contained, so the only way parallelism could
+//! diverge is a harness bug (shared-state leak, mis-ordered collection,
+//! duplicated alone baseline); these tests pin that down.
+
+use strange_bench::{
+    eval_multi_matrix_with_threads, eval_pair_matrix_with_threads, Design, Harness, Mech, RunJob,
+    ScaleConfig,
+};
+use strange_workloads::{eval_pairs, four_core_groups, Workload};
+
+const SCALE: ScaleConfig = ScaleConfig {
+    instr: 8_000,
+    per_group: 2,
+};
+
+fn pair_workloads(n: usize) -> Vec<Workload> {
+    eval_pairs(5120).into_iter().take(n).collect()
+}
+
+#[test]
+fn parallel_pair_matrix_is_bit_identical_to_sequential() {
+    // ≥2 designs × ≥3 workloads, as required by the acceptance criteria.
+    let designs = [Design::Oblivious, Design::Greedy, Design::DrStrange];
+    let workloads = pair_workloads(4);
+    let seq_h = Harness::with_scale(SCALE);
+    let seq = eval_pair_matrix_with_threads(&seq_h, &designs, &workloads, Mech::DRange, 1);
+    for threads in [2, 4] {
+        let par_h = Harness::with_scale(SCALE);
+        let par =
+            eval_pair_matrix_with_threads(&par_h, &designs, &workloads, Mech::DRange, threads);
+        assert_eq!(seq, par, "{threads}-thread matrix diverged");
+        // Same alone-cache contents: same number of distinct baselines,
+        // and every cached value identical (f64-exact).
+        assert_eq!(seq_h.alone_cache_len(), par_h.alone_cache_len());
+        for wl in &workloads {
+            for app in &wl.apps {
+                assert_eq!(
+                    seq_h.alone(app, Mech::DRange),
+                    par_h.alone(app, Mech::DRange),
+                    "alone baseline diverged for {}",
+                    app.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_multi_matrix_is_bit_identical_to_sequential() {
+    let designs = [Design::Oblivious, Design::DrStrange];
+    let workloads: Vec<Workload> = four_core_groups(2, strange_bench::MIX_SEED)
+        .into_iter()
+        .flat_map(|(_, ws)| ws)
+        .take(3)
+        .collect();
+    assert!(workloads.len() >= 3);
+    let seq_h = Harness::with_scale(SCALE);
+    let seq = eval_multi_matrix_with_threads(&seq_h, &designs, &workloads, Mech::DRange, 1);
+    let par_h = Harness::with_scale(SCALE);
+    let par = eval_multi_matrix_with_threads(&par_h, &designs, &workloads, Mech::DRange, 3);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn run_many_matches_individual_runs() {
+    let designs = [Design::Oblivious, Design::DrStrange];
+    let workloads = pair_workloads(3);
+    let h = Harness::with_scale(SCALE);
+    let jobs: Vec<RunJob> = designs
+        .iter()
+        .flat_map(|&d| {
+            workloads
+                .iter()
+                .map(move |w| RunJob::new(d, w.clone(), Mech::DRange))
+        })
+        .collect();
+    let batch = h.run_many(&jobs);
+    assert_eq!(batch.len(), jobs.len());
+    for (job, got) in jobs.iter().zip(&batch) {
+        let want = h.run(job.design, &job.workload, job.mech);
+        assert_eq!(got.cpu_cycles, want.cpu_cycles, "{}", job.workload.name);
+        assert_eq!(got.mem_cycles, want.mem_cycles);
+        assert_eq!(got.hit_cycle_limit, want.hit_cycle_limit);
+        assert_eq!(got.stats.rng_requests, want.stats.rng_requests);
+        assert_eq!(got.stats.fill_batches, want.stats.fill_batches);
+        assert_eq!(
+            got.stats.rng_served_from_buffer,
+            want.stats.rng_served_from_buffer
+        );
+        for core in 0..job.workload.cores() {
+            assert_eq!(got.exec_cycles(core), want.exec_cycles(core));
+            assert_eq!(got.cores[core].end_stats, want.cores[core].end_stats);
+        }
+        for (a, b) in got.channels.iter().zip(&want.channels) {
+            assert_eq!(a.acts, b.acts);
+            assert_eq!(a.reads, b.reads);
+            assert_eq!(a.idle_periods, b.idle_periods);
+        }
+    }
+}

@@ -147,7 +147,7 @@ mod tests {
         let mut b = RandomNumberBuffer::new(2);
         // First 64 bits: value 1 in the very first bit position.
         b.push_bits(1, 1);
-        b.push_bits(0, 63.min(64));
+        b.push_bits(0, 63);
         assert_eq!(b.available_words(), 1);
         assert_eq!(b.pop_word(), Some(1));
     }

@@ -119,6 +119,10 @@ pub struct SystemConfig {
     /// How the simulation loop advances time (defaults to
     /// [`SimMode::FastForward`]; results are identical either way).
     pub sim_mode: SimMode,
+    /// Whether the per-channel O(1) next-event probe cache is enabled
+    /// (default true; results are identical either way — the switch lets
+    /// perf benchmarks isolate the cache's contribution).
+    pub probe_cache: bool,
 }
 
 impl SystemConfig {
@@ -144,6 +148,7 @@ impl SystemConfig {
             priorities: Vec::new(),
             max_cpu_cycles: 0,
             sim_mode: SimMode::FastForward,
+            probe_cache: true,
         }
     }
 
@@ -222,6 +227,12 @@ impl SystemConfig {
     /// Sets the simulation-loop mode (reference vs. fast-forward).
     pub fn with_sim_mode(mut self, sim_mode: SimMode) -> Self {
         self.sim_mode = sim_mode;
+        self
+    }
+
+    /// Enables or disables the per-channel next-event probe cache.
+    pub fn with_probe_cache(mut self, enabled: bool) -> Self {
+        self.probe_cache = enabled;
         self
     }
 

@@ -144,7 +144,11 @@ impl MemSubsystem {
             SchedulerKind::Bliss => AnyPolicy::Bliss(Bliss::paper_default()),
         };
         let channels: Vec<_> = (0..geometry.channels)
-            .map(|i| ChannelController::new(i, geometry, timing, make_policy()))
+            .map(|i| {
+                let mut ch = ChannelController::new(i, geometry, timing, make_policy());
+                ch.set_probe_cache(config.probe_cache);
+                ch
+            })
             .collect();
         let predictors = (0..geometry.channels)
             .map(|_| match config.predictor {
@@ -497,7 +501,7 @@ impl MemSubsystem {
             for req in ch.read_queue() {
                 // Queues are swap_remove-scrambled; age is (arrival, id),
                 // never queue position.
-                if oldest_reg.map_or(true, |o| (req.arrival, req.id) < (o.arrival, o.id)) {
+                if oldest_reg.is_none_or(|o| (req.arrival, req.id) < (o.arrival, o.id)) {
                     oldest_reg = Some(*req);
                 }
                 if !self.rng_app[req.core] {
@@ -519,7 +523,7 @@ impl MemSubsystem {
             Some(_) => {
                 let oldest_rng = self.rng_queue.front().expect("non-empty").arrival;
                 let exception = oldest_reg
-                    .map_or(false, |r| self.rng_app[r.core] && r.arrival > oldest_rng);
+                    .is_some_and(|r| self.rng_app[r.core] && r.arrival > oldest_rng);
                 if exception {
                     true
                 } else {

@@ -20,10 +20,6 @@ use crate::stats::SystemStats;
 /// same boundaries so they report identical total cycle counts.
 const FINISH_CHECK_PERIOD: u64 = 64;
 
-/// Cycles stepped per-cycle before re-probing for a skippable span while
-/// the system is active.
-const ACTIVE_BLOCK: u64 = 32;
-
 /// Outcome of one core's execution.
 #[derive(Debug, Clone)]
 pub struct CoreOutcome {
@@ -82,8 +78,19 @@ impl RunResult {
 
     /// Slowdown of `core` relative to a baseline run of the same
     /// application alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alone` has no core `core`: silently substituting a
+    /// different core's baseline would produce a wrong-but-plausible
+    /// slowdown, so a mismatched comparison is a caller bug.
     pub fn slowdown_vs(&self, core: CoreId, alone: &RunResult) -> f64 {
-        self.exec_cycles(core) as f64 / alone.exec_cycles(core.min(alone.cores.len() - 1)) as f64
+        assert!(
+            core < alone.cores.len(),
+            "slowdown_vs: core {core} has no counterpart in the alone run ({} cores)",
+            alone.cores.len()
+        );
+        self.exec_cycles(core) as f64 / alone.exec_cycles(core) as f64
     }
 
     /// Aggregated DRAM statistics over all channels.
@@ -180,7 +187,7 @@ impl System {
     }
 
     fn step_one(&mut self) {
-        if self.cpu_cycle % CPU_CYCLES_PER_MEM_CYCLE == 0 {
+        if self.cpu_cycle.is_multiple_of(CPU_CYCLES_PER_MEM_CYCLE) {
             let mem_now = self.cpu_cycle / CPU_CYCLES_PER_MEM_CYCLE;
             self.mem.tick(mem_now, &mut self.completions);
             for (core, id) in self.completions.drain(..) {
@@ -278,24 +285,26 @@ impl System {
         while self.cpu_cycle < limit {
             // Finish checks happen on fixed boundaries in both modes so
             // the reported cycle totals agree.
-            if self.cpu_cycle % FINISH_CHECK_PERIOD == 0
+            if self.cpu_cycle.is_multiple_of(FINISH_CHECK_PERIOD)
                 && self.cores.iter().all(Core::is_finished)
             {
                 break;
             }
-            let boundary =
-                ((self.cpu_cycle / FINISH_CHECK_PERIOD + 1) * FINISH_CHECK_PERIOD).min(limit);
             if fast {
+                // Probe every live cycle: with the per-channel probe cache
+                // and the cores' stalled-state memoization the probe is
+                // O(cores + channels) pointer reads, so re-probing each
+                // cycle (which catches a skippable span the moment it
+                // opens) is cheaper than stepping blindly in blocks.
                 let target = self.capped_at_run_end(self.next_event(limit));
                 if target > self.cpu_cycle {
                     self.skip_to(target);
                 } else {
-                    let block = ACTIVE_BLOCK.min(boundary - self.cpu_cycle);
-                    for _ in 0..block {
-                        self.step_one();
-                    }
+                    self.step_one();
                 }
             } else {
+                let boundary =
+                    ((self.cpu_cycle / FINISH_CHECK_PERIOD + 1) * FINISH_CHECK_PERIOD).min(limit);
                 while self.cpu_cycle < boundary {
                     self.step_one();
                 }

@@ -11,6 +11,8 @@
 //! * a full target queue in the memory controller blocks issue
 //!   (back-pressure).
 
+use std::cell::Cell;
+
 use strange_dram::{CoreId, RequestId};
 
 use crate::stats::{CoreStats, FinishSnapshot};
@@ -72,6 +74,12 @@ pub struct Core {
     target: u64,
     finish: Option<FinishSnapshot>,
     stats: CoreStats,
+    /// Memoized "fully stalled" probe result. A fully stalled core (head
+    /// waiting on memory, window full) cannot change state except through
+    /// [`Core::complete`], so once a probe observes the stalled state,
+    /// subsequent probes are a single flag read until a completion
+    /// arrives — the O(1) piece of the system-level next-event probe.
+    stalled_probe: Cell<bool>,
 }
 
 impl std::fmt::Debug for Core {
@@ -110,6 +118,7 @@ impl Core {
             target,
             finish: None,
             stats: CoreStats::default(),
+            stalled_probe: Cell::new(false),
         }
     }
 
@@ -140,6 +149,9 @@ impl Core {
 
     /// Delivers a completed memory request to the window.
     pub fn complete(&mut self, id: RequestId) -> bool {
+        // A completion is the only event that can un-stall a fully
+        // stalled core; force the next probe to recompute.
+        self.stalled_probe.set(false);
         self.window.complete(id)
     }
 
@@ -156,9 +168,13 @@ impl Core {
     ///   [`Core::skip_cycles`].
     /// * `Some(now)` — the core is active this cycle; no skipping.
     pub fn next_ready_cycle(&self, now: u64) -> Option<u64> {
+        if self.stalled_probe.get() {
+            return None;
+        }
         let width = self.config.issue_width;
         if self.window.outstanding() > 0 {
             if self.window.head_pending().is_some() && !self.window.has_space() {
+                self.stalled_probe.set(true);
                 None
             } else {
                 Some(now)

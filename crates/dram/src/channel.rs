@@ -30,7 +30,22 @@
 //!   (cycle/idle/occupancy counters, idle-period tracking, scheduler
 //!   catch-up) for a span the caller has proven dead, leaving the
 //!   controller bit-identical to having ticked through it.
+//!
+//! # The O(1) probe cache
+//!
+//! The expensive part of a probe is the min over the serving queue of each
+//! request's bank/rank/bus readiness. That minimum only changes when the
+//! queue contents, the bank/rank/bus timing state, or the write-drain
+//! decision change — all of which happen at a handful of well-defined
+//! mutation points (enqueue, command issue, refresh activity, RNG mode
+//! preparation, drain-flag flips). The controller therefore memoizes the
+//! scan result in a [`Cell`] and invalidates it at exactly those points,
+//! making repeated probes (and ticks on which nothing can issue) O(1)
+//! instead of O(queue length). [`ChannelController::next_event_at_uncached`]
+//! recomputes from scratch and serves as the invalidation-correctness
+//! oracle for the property tests.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -212,6 +227,10 @@ pub struct ChannelController<P> {
     last_enqueued_line: u64,
     stats: ChannelStats,
     readiness_buf: Vec<Readiness>,
+    probe_cache_enabled: bool,
+    /// Memoized earliest-ready cycle over the queue the controller would
+    /// serve (`u64::MAX` when that queue is empty); `None` when stale.
+    queue_ready_cache: Cell<Option<u64>>,
 }
 
 impl<P: SchedulerPolicy> ChannelController<P> {
@@ -244,6 +263,42 @@ impl<P: SchedulerPolicy> ChannelController<P> {
             last_enqueued_line: 0,
             stats: ChannelStats::new(),
             readiness_buf: Vec::with_capacity(DEFAULT_QUEUE_CAPACITY),
+            probe_cache_enabled: true,
+            queue_ready_cache: Cell::new(None),
+        }
+    }
+
+    /// Enables or disables the O(1) probe cache (enabled by default).
+    /// Disabling forces every [`ChannelController::next_event_at`] call to
+    /// re-scan the queues; results are identical either way — the switch
+    /// exists so perf benchmarks can measure the cache's contribution.
+    pub fn set_probe_cache(&mut self, enabled: bool) {
+        self.probe_cache_enabled = enabled;
+        self.queue_ready_cache.set(None);
+    }
+
+    /// Marks the memoized earliest-ready scan stale. Must be called by
+    /// every mutation that can change which request could issue when:
+    /// queue content changes, command issue (bank/rank/bus state), refresh
+    /// activity, RNG mode preparation, and write-drain flag flips.
+    fn invalidate_probe(&self) {
+        self.queue_ready_cache.set(None);
+    }
+
+    /// Applies the write-drain hysteresis update from the current queue
+    /// lengths (the once-per-cycle rule that `tick` enforces and `skip_to`
+    /// replays), invalidating the probe cache when the flag flips. The
+    /// single mutation point for `in_write_drain`, so an update can never
+    /// forget the invalidation.
+    fn update_write_drain(&mut self) {
+        let before = self.in_write_drain;
+        if self.write_q.len() >= WRITE_DRAIN_HI {
+            self.in_write_drain = true;
+        } else if self.write_q.len() <= WRITE_DRAIN_LO {
+            self.in_write_drain = false;
+        }
+        if self.in_write_drain != before {
+            self.invalidate_probe();
         }
     }
 
@@ -310,6 +365,7 @@ impl<P: SchedulerPolicy> ChannelController<P> {
             RequestKind::Write => self.write_q.push(req),
             RequestKind::Read | RequestKind::Rng => self.read_q.push(req),
         }
+        self.invalidate_probe();
         Ok(())
     }
 
@@ -364,6 +420,7 @@ impl<P: SchedulerPolicy> ChannelController<P> {
                 true
             }
         });
+        self.invalidate_probe();
         out
     }
 
@@ -386,6 +443,7 @@ impl<P: SchedulerPolicy> ChannelController<P> {
         }
         self.open_banks = 0;
         self.act_owner.iter_mut().for_each(|o| *o = None);
+        self.invalidate_probe();
         ready
     }
 
@@ -429,6 +487,18 @@ impl<P: SchedulerPolicy> ChannelController<P> {
     /// cycle by cycle; every cycle in `now..next_event_at(now)` is
     /// guaranteed dead.
     pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        self.next_event_with(now, self.queue_ready_at())
+    }
+
+    /// [`ChannelController::next_event_at`] recomputed from scratch,
+    /// bypassing the probe cache. Identical to the cached path whenever
+    /// invalidation is correct; the probe-cache property tests use it as
+    /// the reference oracle.
+    pub fn next_event_at_uncached(&self, now: u64) -> Option<u64> {
+        self.next_event_with(now, self.queue_ready_scan())
+    }
+
+    fn next_event_with(&self, now: u64, queue_ready: u64) -> Option<u64> {
         let mut event = u64::MAX;
         if let Some(&Reverse(p)) = self.pending.peek() {
             event = event.min(p.at);
@@ -444,10 +514,14 @@ impl<P: SchedulerPolicy> ChannelController<P> {
             return Some(now);
         }
         event = event.min(self.next_refresh_due);
+        event = event.min(queue_ready);
+        Some(event.max(now))
+    }
 
-        // Which queue would the controller serve? Mirrors the tick-time
-        // write-drain hysteresis update, which is a pure function of the
-        // (span-stable) queue lengths.
+    /// Which queue a tick would serve. Mirrors the tick-time write-drain
+    /// hysteresis update, which is a pure function of the queue lengths
+    /// and the current drain flag.
+    fn would_serve_writes(&self) -> bool {
         let drain = if self.write_q.len() >= WRITE_DRAIN_HI {
             true
         } else if self.write_q.len() <= WRITE_DRAIN_LO {
@@ -455,16 +529,36 @@ impl<P: SchedulerPolicy> ChannelController<P> {
         } else {
             self.in_write_drain
         };
-        let serve_writes = drain || (self.read_q.is_empty() && !self.write_q.is_empty());
-        let queue: &[Request] = if serve_writes {
+        drain || (self.read_q.is_empty() && !self.write_q.is_empty())
+    }
+
+    /// Earliest cycle at which any request in the serving queue could have
+    /// its next command issued, memoized (`u64::MAX` when the queue is
+    /// empty).
+    fn queue_ready_at(&self) -> u64 {
+        if self.probe_cache_enabled {
+            if let Some(v) = self.queue_ready_cache.get() {
+                return v;
+            }
+        }
+        let v = self.queue_ready_scan();
+        if self.probe_cache_enabled {
+            self.queue_ready_cache.set(Some(v));
+        }
+        v
+    }
+
+    fn queue_ready_scan(&self) -> u64 {
+        let queue: &[Request] = if self.would_serve_writes() {
             &self.write_q
         } else {
             &self.read_q
         };
-        for req in queue {
-            event = event.min(self.ct.ready_at(req));
-        }
-        Some(event.max(now))
+        queue
+            .iter()
+            .map(|r| self.ct.ready_at(r))
+            .min()
+            .unwrap_or(u64::MAX)
     }
 
     /// Bulk-applies the per-cycle accounting for the dead span
@@ -494,11 +588,7 @@ impl<P: SchedulerPolicy> ChannelController<P> {
             // Unblocked ticks update the write-drain hysteresis from the
             // (span-stable) queue lengths every cycle; replay it once so
             // `in_write_drain` does not go stale across the span.
-            if self.write_q.len() >= WRITE_DRAIN_HI {
-                self.in_write_drain = true;
-            } else if self.write_q.len() <= WRITE_DRAIN_LO {
-                self.in_write_drain = false;
-            }
+            self.update_write_drain();
         }
         if self.queues_empty() && !blocked {
             self.cur_idle += n;
@@ -561,13 +651,19 @@ impl<P: SchedulerPolicy> ChannelController<P> {
 
         // 4. Choose the active queue: write drain with hysteresis, plus
         //    opportunistic writes when there is no read work.
-        if self.write_q.len() >= WRITE_DRAIN_HI {
-            self.in_write_drain = true;
-        } else if self.write_q.len() <= WRITE_DRAIN_LO {
-            self.in_write_drain = false;
-        }
+        self.update_write_drain();
         let serve_writes =
             self.in_write_drain || (self.read_q.is_empty() && !self.write_q.is_empty());
+
+        // Fast path: when the earliest-ready bound says no queued
+        // request's next command can issue yet, the scheduler scan below
+        // cannot select anything (`select` implementations are pure when
+        // nothing is ready), so skip the O(queue) readiness fill entirely.
+        // `queue_ready_at` memoizes, so a timing-gated stretch costs one
+        // min-scan at its first tick and O(1) per tick thereafter.
+        if self.probe_cache_enabled && self.queue_ready_at() > now {
+            return None;
+        }
 
         if serve_writes {
             self.ct
@@ -597,6 +693,7 @@ impl<P: SchedulerPolicy> ChannelController<P> {
             );
             if self.read_q[i].kind == RequestKind::Rng {
                 rng_selected = Some(self.read_q.swap_remove(i));
+                self.invalidate_probe();
             } else {
                 self.issue_for(now, i, false);
             }
@@ -614,6 +711,8 @@ impl<P: SchedulerPolicy> ChannelController<P> {
     }
 
     fn issue_for(&mut self, now: u64, idx: usize, writes: bool) {
+        // Every branch mutates bank/rank/bus timing state or a queue.
+        self.invalidate_probe();
         let req = if writes { self.write_q[idx] } else { self.read_q[idx] };
         let bidx = self.ct.bank_index(&req);
         let timing = self.ct.timing;
@@ -693,6 +792,7 @@ impl<P: SchedulerPolicy> ChannelController<P> {
                 self.stats.refreshes += self.ct.geometry.ranks as u64;
                 self.next_refresh_due += self.ct.timing.trefi as u64;
                 self.refresh_pending = false;
+                self.invalidate_probe();
             }
             return true;
         }
@@ -704,6 +804,7 @@ impl<P: SchedulerPolicy> ChannelController<P> {
                 self.stats.pres += 1;
                 self.open_banks -= 1;
                 self.act_owner[i] = None;
+                self.invalidate_probe();
                 return true;
             }
         }

@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn area_grows_with_buffer_size() {
         let small = StructureBits {
-            buffer: 1 * 64,
+            buffer: 64,
             ..StructureBits::paper_simple()
         };
         let large = StructureBits {

@@ -69,7 +69,7 @@ pub trait TrngMechanism: Send {
     /// (load-dependent) bank-drain time.
     fn demand_latency_cycles(&self, channels: u32) -> u64 {
         let per_round = self.batch_bits() as u64 * channels as u64;
-        let rounds = (64 + per_round - 1) / per_round;
+        let rounds = 64_u64.div_ceil(per_round);
         2 * self.demand_switch_cycles() + rounds * self.batch_latency()
     }
 }

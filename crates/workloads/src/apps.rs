@@ -93,7 +93,7 @@ pub fn figure_apps() -> Vec<AppSpec> {
         app("tpcc64", 4.5, 0.20, 0.35, 8 * MEGA),
         app("jp2e", 5.2, 0.70, 0.30, 256 * KILO),
         app("wcount0", 6.0, 0.60, 0.30, 2 * MEGA),
-        app("cactus", 7.0, 0.55, 0.30, 1 * MEGA),
+        app("cactus", 7.0, 0.55, 0.30, MEGA),
         app("astar", 8.0, 0.30, 0.20, 2 * MEGA),
         app("tpch17", 9.5, 0.80, 0.10, 16 * MEGA),
         app("soplex", 11.0, 0.45, 0.20, 4 * MEGA),
@@ -105,7 +105,7 @@ pub fn figure_apps() -> Vec<AppSpec> {
         app("lbm", 26.0, 0.85, 0.45, 8 * MEGA),
         app("mcf", 32.0, 0.10, 0.15, 24 * MEGA),
         app("libq", 38.0, 0.95, 0.05, 512 * KILO),
-        app("h264d", 45.0, 0.55, 0.30, 1 * MEGA),
+        app("h264d", 45.0, 0.55, 0.30, MEGA),
     ]
 }
 

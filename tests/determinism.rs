@@ -223,4 +223,37 @@ mod fastforward {
             );
         }
     }
+
+    #[test]
+    fn probe_cache_off_is_bit_identical() {
+        // The O(1) next-event probe cache is a pure memoization: disabling
+        // it must not change a single statistic, on a busy workload (many
+        // invalidations) and on an idle-dominated one (long-lived entries).
+        let busy = &eval_pairs(5120)[0];
+        let idle = Workload::pair(
+            &dr_strange::workloads::app_by_name("povray").expect("catalog"),
+            640,
+        );
+        for (wl, label) in [(busy, "busy"), (&idle, "idle")] {
+            let run = |probe_cache: bool| {
+                let cfg = base(SystemConfig::dr_strange(2)).with_probe_cache(probe_cache);
+                System::new(cfg, wl.traces(), Box::new(DRange::new(3)))
+                    .expect("valid configuration")
+                    .run()
+            };
+            let on = run(true);
+            let off = run(false);
+            assert_eq!(on.cpu_cycles, off.cpu_cycles, "{label}: cpu cycles");
+            assert_eq!(on.stats, off.stats, "{label}: engine stats");
+            assert_eq!(on.channels, off.channels, "{label}: channel stats");
+            for (a, b) in on.cores.iter().zip(&off.cores) {
+                assert_eq!(
+                    a.finish.map(|s| (s.at_cycle, s.stats)),
+                    b.finish.map(|s| (s.at_cycle, s.stats)),
+                    "{label}: finish snapshots"
+                );
+                assert_eq!(a.end_stats, b.end_stats, "{label}: end stats");
+            }
+        }
+    }
 }
