@@ -1,0 +1,211 @@
+//! `getrandom()` service-layer load sweep: p50/p95/p99 request latency
+//! and offered vs served throughput across offered load × buffer size ×
+//! TRNG mechanism, over the cycle-accurate service path (Sections 5.3/6).
+//!
+//! Each cell simulates N Poisson open-loop clients issuing 32-byte
+//! `getrandom` requests against a coreless DR-STRaNGe system; requests
+//! are served from the random number buffer (fast path) or by real
+//! on-demand generation episodes (slow path). One cell additionally runs
+//! under both simulation modes and asserts FastForward ≡ Reference on
+//! every statistic including the per-request latency log.
+//!
+//! Emits `BENCH_service.json` (in the working directory, or at
+//! `$BENCH_SERVICE_OUT`). Requests per client come from
+//! `STRANGE_SERVICE_REQUESTS` (default 200).
+
+use std::time::Instant;
+
+use strange_core::{SimMode, System, SystemConfig};
+use strange_trng::{DRange, QuacTrng, TrngMechanism};
+use strange_workloads::poisson_service;
+
+/// Aggregate offered loads (Mb/s) across the client population — spans
+/// comfortably-buffered to past-saturation for D-RaNGe on 4 channels.
+const OFFERED_MBPS: [u32; 3] = [640, 2560, 10_240];
+const BUFFER_ENTRIES: [usize; 2] = [4, 16];
+const CLIENTS: usize = 4;
+const BYTES_PER_REQUEST: usize = 32;
+/// Seed for the arrival streams (fixed so every run sees the same offered
+/// trace).
+const ARRIVAL_SEED: u64 = 2022;
+
+fn requests_per_client() -> u64 {
+    std::env::var("STRANGE_SERVICE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(200)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mechanism {
+    DRange,
+    Quac,
+}
+
+impl Mechanism {
+    fn label(self) -> &'static str {
+        match self {
+            Mechanism::DRange => "D-RaNGe",
+            Mechanism::Quac => "QUAC-TRNG",
+        }
+    }
+
+    fn build(self) -> Box<dyn TrngMechanism> {
+        match self {
+            Mechanism::DRange => Box::new(DRange::new(1)),
+            Mechanism::Quac => Box::new(QuacTrng::new(1)),
+        }
+    }
+}
+
+fn config(mech_entries: usize, mbps: u32, requests: u64, mode: SimMode) -> SystemConfig {
+    SystemConfig::dr_strange(0)
+        .with_buffer_entries(mech_entries)
+        .with_service(poisson_service(
+            CLIENTS,
+            BYTES_PER_REQUEST,
+            mbps,
+            requests,
+            ARRIVAL_SEED,
+        ))
+        .with_sim_mode(mode)
+}
+
+struct Cell {
+    mech: &'static str,
+    entries: usize,
+    offered_mbps: u32,
+    served_mbps: f64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    mean: f64,
+    buffer_hit_rate: f64,
+    completed: u64,
+    wall_ms: f64,
+}
+
+fn run_cell(mech: Mechanism, entries: usize, mbps: u32, requests: u64) -> Cell {
+    let cfg = config(entries, mbps, requests, SimMode::FastForward);
+    let mut sys = System::new(cfg, Vec::new(), mech.build()).expect("valid configuration");
+    let start = Instant::now();
+    let res = sys.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(!res.hit_cycle_limit, "service run must drain its requests");
+    let svc = res.service.expect("service stats present");
+    assert_eq!(svc.requests_completed, CLIENTS as u64 * requests);
+    // 4 GHz clock: bits / (cycles / 4e9 s) → Mb/s.
+    let seconds = res.cpu_cycles as f64 / 4e9;
+    let served_mbps = svc.bytes_served as f64 * 8.0 / seconds / 1e6;
+    let percentiles = svc.latency_percentiles(&[0.50, 0.95, 0.99]);
+    Cell {
+        mech: mech.label(),
+        entries,
+        offered_mbps: mbps,
+        served_mbps,
+        p50: percentiles[0].expect("completions"),
+        p95: percentiles[1].expect("completions"),
+        p99: percentiles[2].expect("completions"),
+        mean: svc.mean_latency().expect("completions"),
+        buffer_hit_rate: svc.buffer_hit_rate(),
+        completed: svc.requests_completed,
+        wall_ms,
+    }
+}
+
+/// FastForward ≡ Reference on an active service configuration, asserted
+/// on every run statistic including the exact latency log.
+fn assert_modes_identical(requests: u64) {
+    let run = |mode: SimMode| {
+        let cfg = config(16, OFFERED_MBPS[1], requests, mode);
+        let mut sys = System::new(cfg, Vec::new(), Mechanism::DRange.build())
+            .expect("valid configuration");
+        let res = sys.run();
+        let skipped = sys.skipped_cycles();
+        (res, skipped)
+    };
+    let (reference, ref_skipped) = run(SimMode::Reference);
+    let (fast, fast_skipped) = run(SimMode::FastForward);
+    assert_eq!(ref_skipped, 0, "reference must not skip");
+    assert!(fast_skipped > 0, "fast-forward must engage");
+    assert_eq!(fast.cpu_cycles, reference.cpu_cycles, "cpu cycles");
+    assert_eq!(fast.stats, reference.stats, "engine stats");
+    assert_eq!(fast.channels, reference.channels, "channel stats");
+    assert_eq!(fast.service, reference.service, "service stats + latency log");
+    println!(
+        "mode check: FastForward == Reference over {} cycles ({:.0}% skipped)\n",
+        fast.cpu_cycles,
+        fast_skipped as f64 / fast.cpu_cycles as f64 * 100.0
+    );
+}
+
+fn main() {
+    let requests = requests_per_client();
+    println!(
+        "service load sweep: {CLIENTS} Poisson clients x {BYTES_PER_REQUEST}-byte getrandom, \
+         {requests} requests/client\n"
+    );
+    assert_modes_identical(requests.min(100));
+
+    let mut cells = Vec::new();
+    println!(
+        "{:10} {:>7} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9} {:>6}",
+        "mechanism", "entries", "offered", "served", "p50", "p95", "p99", "mean", "hit%"
+    );
+    for mech in [Mechanism::DRange, Mechanism::Quac] {
+        for &entries in &BUFFER_ENTRIES {
+            for &mbps in &OFFERED_MBPS {
+                let c = run_cell(mech, entries, mbps, requests);
+                println!(
+                    "{:10} {:>7} {:>7}Mb {:>7.0}Mb {:>8} {:>8} {:>8} {:>9.1} {:>5.0}%",
+                    c.mech,
+                    c.entries,
+                    c.offered_mbps,
+                    c.served_mbps,
+                    c.p50,
+                    c.p95,
+                    c.p99,
+                    c.mean,
+                    c.buffer_hit_rate * 100.0
+                );
+                cells.push(c);
+            }
+        }
+    }
+
+    // Shape checks (tracked, not enforced): a bigger buffer should not
+    // hurt the tail, and saturation should show up at the top load level.
+    let json = format!(
+        "{{\n  \"clients\": {CLIENTS},\n  \"bytes_per_request\": {BYTES_PER_REQUEST},\n  \
+         \"requests_per_client\": {requests},\n  \"latency_unit\": \"cpu_cycles_at_4ghz\",\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
+        cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"mechanism\": \"{}\", \"buffer_entries\": {}, \"offered_mbps\": {}, \
+                     \"served_mbps\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+                     \"mean\": {:.1}, \"buffer_hit_rate\": {:.4}, \"completed\": {}, \
+                     \"wall_ms\": {:.2}}}",
+                    c.mech,
+                    c.entries,
+                    c.offered_mbps,
+                    c.served_mbps,
+                    c.p50,
+                    c.p95,
+                    c.p99,
+                    c.mean,
+                    c.buffer_hit_rate,
+                    c.completed,
+                    c.wall_ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let out = std::env::var("BENCH_SERVICE_OUT")
+        .unwrap_or_else(|_| "BENCH_service.json".to_string());
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("\nwrote {out}");
+}

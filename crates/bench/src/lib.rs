@@ -390,12 +390,20 @@ impl Harness {
     }
 
     /// Runs a batch of jobs on the worker pool ([`runner::worker_threads`]
-    /// workers) and returns the results in job order.
+    /// workers) and returns the results in job order. Dispatch is
+    /// longest-first (cost estimate: `cores × instructions`), so a heavy
+    /// multicore job drawn last cannot serialize the barrier tail.
     pub fn run_many(&self, jobs: &[RunJob]) -> Vec<RunResult> {
-        runner::run_indexed(jobs.len(), runner::worker_threads(), |i| {
-            let job = &jobs[i];
-            self.run(job.design, &job.workload, job.mech)
-        })
+        let instr = self.scale.instr;
+        runner::run_indexed_weighted(
+            jobs.len(),
+            runner::worker_threads(),
+            |i| jobs[i].workload.cores() as u64 * instr,
+            |i| {
+                let job = &jobs[i];
+                self.run(job.design, &job.workload, job.mech)
+            },
+        )
     }
 
     /// The alone-run baseline for `app` (cached; computed exactly once per
@@ -530,9 +538,16 @@ pub fn eval_pair_matrix_with_threads(
         harness.warm_alone_cache(workloads, mech, threads);
     }
     let w = workloads.len();
-    let flat = runner::run_indexed(designs.len() * w, threads, |i| {
-        harness.eval_pair(designs[i / w], &workloads[i % w], mech)
-    });
+    // Pair workloads all have two cores, so the weight degenerates to a
+    // constant and dispatch stays in matrix order; the weighted call keeps
+    // the two matrix paths symmetric.
+    let instr = harness.scale().instr;
+    let flat = runner::run_indexed_weighted(
+        designs.len() * w,
+        threads,
+        |i| workloads[i % w].cores() as u64 * instr,
+        |i| harness.eval_pair(designs[i / w], &workloads[i % w], mech),
+    );
     flat.chunks(w).map(<[PairEval]>::to_vec).collect()
 }
 
@@ -573,9 +588,15 @@ pub fn eval_multi_matrix_with_threads(
         harness.warm_alone_cache(workloads, mech, threads);
     }
     let w = workloads.len();
-    let flat = runner::run_indexed(designs.len() * w, threads, |i| {
-        harness.eval_multi(designs[i / w], &workloads[i % w], mech)
-    });
+    // Multicore groups mix 4/8/16-core workloads: longest-first dispatch
+    // keeps the 16-core jobs from landing on an otherwise-drained pool.
+    let instr = harness.scale().instr;
+    let flat = runner::run_indexed_weighted(
+        designs.len() * w,
+        threads,
+        |i| workloads[i % w].cores() as u64 * instr,
+        |i| harness.eval_multi(designs[i / w], &workloads[i % w], mech),
+    );
     flat.chunks(w).map(<[MultiEval]>::to_vec).collect()
 }
 

@@ -39,6 +39,10 @@ pub fn worker_threads() -> usize {
 /// the jobs run inline on the caller's thread — the sequential reference
 /// path that the parallel path must match bit-for-bit.
 ///
+/// Jobs are dispatched in index order; when job costs are known, prefer
+/// [`run_indexed_weighted`], which dispatches longest-first to tighten
+/// the end-of-batch barrier tail.
+///
 /// # Panics
 ///
 /// Propagates a panic from any job (bench targets are expected to abort
@@ -48,6 +52,49 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_in_order(n, threads, &(0..n).collect::<Vec<_>>(), f)
+}
+
+/// [`run_indexed`] with cost-aware dispatch: `weight(i)` estimates job
+/// `i`'s cost (e.g. `cores × instructions`), and workers pop jobs in
+/// descending-weight order (ties broken by index, so equal weights
+/// degrade to plain index order). Results are still returned in **index
+/// order**, and every job runs exactly once, so the output is
+/// bit-identical to [`run_indexed`] — only the wall-clock schedule
+/// changes: a long job landing last no longer serializes the barrier
+/// tail behind an otherwise-idle pool.
+///
+/// # Panics
+///
+/// Propagates a panic from any job.
+pub fn run_indexed_weighted<T, F, W>(n: usize, threads: usize, weight: W, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    W: Fn(usize) -> u64,
+{
+    run_in_order(n, threads, &dispatch_order(n, weight), f)
+}
+
+/// The longest-first dispatch schedule: indices `0..n` sorted by
+/// descending `weight(i)`, ties by ascending index (deterministic).
+pub fn dispatch_order<W: Fn(usize) -> u64>(n: usize, weight: W) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weight(i)), i));
+    order
+}
+
+/// Shared engine: runs the jobs, popping `order` front-to-back, storing
+/// results by original index. The sequential path (`threads <= 1`) runs
+/// in plain index order — dispatch order is a parallel scheduling concern
+/// only, and keeping the reference path order-stable makes the
+/// bit-identity contract easy to reason about.
+fn run_in_order<T, F>(n: usize, threads: usize, order: &[usize], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    debug_assert_eq!(order.len(), n);
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -59,10 +106,11 @@ where
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
                     break;
                 }
+                let i = order[k];
                 let value = f(i);
                 let prev = slots[i].lock().expect("slot poisoned").replace(value);
                 assert!(prev.is_none(), "job {i} ran twice");
@@ -100,5 +148,31 @@ mod tests {
     #[test]
     fn worker_threads_is_at_least_one() {
         assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn dispatch_order_is_longest_first_with_stable_ties() {
+        let weights = [5u64, 9, 9, 1, 7];
+        let order = dispatch_order(weights.len(), |i| weights[i]);
+        assert_eq!(order, vec![1, 2, 4, 0, 3]);
+        // Equal weights degrade to plain index order.
+        assert_eq!(dispatch_order(4, |_| 3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn weighted_results_stay_in_index_order() {
+        for threads in [1, 2, 8] {
+            let out = run_indexed_weighted(50, threads, |i| (50 - i) as u64, |i| i * 3);
+            assert_eq!(out, (0..50).map(|i| i * 3).collect::<Vec<_>>());
+            let out = run_indexed_weighted(50, threads, |i| i as u64, |i| i + 1);
+            assert_eq!(out, (1..=50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn weighted_matches_unweighted_results() {
+        let plain = run_indexed(40, 4, |i| i * i);
+        let weighted = run_indexed_weighted(40, 4, |i| (i % 7) as u64, |i| i * i);
+        assert_eq!(plain, weighted);
     }
 }

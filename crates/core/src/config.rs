@@ -4,6 +4,8 @@
 use strange_cpu::CoreConfig;
 use strange_dram::{ConfigError, Geometry, TimingParams};
 
+use crate::service::{ArrivalProcess, ServiceConfig};
+
 /// Which baseline per-channel scheduling policy the controller uses for
 /// regular (non-RNG) requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,8 +123,18 @@ pub struct SystemConfig {
     pub sim_mode: SimMode,
     /// Whether the per-channel O(1) next-event probe cache is enabled
     /// (default true; results are identical either way — the switch lets
-    /// perf benchmarks isolate the cache's contribution).
+    /// perf benchmarks isolate the cache's contribution). Also gates the
+    /// engine-level fill-state probe memoization.
     pub probe_cache: bool,
+    /// Whether the random number buffer starts full (default true: a
+    /// booted machine reaches a full buffer long before any measurement
+    /// window). Disable for cold-start studies and the interactive
+    /// `RngDevice` front-end.
+    pub prefill_buffer: bool,
+    /// The `getrandom()` service layer: simulated clients issuing
+    /// random-number requests from configurable arrival processes (empty
+    /// disables the service — the default).
+    pub service: ServiceConfig,
 }
 
 impl SystemConfig {
@@ -149,6 +161,8 @@ impl SystemConfig {
             max_cpu_cycles: 0,
             sim_mode: SimMode::FastForward,
             probe_cache: true,
+            prefill_buffer: true,
+            service: ServiceConfig::default(),
         }
     }
 
@@ -236,6 +250,18 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the `getrandom()` service configuration (clients + capture).
+    pub fn with_service(mut self, service: ServiceConfig) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Enables or disables the boot-time buffer pre-fill.
+    pub fn with_prefill_buffer(mut self, prefill: bool) -> Self {
+        self.prefill_buffer = prefill;
+        self
+    }
+
     /// Priority level of `core` (1 when unset — all applications equal).
     pub fn priority_of(&self, core: usize) -> u8 {
         self.priorities.get(core).copied().unwrap_or(1)
@@ -259,11 +285,28 @@ impl SystemConfig {
     /// range (zero cores, zero instruction target, geometry/timing issues,
     /// or a predictive configuration with a zero-entry buffer).
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.cores == 0 {
+        if self.cores == 0 && self.service.clients.is_empty() {
+            // A pure service-driven system (no trace cores) is a valid
+            // configuration; a system with neither cores nor clients is
+            // not.
             return Err(ConfigError::InvalidParameter {
                 field: "cores",
-                constraint: "be nonzero",
+                constraint: "be nonzero (or configure service clients)",
             });
+        }
+        for client in &self.service.clients {
+            if client.bytes == 0 {
+                return Err(ConfigError::InvalidParameter {
+                    field: "service.clients.bytes",
+                    constraint: "be nonzero",
+                });
+            }
+            if let ArrivalProcess::Bursty { burst: 0, .. } = client.arrival {
+                return Err(ConfigError::InvalidParameter {
+                    field: "service.clients.burst",
+                    constraint: "be nonzero",
+                });
+            }
         }
         if self.instruction_target == 0 {
             return Err(ConfigError::InvalidParameter {

@@ -17,6 +17,7 @@
 //!   path, with mispredictions mechanically stalling the requests that
 //!   arrive while a round holds the channel.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -97,6 +98,40 @@ impl AnyPredictor {
     }
 }
 
+/// One completed memory-side request, as delivered to the CPU/service
+/// layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The issuing core (a virtual core ≥ `SystemConfig::cores` addresses
+    /// a service client).
+    pub core: CoreId,
+    /// The request id handed out at issue time.
+    pub id: RequestId,
+    /// For RNG requests, the served 64-bit word and whether it came from
+    /// the random number buffer; `None` for loads.
+    pub rng: Option<(u64, bool)>,
+}
+
+/// A scheduled RNG completion: `(due, id, core, value, from_buffer)`.
+/// Ids are unique, so ordering is total on `(due, id)` and the trailing
+/// fields never tiebreak.
+type RngDone = (u64, RequestId, CoreId, u64, bool);
+
+/// One memoized fill-state probe result (see [`MemSubsystem::fill_bound`]).
+#[derive(Debug, Clone, Copy)]
+struct FillProbe {
+    /// Σ of per-channel probe epochs at computation time.
+    chan_epochs: u64,
+    /// Engine fill epoch at computation time.
+    fill_epoch: u64,
+    /// The computed bound (absolute cycle; ≤ `now` means "tick live").
+    bound: u64,
+    /// First cycle at which a predicate suppressed by an RNG blockade
+    /// could flip by time passage alone (earliest `blocked_until`); the
+    /// entry must not be used at or past it.
+    valid_until: u64,
+}
+
 /// Per-channel fill/idle bookkeeping.
 #[derive(Debug, Clone, Default)]
 struct ChanFill {
@@ -126,9 +161,18 @@ pub struct MemSubsystem {
     next_id: RequestId,
     next_rng_channel: u32,
     rng_app: Vec<bool>,
-    rng_done: BinaryHeap<Reverse<(u64, RequestId, CoreId)>>,
+    /// Due RNG completions: `(due, id, core, value, from_buffer)` — ids
+    /// are unique, so the heap order is a total order on `(due, id)`.
+    rng_done: BinaryHeap<Reverse<RngDone>>,
     completed_scratch: Vec<CompletedAccess>,
     value_log: Option<Vec<u64>>,
+    /// Memoized fill-state probe; stale when either epoch changes or
+    /// `valid_until` passes.
+    fill_probe: Cell<Option<FillProbe>>,
+    /// Engine-local mutation counter for fill-relevant state the channel
+    /// epochs cannot see: buffer content, demand episodes, fill rounds,
+    /// idle-edge processing, low-utilization pacing.
+    fill_epoch: Cell<u64>,
     stats: SystemStats,
 }
 
@@ -158,14 +202,15 @@ impl MemSubsystem {
             })
             .collect();
         let fill = vec![ChanFill::default(); geometry.channels as usize];
-        // The buffer starts full: the system fills it once at boot (the
-        // paper's mechanism fills whenever DRAM is idle, so a freshly
-        // booted machine reaches a full buffer long before any workload of
-        // interest runs). Starting empty would charge a one-time warm-up
-        // fill against every measurement window.
+        // By default the buffer starts full: the system fills it once at
+        // boot (the paper's mechanism fills whenever DRAM is idle, so a
+        // freshly booted machine reaches a full buffer long before any
+        // workload of interest runs). Starting empty would charge a
+        // one-time warm-up fill against every measurement window;
+        // cold-start studies disable `prefill_buffer`.
         let mut mechanism = mechanism;
         let mut buffer = RandomNumberBuffer::new(config.buffer_entries);
-        while !buffer.is_full() {
+        while config.prefill_buffer && !buffer.is_full() {
             let word = mechanism.draw(64);
             if buffer.push_bits(word, 64) == 0 {
                 break;
@@ -183,15 +228,27 @@ impl MemSubsystem {
             mem_now: 0,
             next_id: 0,
             next_rng_channel: 0,
-            rng_app: vec![false; config.cores],
+            // Virtual cores above the real ones address service clients.
+            rng_app: vec![false; config.cores + config.service.clients.len()],
             rng_done: BinaryHeap::new(),
             completed_scratch: Vec::new(),
             value_log: None,
+            fill_probe: Cell::new(None),
+            fill_epoch: Cell::new(0),
             stats: SystemStats::new(),
             channels,
             mechanism,
             config,
         }
+    }
+
+    /// Marks the memoized fill-state probe stale. Must accompany every
+    /// mutation of fill-relevant state that the per-channel probe epochs
+    /// do not capture: buffer pushes/pops, demand-episode start/end, fill
+    /// round start/end, processed idle edges, blockade extensions, and
+    /// low-utilization pacing updates.
+    fn touch_fill(&self) {
+        self.fill_epoch.set(self.fill_epoch.get().wrapping_add(1));
     }
 
     /// Enables or disables logging of served random values (kept to the
@@ -253,7 +310,7 @@ impl MemSubsystem {
         if let Some(f) = self.demand_finish {
             event = event.min(f);
         }
-        if let Some(&Reverse((due, _, _))) = self.rng_done.peek() {
+        if let Some(&Reverse((due, _, _, _, _))) = self.rng_done.peek() {
             event = event.min(due);
         }
         for ch in &self.channels {
@@ -264,6 +321,71 @@ impl MemSubsystem {
                 }
             }
         }
+        event = event.min(self.fill_bound(now));
+        event.max(now)
+    }
+
+    /// Sum of the per-channel probe epochs: one pointer read per channel,
+    /// unchanged iff no channel mutated scheduling-relevant state.
+    fn chan_epoch_sum(&self) -> u64 {
+        self.channels
+            .iter()
+            .fold(0u64, |acc, ch| acc.wrapping_add(ch.probe_epoch()))
+    }
+
+    /// The fill-state portion of [`MemSubsystem::next_event_at`] (fill
+    /// rounds, greedy threshold crossings, idle edges, low-utilization
+    /// pacing), memoized on `(Σ channel epochs, fill epoch)`. The cached
+    /// value is an absolute cycle: anything at or before `now` means "the
+    /// next tick must run live", and the greedy/low-util bounds are stable
+    /// absolutes within an invalidation window, so a hit skips the whole
+    /// per-channel predicate walk.
+    fn fill_bound(&self, now: u64) -> u64 {
+        if self.config.fill == FillMode::None {
+            return u64::MAX;
+        }
+        let chan_epochs = self.chan_epoch_sum();
+        let fill_epoch = self.fill_epoch.get();
+        if self.config.probe_cache {
+            if let Some(p) = self.fill_probe.get() {
+                if p.chan_epochs == chan_epochs
+                    && p.fill_epoch == fill_epoch
+                    && now < p.valid_until
+                {
+                    debug_assert_eq!(
+                        p.bound.max(now),
+                        self.fill_bound_scan(now).max(now),
+                        "stale fill-probe cache"
+                    );
+                    return p.bound;
+                }
+            }
+        }
+        let bound = self.fill_bound_scan(now);
+        if self.config.probe_cache {
+            // Blockade expiries re-enable suppressed fill predicates with
+            // no state mutation, so the entry dies at the earliest one.
+            let valid_until = self
+                .channels
+                .iter()
+                .map(|ch| ch.blocked_until())
+                .filter(|&b| b > now)
+                .min()
+                .unwrap_or(u64::MAX);
+            self.fill_probe.set(Some(FillProbe {
+                chan_epochs,
+                fill_epoch,
+                bound,
+                valid_until,
+            }));
+        }
+        bound
+    }
+
+    /// Recomputes the fill-state bound from scratch (the memoization's
+    /// oracle).
+    fn fill_bound_scan(&self, now: u64) -> u64 {
+        let mut event = u64::MAX;
         match self.config.fill {
             FillMode::None => {}
             FillMode::GreedyOracle => {
@@ -320,7 +442,7 @@ impl MemSubsystem {
                 }
             }
         }
-        event.max(now)
+        event
     }
 
     /// Bulk-applies the per-cycle accounting for the dead memory-cycle
@@ -369,8 +491,8 @@ impl MemSubsystem {
     }
 
     /// Advances the memory side by one DRAM bus cycle; completed requests
-    /// are appended to `completions` as `(core, request-id)` pairs.
-    pub fn tick(&mut self, now: u64, completions: &mut Vec<(CoreId, RequestId)>) {
+    /// are appended to `completions`.
+    pub fn tick(&mut self, now: u64, completions: &mut Vec<Completion>) {
         self.mem_now = now;
 
         // Demand-generation episode ends. Per the paper's flowchart
@@ -380,6 +502,7 @@ impl MemSubsystem {
         if let Some(f) = self.demand_finish {
             if now >= f {
                 self.demand_finish = None;
+                self.touch_fill();
                 if self.config.fill == FillMode::Predictive {
                     for i in 0..self.channels.len() {
                         if self.channels[i].queues_empty()
@@ -424,16 +547,24 @@ impl MemSubsystem {
         }
 
         for done in self.completed_scratch.drain(..) {
-            completions.push((done.request.core, done.request.id));
+            completions.push(Completion {
+                core: done.request.core,
+                id: done.request.id,
+                rng: None,
+            });
         }
 
         // RNG completions due this cycle.
-        while let Some(&Reverse((due, id, core))) = self.rng_done.peek() {
+        while let Some(&Reverse((due, id, core, value, from_buffer))) = self.rng_done.peek() {
             if due > now {
                 break;
             }
             self.rng_done.pop();
-            completions.push((core, id));
+            completions.push(Completion {
+                core,
+                id,
+                rng: Some((value, from_buffer)),
+            });
         }
     }
 
@@ -454,15 +585,19 @@ impl MemSubsystem {
     /// Serves queued RNG requests from the buffer (requests that missed at
     /// issue time can still hit once filling catches up).
     fn serve_rng_from_buffer(&mut self, now: u64) {
+        if self.rng_queue.is_empty() || self.buffer.available_words() == 0 {
+            return;
+        }
+        self.touch_fill();
         while !self.rng_queue.is_empty() && self.buffer.available_words() > 0 {
             let req = self.rng_queue.pop_front().expect("non-empty");
             let word = self.buffer.pop_word().expect("word available");
             self.log_value(word);
-            self.complete_rng(now, &req, now + self.config.buffer_serve_latency, true);
+            self.complete_rng(now, &req, now + self.config.buffer_serve_latency, word, true);
         }
     }
 
-    fn complete_rng(&mut self, _now: u64, req: &Request, due: u64, from_buffer: bool) {
+    fn complete_rng(&mut self, _now: u64, req: &Request, due: u64, value: u64, from_buffer: bool) {
         self.stats.buffer_serve.record(from_buffer);
         if from_buffer {
             self.stats.rng_served_from_buffer += 1;
@@ -471,7 +606,8 @@ impl MemSubsystem {
         }
         self.stats.rng_latency_sum += due.saturating_sub(req.arrival);
         self.stats.rng_completions += 1;
-        self.rng_done.push(Reverse((due, req.id, req.core)));
+        self.rng_done
+            .push(Reverse((due, req.id, req.core, value, from_buffer)));
     }
 
     /// The Section 5.2 decision: should the RNG queue be scheduled now?
@@ -551,6 +687,7 @@ impl MemSubsystem {
     /// path described in Section 3).
     fn start_demand_generation(&mut self, now: u64, requests: Vec<Request>) {
         debug_assert!(!requests.is_empty());
+        self.touch_fill();
         // Resolve any in-flight fill rounds first: their bits land, their
         // occupancy is folded into the episode start.
         let fill_bits = self.mechanism.batch_bits();
@@ -581,7 +718,7 @@ impl MemSubsystem {
         for req in &requests {
             let value = self.mechanism.draw(64);
             self.log_value(value);
-            self.complete_rng(now, req, data_ready, false);
+            self.complete_rng(now, req, data_ready, value, false);
         }
         self.stats.demand_generations += 1;
         // Surplus bits beyond the demanded 64s go to the buffer.
@@ -602,6 +739,7 @@ impl MemSubsystem {
     /// Starts one generation round on channel `i`, blocking it for
     /// `extra_switch + batch_latency` cycles and accounting the commands.
     fn start_fill_round(&mut self, i: usize, now: u64, extra_switch: u64, low_util: bool) {
+        self.touch_fill();
         let end = now + extra_switch + self.mechanism.batch_latency();
         self.fill[i].fill_end = Some(end);
         self.fill[i].fill_is_low_util = low_util;
@@ -611,6 +749,7 @@ impl MemSubsystem {
     }
 
     fn deliver_batch_bits(&mut self, bits: u32) {
+        self.touch_fill();
         let mut remaining = bits;
         while remaining > 0 {
             let take = remaining.min(64);
@@ -635,6 +774,10 @@ impl MemSubsystem {
         let bits = self.mechanism.batch_bits();
         for i in 0..self.channels.len() {
             let idle_now = self.channels[i].queues_empty();
+            if idle_now != self.fill[i].was_idle {
+                // Idle edge processed: the greedy threshold crossing moves.
+                self.touch_fill();
+            }
             if idle_now {
                 self.fill[i].idle_len += 1;
                 if self.fill[i].idle_len == threshold && !self.buffer.is_full() {
@@ -663,6 +806,9 @@ impl MemSubsystem {
             // 1. Complete a due fill round.
             if let Some(end) = self.fill[i].fill_end {
                 if now >= end {
+                    // Touches the fill probe via deliver_batch_bits; the
+                    // round end, chaining decision, and blockade extension
+                    // below are all covered by that bump.
                     self.deliver_batch_bits(batch_bits);
                     let st = &mut self.fill[i];
                     st.fill_end = None;
@@ -693,6 +839,11 @@ impl MemSubsystem {
             // 2. Idle-period edge tracking and prediction.
             let idle_now = self.channels[i].queues_empty();
             let was_idle = self.fill[i].was_idle;
+            if idle_now != was_idle {
+                // Edge processed (prediction or training below): the
+                // cached fill bound no longer reflects this channel.
+                self.touch_fill();
+            }
             if idle_now {
                 self.fill[i].idle_len += 1;
                 if !was_idle {
@@ -746,6 +897,7 @@ impl MemSubsystem {
                         self.start_fill_round(i, now, fill_switch, true);
                     } else {
                         self.fill[i].last_low_util_end = now;
+                        self.touch_fill();
                     }
                 }
             }
@@ -854,12 +1006,14 @@ impl MemorySystem for MemSubsystem {
                 // paper's Figure 4 flowchart).
                 if self.buffer.available_words() > 0 {
                     let word = self.buffer.pop_word().expect("word available");
+                    self.touch_fill();
                     self.stats.rng_requests += 1;
                     self.log_value(word);
                     self.complete_rng(
                         self.mem_now,
                         &req,
                         self.mem_now + self.config.buffer_serve_latency,
+                        word,
                         true,
                     );
                     return Some(id);

@@ -3,32 +3,40 @@
 //! DR-STRaNGe exposes the DRAM TRNG to software through the existing
 //! `getrandom()` path: the kernel's random-number service is backed by the
 //! memory controller's random number buffer instead of (or in addition to)
-//! the entropy pool. [`RngDevice`] models that service at the API level —
-//! a blocking `getrandom`-style call that fills a caller-provided byte
-//! buffer, serving from the buffer when possible and generating on demand
-//! otherwise — together with the Section 6 security properties:
+//! the entropy pool. [`RngDevice`] models that service as an interactive
+//! front-end over the **cycle-accurate service layer**: every call is
+//! submitted as a real request to a simulated [`System`] (a manual
+//! [`crate::ClientSpec`] client on a coreless DR-STRaNGe memory
+//! subsystem), driven through the RNG queue, arbitration, buffer serve,
+//! and on-demand generation machinery, and charged its true latency in
+//! CPU cycles. The Section 6 security properties hold by construction:
 //!
-//! * random bits are returned to exactly one caller and then discarded;
-//! * the latency difference between buffer hits and on-demand generation is
-//!   exposed through [`ServeKind`] so examples/tests can reason about the
-//!   timing side channel the paper discusses.
+//! * random bits are drawn once and returned to exactly one caller;
+//! * the latency difference between buffer hits and on-demand generation
+//!   is observable both through [`ServeKind`] and through the per-call
+//!   cycle counts ([`RngDevice::last_latency_cycles`]) — the timing side
+//!   channel the paper discusses.
+//!
+//! For load experiments with many concurrent clients and open-loop
+//! arrival processes, configure the service layer directly through
+//! [`crate::ServiceConfig`] and [`System::run`]; this type is the
+//! synchronous single-caller convenience wrapper on the same path.
 
 use strange_trng::TrngMechanism;
 
-use crate::buffer::RandomNumberBuffer;
+use crate::config::{FillMode, PredictorKind, RngRouting, SystemConfig};
+use crate::service::{ClientSpec, ServiceConfig};
+use crate::system::System;
 
-/// How a `getrandom` call was satisfied (observable timing class — the
-/// Section 6 side-channel discussion).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ServeKind {
-    /// All requested bytes came from the random number buffer (fast path).
-    Buffer,
-    /// At least one generation episode was needed (slow path).
-    Generated,
-}
+pub use crate::service::ServeKind;
+
+/// CPU-cycle budget per driven operation; generously above any realistic
+/// request latency, so exceeding it indicates an internal bug rather than
+/// a slow configuration.
+const DRIVE_CYCLE_CAP: u64 = 50_000_000;
 
 /// A `getrandom()`-style device backed by a DRAM TRNG mechanism and the
-/// DR-STRaNGe random number buffer.
+/// DR-STRaNGe random number buffer, simulated cycle-accurately.
 ///
 /// # Examples
 ///
@@ -40,18 +48,20 @@ pub enum ServeKind {
 /// let mut key = [0u8; 32];
 /// dev.getrandom(&mut key);
 /// assert_ne!(key, [0u8; 32]); // overwhelmingly likely
+/// assert!(dev.last_latency_cycles() > 0); // real cycles were charged
 /// ```
 pub struct RngDevice {
-    mechanism: Box<dyn TrngMechanism>,
-    buffer: RandomNumberBuffer,
-    refill_batches: u32,
+    system: System,
+    name: &'static str,
+    last_latency: u64,
 }
 
 impl std::fmt::Debug for RngDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RngDevice")
-            .field("mechanism", &self.mechanism.name())
-            .field("buffered_bits", &self.buffer.available_bits())
+            .field("mechanism", &self.name)
+            .field("buffered_bits", &self.buffered_bits())
+            .field("cpu_cycles", &self.system.cpu_cycles())
             .finish()
     }
 }
@@ -59,71 +69,109 @@ impl std::fmt::Debug for RngDevice {
 impl RngDevice {
     /// Creates a device over `mechanism` with a buffer of
     /// `buffer_entries` 64-bit words (the paper's default is 16).
+    ///
+    /// The underlying system boots cold (empty buffer, no prefill) with
+    /// RNG-aware routing and predictor-less background filling — the
+    /// Section 5.1.1 simple buffering mechanism, which is exact here
+    /// because a coreless device has no regular traffic to mispredict
+    /// against. `buffer_entries == 0` disables buffering entirely (every
+    /// call generates on demand).
     pub fn new(mechanism: Box<dyn TrngMechanism>, buffer_entries: usize) -> Self {
+        let name = mechanism.name();
+        let mut config = SystemConfig::rng_oblivious(0);
+        config.routing = RngRouting::Aware;
+        config.buffer_entries = buffer_entries;
+        config.fill = if buffer_entries > 0 {
+            FillMode::Predictive
+        } else {
+            FillMode::None
+        };
+        config.predictor = PredictorKind::AlwaysLong;
+        config.low_util_threshold = 0;
+        config.prefill_buffer = false;
+        config.service = ServiceConfig {
+            clients: vec![ClientSpec::manual(8)],
+            capture_values: false,
+        };
+        let system = System::new(config, Vec::new(), mechanism).expect("valid device config");
         RngDevice {
-            mechanism,
-            buffer: RandomNumberBuffer::new(buffer_entries),
-            refill_batches: 0,
+            system,
+            name,
+            last_latency: 0,
         }
     }
 
     /// The underlying mechanism's name.
     pub fn mechanism_name(&self) -> &'static str {
-        self.mechanism.name()
+        self.name
     }
 
     /// Bits currently buffered.
     pub fn buffered_bits(&self) -> u64 {
-        self.buffer.available_bits()
+        self.system.mem().buffer().available_bits()
     }
 
-    /// Generation batches performed so far (each models one RNG-mode round
-    /// on DRAM; background filling in the full system keeps this low).
+    /// Generation batches performed so far: background fill rounds plus
+    /// on-demand generation episodes.
     pub fn generation_batches(&self) -> u32 {
-        self.refill_batches
+        let s = self.system.mem().stats();
+        (s.fill_batches + s.low_util_batches + s.greedy_batches + s.demand_generations) as u32
     }
 
-    /// Models background filling: runs `batches` generation rounds into the
-    /// buffer (what the DR-STRaNGe engine does during idle DRAM periods).
+    /// CPU cycles the simulated system has advanced (4 GHz clock).
+    pub fn cpu_cycles(&self) -> u64 {
+        self.system.cpu_cycles()
+    }
+
+    /// End-to-end latency in CPU cycles of the most recent
+    /// [`RngDevice::getrandom`] call (0 before the first call).
+    pub fn last_latency_cycles(&self) -> u64 {
+        self.last_latency
+    }
+
+    /// The underlying simulated system (service statistics, buffer and
+    /// engine inspection).
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Background filling: advances simulated time until `batches` more
+    /// generation rounds have landed in the buffer (or it fills up) —
+    /// what the DR-STRaNGe engine does during idle DRAM periods. A
+    /// no-op for an unbuffered device.
     pub fn background_fill(&mut self, batches: u32) {
-        for _ in 0..batches {
-            if self.buffer.is_full() {
-                break;
-            }
-            let mut remaining = self.mechanism.batch_bits();
-            while remaining > 0 {
-                let take = remaining.min(64);
-                let word = self.mechanism.draw(take);
-                self.buffer.push_bits(word, take);
-                remaining -= take;
-            }
-            self.refill_batches += 1;
+        if self.system.config().fill == FillMode::None || batches == 0 {
+            return;
         }
+        let done = |s: &System| {
+            let st = s.mem().stats();
+            st.fill_batches + st.low_util_batches + st.greedy_batches
+        };
+        let target = done(&self.system) + batches as u64;
+        self.system.advance_until(DRIVE_CYCLE_CAP, |s| {
+            done(s) >= target || s.mem().buffer().is_full()
+        });
     }
 
-    /// Fills `out` with true-random bytes, blocking (conceptually) until
-    /// enough bits are available. Returns how the call was served.
+    /// Fills `out` with true-random bytes, blocking (in simulated time)
+    /// until the request is served, and returns how it was served. The
+    /// cycles charged are available via
+    /// [`RngDevice::last_latency_cycles`].
     ///
     /// Served bits are discarded from the buffer: no two callers ever see
     /// the same random data (Section 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is empty.
     pub fn getrandom(&mut self, out: &mut [u8]) -> ServeKind {
-        let mut kind = ServeKind::Buffer;
-        let mut i = 0;
-        while i < out.len() {
-            let word = match self.buffer.pop_word() {
-                Some(w) => w,
-                None => {
-                    kind = ServeKind::Generated;
-                    self.refill_batches += 1;
-                    self.mechanism.draw(64)
-                }
-            };
-            let bytes = word.to_le_bytes();
-            let n = (out.len() - i).min(8);
-            out[i..i + n].copy_from_slice(&bytes[..n]);
-            i += n;
+        let seq = self.system.service_submit(0, out.len());
+        let served = self.system.run_service_request(0, seq, DRIVE_CYCLE_CAP);
+        for (chunk, word) in out.chunks_mut(8).zip(&served.words) {
+            chunk.copy_from_slice(&word.to_le_bytes()[..chunk.len()]);
         }
-        kind
+        self.last_latency = served.latency_cycles;
+        served.kind
     }
 
     /// Returns one 64-bit true-random value.
@@ -148,24 +196,50 @@ mod tests {
         let mut dev = device();
         let mut buf = [0u8; 16];
         assert_eq!(dev.getrandom(&mut buf), ServeKind::Generated);
+        assert_eq!(dev.system().mem().stats().demand_generations, 1);
     }
 
     #[test]
     fn filled_buffer_serves_fast_path() {
         let mut dev = device();
         dev.background_fill(64); // 64 batches × 8 bits = 8 words
+        assert!(dev.buffered_bits() >= 8 * 64);
         let mut buf = [0u8; 8];
         assert_eq!(dev.getrandom(&mut buf), ServeKind::Buffer);
     }
 
     #[test]
-    fn served_bits_are_discarded() {
+    fn buffer_hit_is_faster_than_generation() {
+        // The Section 6 timing side channel: the buffered fast path is
+        // observably quicker than an on-demand episode, in real cycles.
         let mut dev = device();
-        dev.background_fill(8); // exactly one word
-        let before = dev.buffered_bits();
         let mut buf = [0u8; 8];
         dev.getrandom(&mut buf);
-        assert_eq!(dev.buffered_bits(), before - 64);
+        let generated = dev.last_latency_cycles();
+        dev.background_fill(64);
+        let kind = dev.getrandom(&mut buf);
+        assert_eq!(kind, ServeKind::Buffer);
+        let buffered = dev.last_latency_cycles();
+        assert!(
+            buffered < generated,
+            "buffer hit {buffered} must beat generation {generated}"
+        );
+    }
+
+    #[test]
+    fn served_bits_are_discarded() {
+        let mut dev = device();
+        dev.background_fill(10_000); // fill to capacity
+        let before = dev.buffered_bits();
+        assert_eq!(before, 16 * 64);
+        // Drain the full buffer in one call: every served word leaves it.
+        let mut buf = [0u8; 16 * 8];
+        dev.getrandom(&mut buf);
+        assert!(
+            dev.buffered_bits() < before,
+            "served words must be discarded (got {} of {before} bits)",
+            dev.buffered_bits()
+        );
     }
 
     #[test]
@@ -192,8 +266,29 @@ mod tests {
     fn background_fill_stops_at_capacity() {
         let mut dev = device();
         dev.background_fill(10_000);
-        assert!(dev.buffered_bits() <= 16 * 64);
+        assert_eq!(dev.buffered_bits(), 16 * 64);
         assert!(dev.generation_batches() < 10_000);
+    }
+
+    #[test]
+    fn unbuffered_device_always_generates() {
+        let mut dev = RngDevice::new(Box::new(DRange::new(3)), 0);
+        dev.background_fill(100); // no-op
+        assert_eq!(dev.buffered_bits(), 0);
+        let mut buf = [0u8; 8];
+        assert_eq!(dev.getrandom(&mut buf), ServeKind::Generated);
+        assert_eq!(dev.getrandom(&mut buf), ServeKind::Generated);
+    }
+
+    #[test]
+    fn device_time_advances_monotonically() {
+        let mut dev = device();
+        let t0 = dev.cpu_cycles();
+        dev.next_u64();
+        let t1 = dev.cpu_cycles();
+        assert!(t1 > t0, "a served request must consume simulated time");
+        dev.next_u64();
+        assert!(dev.cpu_cycles() > t1);
     }
 
     #[test]

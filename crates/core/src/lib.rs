@@ -12,13 +12,19 @@
 //! 2. **RNG-aware scheduling** — the engine's separate RNG request queue,
 //!    OS-priority arbitration rules, and starvation prevention
 //!    (see [`MemSubsystem`]).
-//! 3. **Application interface** — [`RngDevice`], the `getrandom()`-style
-//!    service with the Section 6 security properties.
+//! 3. **Application interface** — the cycle-accurate `getrandom()` service
+//!    layer ([`RngService`], [`ServiceConfig`], [`ArrivalProcess`]): N
+//!    simulated clients issue requests from closed-loop, Poisson, or
+//!    bursty arrival processes, served from the buffer (fast path) or by
+//!    real on-demand generation episodes (slow path), with per-request
+//!    completion cycles recorded ([`ServiceStats`]). [`RngDevice`] is the
+//!    synchronous single-caller front-end on the same path, with the
+//!    Section 6 security properties.
 //!
-//! [`System`] ties cores and memory together and runs multi-programmed
-//! workloads; [`SystemConfig`] selects the design point (RNG-oblivious
-//! baseline, Greedy Idle, DR-STRaNGe, and ablations), with presets matching
-//! every configuration the paper evaluates.
+//! [`System`] ties cores, memory, and service clients together and runs
+//! multi-programmed workloads; [`SystemConfig`] selects the design point
+//! (RNG-oblivious baseline, Greedy Idle, DR-STRaNGe, and ablations), with
+//! presets matching every configuration the paper evaluates.
 //!
 //! # Event-driven fast-forward (the next-event contract)
 //!
@@ -89,15 +95,19 @@ mod config;
 mod engine;
 mod interface;
 mod predictor;
+mod service;
 mod stats;
 mod system;
 
 pub use buffer::RandomNumberBuffer;
 pub use config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SimMode, SystemConfig};
-pub use engine::{AnyPolicy, MemSubsystem};
-pub use interface::{RngDevice, ServeKind};
+pub use engine::{AnyPolicy, Completion, MemSubsystem};
+pub use interface::RngDevice;
 pub use predictor::{
     AlwaysLongPredictor, IdlenessPredictor, Prediction, QlearningPredictor, SimplePredictor,
+};
+pub use service::{
+    ArrivalProcess, ClientSpec, RngService, ServeKind, ServedRequest, ServiceConfig, ServiceStats,
 };
 pub use stats::SystemStats;
 pub use system::{CoreOutcome, RunResult, System};

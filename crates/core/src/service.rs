@@ -1,0 +1,662 @@
+//! The cycle-accurate `getrandom()` service layer (Sections 5.3 and 6).
+//!
+//! The paper's end-to-end claim is that applications reach the DRAM TRNG
+//! through the kernel's `getrandom()` path and that the random number
+//! buffer hides the TRNG's latency from them. This module makes that path
+//! first-class in the simulation: N simulated *clients* issue
+//! `getrandom(bytes)` requests according to configurable arrival processes
+//! ([`ArrivalProcess`]), each request is decomposed into 64-bit words and
+//! threaded through the memory subsystem's real RNG machinery — the buffer
+//! fast path (`buffer_serve_latency`), the RNG queue, arbitration, and
+//! on-demand generation episodes — and every request's completion cycle is
+//! recorded.
+//!
+//! Clients are simulation entities parallel to the trace cores: they are
+//! addressed as *virtual cores* (`CoreId >= SystemConfig::cores`), their
+//! word requests flow through [`crate::MemSubsystem`] exactly like core
+//! `TraceOp::Rng` requests, and their arrival cycles participate in the
+//! fast-forward next-event contract so [`crate::SimMode::FastForward`]
+//! stays bit-identical to [`crate::SimMode::Reference`] under active
+//! request traffic.
+//!
+//! Security property (Section 6): every 64-bit word is drawn once and
+//! served to exactly one request; with value capture enabled the service
+//! retains per-request word values so tests can assert no byte is ever
+//! shared between clients.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use strange_cpu::MemorySystem;
+use strange_dram::RequestId;
+use strange_metrics::{percentile_sorted, Histogram};
+
+use crate::engine::MemSubsystem;
+
+/// How a `getrandom` call was satisfied (observable timing class — the
+/// Section 6 side-channel discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeKind {
+    /// All requested bytes came from the random number buffer (fast path).
+    Buffer,
+    /// At least one generation episode was needed (slow path).
+    Generated,
+}
+
+/// When a client's `getrandom(bytes)` requests arrive.
+///
+/// All gaps and think times are in **CPU cycles** (4 GHz).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Closed loop: one request in flight; the next arrives `think` cycles
+    /// after the previous completes. The first request arrives at cycle 0.
+    ClosedLoop {
+        /// Think time between a completion and the next request.
+        think: u64,
+    },
+    /// Open loop: requests arrive with exponentially distributed
+    /// inter-arrival gaps of the given mean, regardless of completions
+    /// (Poisson process). The first request arrives after one drawn gap.
+    Poisson {
+        /// Mean inter-arrival gap in CPU cycles.
+        mean_gap: u64,
+        /// Seed for the (deterministic) inter-arrival stream.
+        seed: u64,
+    },
+    /// Open loop, bursty: `burst` requests arrive back-to-back every `gap`
+    /// cycles (the paper: "RNG requests are received in bursts and served
+    /// together"). The first burst arrives at cycle 0.
+    Bursty {
+        /// Requests per burst.
+        burst: u32,
+        /// Cycles between burst starts.
+        gap: u64,
+    },
+    /// Externally driven: requests are submitted explicitly through
+    /// [`crate::System::service_submit`] (the interactive `RngDevice`
+    /// front-end). Never blocks run-loop termination.
+    Manual,
+}
+
+/// One simulated `getrandom()` client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientSpec {
+    /// Arrival process for this client's requests.
+    pub arrival: ArrivalProcess,
+    /// Bytes requested per `getrandom` call (must be nonzero; rounded up
+    /// to whole 64-bit words on the wire, as the hardware serves words).
+    pub bytes: usize,
+    /// Total requests this client issues over the run (ignored for
+    /// [`ArrivalProcess::Manual`]; zero means the client is inert).
+    pub requests: u64,
+}
+
+impl ClientSpec {
+    /// A closed-loop client: `requests` calls of `bytes` each, with
+    /// `think` CPU cycles between completion and the next call.
+    pub fn closed_loop(bytes: usize, think: u64, requests: u64) -> Self {
+        ClientSpec {
+            arrival: ArrivalProcess::ClosedLoop { think },
+            bytes,
+            requests,
+        }
+    }
+
+    /// An open-loop Poisson client.
+    pub fn poisson(bytes: usize, mean_gap: u64, requests: u64, seed: u64) -> Self {
+        ClientSpec {
+            arrival: ArrivalProcess::Poisson { mean_gap, seed },
+            bytes,
+            requests,
+        }
+    }
+
+    /// An open-loop bursty client.
+    pub fn bursty(bytes: usize, burst: u32, gap: u64, requests: u64) -> Self {
+        ClientSpec {
+            arrival: ArrivalProcess::Bursty { burst, gap },
+            bytes,
+            requests,
+        }
+    }
+
+    /// An externally driven client (see [`ArrivalProcess::Manual`]).
+    pub fn manual(bytes: usize) -> Self {
+        ClientSpec {
+            arrival: ArrivalProcess::Manual,
+            bytes,
+            requests: 0,
+        }
+    }
+
+    fn words(&self) -> u32 {
+        (self.bytes.div_ceil(8)).max(1) as u32
+    }
+}
+
+/// Service-layer configuration carried by [`crate::SystemConfig`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceConfig {
+    /// The simulated clients (empty disables the service layer).
+    pub clients: Vec<ClientSpec>,
+    /// Record the served 64-bit words per request (tests of the Section 6
+    /// no-duplication property; manual requests always capture, since the
+    /// caller consumes the bytes).
+    pub capture_values: bool,
+}
+
+/// Aggregate statistics of the service layer over one run.
+///
+/// Latencies are end-to-end per request in **CPU cycles**: from the
+/// arrival cycle (including client-side queueing when the service falls
+/// behind an open-loop process) to the delivery of the request's last
+/// word.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceStats {
+    /// Requests generated by the arrival processes (offered load).
+    pub requests_offered: u64,
+    /// Requests fully served.
+    pub requests_completed: u64,
+    /// 64-bit word requests issued into the memory subsystem.
+    pub words_issued: u64,
+    /// Bytes delivered to clients (requested bytes of completed calls).
+    pub bytes_served: u64,
+    /// Words served from the random number buffer (fast path).
+    pub words_from_buffer: u64,
+    /// Words served by on-demand generation (slow path).
+    pub words_generated: u64,
+    /// Completed requests whose every word came from the buffer.
+    pub buffer_hit_requests: u64,
+    /// Cycles on which at least one client had words it could not issue
+    /// (RNG queue back-pressure).
+    pub issue_blocked_cycles: u64,
+    /// Log₂-bucketed latency histogram (constant memory).
+    pub latency: Histogram,
+    /// Exact per-request latencies in completion order.
+    pub latency_log: Vec<u64>,
+}
+
+impl ServiceStats {
+    /// Exact latency percentile (`q` in `0.0..=1.0`); `None` before any
+    /// completion. Sorts a copy of the latency log — for several
+    /// quantiles at once, use [`ServiceStats::latency_percentiles`],
+    /// which sorts only once.
+    pub fn latency_percentile(&self, q: f64) -> Option<u64> {
+        self.latency_percentiles(&[q])[0]
+    }
+
+    /// Exact latency percentiles for each `q` in `qs`, sharing one sort
+    /// of the latency log; entries are `None` before any completion.
+    pub fn latency_percentiles(&self, qs: &[f64]) -> Vec<Option<u64>> {
+        let mut sorted = self.latency_log.clone();
+        sorted.sort_unstable();
+        qs.iter().map(|&q| percentile_sorted(&sorted, q)).collect()
+    }
+
+    /// Mean request latency in CPU cycles.
+    pub fn mean_latency(&self) -> Option<f64> {
+        self.latency.mean()
+    }
+
+    /// Fraction of completed requests served entirely from the buffer.
+    pub fn buffer_hit_rate(&self) -> f64 {
+        if self.requests_completed == 0 {
+            0.0
+        } else {
+            self.buffer_hit_requests as f64 / self.requests_completed as f64
+        }
+    }
+}
+
+/// A fully served request, as handed back to an interactive caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedRequest {
+    /// The served 64-bit words, in issue order (enough to cover the
+    /// requested bytes).
+    pub words: Vec<u64>,
+    /// Fast/slow path classification.
+    pub kind: ServeKind,
+    /// End-to-end latency in CPU cycles.
+    pub latency_cycles: u64,
+}
+
+/// One in-flight `getrandom` request.
+#[derive(Debug, Clone)]
+struct ActiveRequest {
+    arrival: u64,
+    bytes: usize,
+    words_to_issue: u32,
+    outstanding: u32,
+    buffer_words: u32,
+    generated_words: u32,
+    capture: bool,
+    words: Vec<u64>,
+}
+
+/// Per-client runtime state.
+#[derive(Debug, Clone)]
+struct ClientState {
+    spec: ClientSpec,
+    rng: SmallRng,
+    /// Absolute CPU cycle of the next arrival (`None`: no arrival
+    /// scheduled — closed loop waiting on a completion, open loop
+    /// exhausted, or manual).
+    next_arrival: Option<u64>,
+    arrivals: u64,
+    next_seq: u64,
+    /// Seqs with words still to issue, FIFO.
+    issue_queue: VecDeque<u64>,
+    in_flight: HashMap<u64, ActiveRequest>,
+    /// Completed manual requests awaiting pickup.
+    done_manual: HashMap<u64, ServedRequest>,
+}
+
+impl ClientState {
+    fn new(spec: ClientSpec) -> Self {
+        let (seed, next_arrival) = match spec.arrival {
+            ArrivalProcess::ClosedLoop { .. } | ArrivalProcess::Bursty { .. } => {
+                (0, (spec.requests > 0).then_some(0))
+            }
+            ArrivalProcess::Poisson { seed, .. } => (seed, None), // drawn below
+            ArrivalProcess::Manual => (0, None),
+        };
+        let mut state = ClientState {
+            spec,
+            rng: SmallRng::seed_from_u64(seed),
+            next_arrival,
+            arrivals: 0,
+            next_seq: 0,
+            issue_queue: VecDeque::new(),
+            in_flight: HashMap::new(),
+            done_manual: HashMap::new(),
+        };
+        if let ArrivalProcess::Poisson { mean_gap, .. } = state.spec.arrival {
+            if state.spec.requests > 0 {
+                let first = state.draw_gap(mean_gap);
+                state.next_arrival = Some(first);
+            }
+        }
+        state
+    }
+
+    /// One exponential inter-arrival gap (at least 1 cycle).
+    fn draw_gap(&mut self, mean: u64) -> u64 {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let gap = -(1.0 - u).ln() * mean.max(1) as f64;
+        (gap.round() as u64).max(1)
+    }
+
+    /// Whether this client can block run-loop termination.
+    fn targets_met(&self) -> bool {
+        let arrivals_done = match self.spec.arrival {
+            ArrivalProcess::Manual => true,
+            _ => self.arrivals >= self.spec.requests,
+        };
+        arrivals_done && self.issue_queue.is_empty() && self.in_flight.is_empty()
+    }
+
+    fn has_unissued_words(&self) -> bool {
+        !self.issue_queue.is_empty()
+    }
+}
+
+/// The runtime service: owns the clients, maps in-flight word requests
+/// back to them, and accumulates [`ServiceStats`].
+#[derive(Debug, Clone)]
+pub struct RngService {
+    base_core: usize,
+    capture: bool,
+    clients: Vec<ClientState>,
+    /// Word-request id → (client index, request seq).
+    word_map: HashMap<RequestId, (usize, u64)>,
+    /// Served words of completed requests, in completion order (only
+    /// populated when value capture is on).
+    captured: Vec<u64>,
+    stats: ServiceStats,
+}
+
+impl RngService {
+    /// Builds the service from its configuration. `base_core` is the
+    /// number of real trace cores; client *i* issues requests as virtual
+    /// core `base_core + i`.
+    pub(crate) fn new(config: &ServiceConfig, base_core: usize) -> Self {
+        RngService {
+            base_core,
+            capture: config.capture_values,
+            clients: config.clients.iter().cloned().map(ClientState::new).collect(),
+            word_map: HashMap::new(),
+            captured: Vec::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Number of configured clients.
+    pub fn clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether every client has issued its configured requests and all of
+    /// them completed (the run-loop termination condition).
+    pub fn targets_met(&self) -> bool {
+        self.clients.iter().all(ClientState::targets_met)
+    }
+
+    /// Requests currently in flight (arrived, not yet fully served).
+    pub fn in_flight(&self) -> usize {
+        self.clients.iter().map(|c| c.in_flight.len()).sum()
+    }
+
+    /// Whether a specific request has completed (manual clients).
+    pub(crate) fn is_completed(&self, client: usize, seq: u64) -> bool {
+        self.clients[client].done_manual.contains_key(&seq)
+    }
+
+    /// Takes the result of a completed manual request.
+    pub(crate) fn take_completed(&mut self, client: usize, seq: u64) -> Option<ServedRequest> {
+        self.clients[client].done_manual.remove(&seq)
+    }
+
+    /// Submits a manual request of `bytes` at CPU cycle `now`; returns the
+    /// request's sequence number for [`RngService::is_completed`] /
+    /// [`RngService::take_completed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of range, is not a
+    /// [`ArrivalProcess::Manual`] client, or `bytes` is zero.
+    pub(crate) fn submit(&mut self, client: usize, bytes: usize, now: u64) -> u64 {
+        assert!(bytes > 0, "getrandom of zero bytes");
+        let c = &mut self.clients[client];
+        assert!(
+            matches!(c.spec.arrival, ArrivalProcess::Manual),
+            "submit on a non-manual client"
+        );
+        self.stats.requests_offered += 1;
+        let seq = c.next_seq;
+        c.next_seq += 1;
+        c.arrivals += 1;
+        let words = (bytes.div_ceil(8)).max(1) as u32;
+        c.in_flight.insert(
+            seq,
+            ActiveRequest {
+                arrival: now,
+                bytes,
+                words_to_issue: words,
+                outstanding: 0,
+                buffer_words: 0,
+                generated_words: 0,
+                capture: true,
+                words: Vec::with_capacity(words as usize),
+            },
+        );
+        c.issue_queue.push_back(seq);
+        seq
+    }
+
+    /// The earliest CPU cycle at or after `now` at which the service could
+    /// do anything: `Some(now)` while any client holds unissued words
+    /// (issue retries run per-cycle under RNG-queue back-pressure),
+    /// otherwise the earliest scheduled arrival. `None` when fully
+    /// dormant — completions are bounded separately by the memory
+    /// subsystem's own next-event machinery.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        let mut event = u64::MAX;
+        for c in &self.clients {
+            if c.has_unissued_words() {
+                return Some(now);
+            }
+            if let Some(t) = c.next_arrival {
+                event = event.min(t);
+            }
+        }
+        (event != u64::MAX).then(|| event.max(now))
+    }
+
+    /// Advances the service by one CPU cycle: processes due arrivals and
+    /// issues queued word requests into the memory subsystem.
+    pub(crate) fn tick(&mut self, now: u64, mem: &mut MemSubsystem) {
+        let mut blocked = false;
+        for ci in 0..self.clients.len() {
+            self.process_arrivals(ci, now);
+            blocked |= self.issue_words(ci, mem);
+        }
+        if blocked {
+            self.stats.issue_blocked_cycles += 1;
+        }
+    }
+
+    fn process_arrivals(&mut self, ci: usize, now: u64) {
+        while let Some(t) = self.clients[ci].next_arrival {
+            if t > now {
+                break;
+            }
+            let (burst, reschedule) = {
+                let c = &mut self.clients[ci];
+                match c.spec.arrival {
+                    ArrivalProcess::ClosedLoop { .. } => (1, None),
+                    ArrivalProcess::Poisson { mean_gap, .. } => {
+                        let gap = c.draw_gap(mean_gap);
+                        (1, Some(t + gap))
+                    }
+                    ArrivalProcess::Bursty { burst, gap } => (burst.max(1), Some(t + gap.max(1))),
+                    ArrivalProcess::Manual => unreachable!("manual clients never schedule"),
+                }
+            };
+            for _ in 0..burst {
+                let c = &mut self.clients[ci];
+                if c.arrivals >= c.spec.requests {
+                    break;
+                }
+                c.arrivals += 1;
+                let seq = c.next_seq;
+                c.next_seq += 1;
+                let words = c.spec.words();
+                let bytes = c.spec.bytes;
+                let capture = self.capture;
+                c.in_flight.insert(
+                    seq,
+                    ActiveRequest {
+                        arrival: t,
+                        bytes,
+                        words_to_issue: words,
+                        outstanding: 0,
+                        buffer_words: 0,
+                        generated_words: 0,
+                        capture,
+                        words: if capture {
+                            Vec::with_capacity(words as usize)
+                        } else {
+                            Vec::new()
+                        },
+                    },
+                );
+                c.issue_queue.push_back(seq);
+                self.stats.requests_offered += 1;
+            }
+            let c = &mut self.clients[ci];
+            c.next_arrival = if c.arrivals >= c.spec.requests {
+                None
+            } else {
+                reschedule
+            };
+            // Closed loop schedules the next arrival at completion time.
+            if matches!(c.spec.arrival, ArrivalProcess::ClosedLoop { .. }) {
+                break;
+            }
+        }
+    }
+
+    /// Issues as many queued words as the memory subsystem accepts this
+    /// cycle; returns true when back-pressure left words unissued.
+    fn issue_words(&mut self, ci: usize, mem: &mut MemSubsystem) -> bool {
+        let core = self.base_core + ci;
+        while let Some(&seq) = self.clients[ci].issue_queue.front() {
+            loop {
+                let req = self.clients[ci]
+                    .in_flight
+                    .get_mut(&seq)
+                    .expect("queued request is in flight");
+                if req.words_to_issue == 0 {
+                    break;
+                }
+                match mem.try_rng(core) {
+                    Some(id) => {
+                        req.words_to_issue -= 1;
+                        req.outstanding += 1;
+                        self.stats.words_issued += 1;
+                        self.word_map.insert(id, (ci, seq));
+                    }
+                    None => return true,
+                }
+            }
+            self.clients[ci].issue_queue.pop_front();
+        }
+        false
+    }
+
+    /// Whether `core` addresses one of this service's virtual clients.
+    pub(crate) fn owns_core(&self, core: usize) -> bool {
+        core >= self.base_core && core < self.base_core + self.clients.len()
+    }
+
+    /// Delivers one completed word request. `now` is the CPU cycle of
+    /// delivery; `value`/`from_buffer` describe the served word.
+    pub(crate) fn complete(&mut self, id: RequestId, value: u64, from_buffer: bool, now: u64) {
+        let (ci, seq) = self
+            .word_map
+            .remove(&id)
+            .expect("completion for an unknown service request");
+        if from_buffer {
+            self.stats.words_from_buffer += 1;
+        } else {
+            self.stats.words_generated += 1;
+        }
+        let finished = {
+            let req = self.clients[ci]
+                .in_flight
+                .get_mut(&seq)
+                .expect("completion for a finished request");
+            if from_buffer {
+                req.buffer_words += 1;
+            } else {
+                req.generated_words += 1;
+            }
+            if req.capture {
+                req.words.push(value);
+            }
+            req.outstanding -= 1;
+            req.outstanding == 0 && req.words_to_issue == 0
+        };
+        if !finished {
+            return;
+        }
+        let req = self.clients[ci]
+            .in_flight
+            .remove(&seq)
+            .expect("request present");
+        if self.capture {
+            self.captured.extend_from_slice(&req.words);
+        }
+        let latency = now - req.arrival;
+        self.stats.requests_completed += 1;
+        self.stats.bytes_served += req.bytes as u64;
+        self.stats.latency.record(latency);
+        self.stats.latency_log.push(latency);
+        let kind = if req.generated_words == 0 {
+            self.stats.buffer_hit_requests += 1;
+            ServeKind::Buffer
+        } else {
+            ServeKind::Generated
+        };
+        let c = &mut self.clients[ci];
+        match c.spec.arrival {
+            ArrivalProcess::ClosedLoop { think } if c.arrivals < c.spec.requests => {
+                c.next_arrival = Some(now + think);
+            }
+            ArrivalProcess::Manual => {
+                c.done_manual.insert(
+                    seq,
+                    ServedRequest {
+                        words: req.words,
+                        kind,
+                        latency_cycles: latency,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// All served words captured so far, in completion order (empty
+    /// unless `capture_values` was set). Used by the Section 6
+    /// no-duplication tests: every word must appear exactly once across
+    /// all clients.
+    pub fn captured_words(&self) -> &[u64] {
+        &self.captured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_word_rounding() {
+        assert_eq!(ClientSpec::manual(1).words(), 1);
+        assert_eq!(ClientSpec::manual(8).words(), 1);
+        assert_eq!(ClientSpec::manual(9).words(), 2);
+        assert_eq!(ClientSpec::manual(32).words(), 4);
+    }
+
+    #[test]
+    fn poisson_gaps_are_deterministic_and_positive() {
+        let spec = ClientSpec::poisson(8, 500, 10, 42);
+        let mut a = ClientState::new(spec.clone());
+        let mut b = ClientState::new(spec);
+        assert_eq!(a.next_arrival, b.next_arrival);
+        for _ in 0..100 {
+            let (x, y) = (a.draw_gap(500), b.draw_gap(500));
+            assert_eq!(x, y);
+            assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_calibrated() {
+        let mut c = ClientState::new(ClientSpec::poisson(8, 1000, 1, 7));
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| c.draw_gap(1000)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn closed_loop_first_arrival_is_cycle_zero() {
+        let c = ClientState::new(ClientSpec::closed_loop(16, 100, 5));
+        assert_eq!(c.next_arrival, Some(0));
+        assert!(!c.targets_met());
+    }
+
+    #[test]
+    fn inert_and_manual_clients_meet_targets() {
+        assert!(ClientState::new(ClientSpec::manual(8)).targets_met());
+        assert!(ClientState::new(ClientSpec::poisson(8, 100, 0, 1)).targets_met());
+    }
+
+    #[test]
+    fn service_stats_percentiles() {
+        let mut s = ServiceStats::default();
+        for v in [10, 20, 30, 40, 1000] {
+            s.latency_log.push(v);
+            s.latency.record(v);
+        }
+        assert_eq!(s.latency_percentile(0.5), Some(30));
+        assert_eq!(s.latency_percentile(1.0), Some(1000));
+    }
+}

@@ -8,11 +8,12 @@
 //! contention for the co-runners.
 
 use strange_cpu::{Core, CoreStats, FinishSnapshot, TraceSource};
-use strange_dram::{ChannelStats, ConfigError, CoreId, RequestId, CPU_CYCLES_PER_MEM_CYCLE};
+use strange_dram::{ChannelStats, ConfigError, CoreId, CPU_CYCLES_PER_MEM_CYCLE};
 use strange_trng::TrngMechanism;
 
 use crate::config::{SimMode, SystemConfig};
-use crate::engine::MemSubsystem;
+use crate::engine::{Completion, MemSubsystem};
+use crate::service::{RngService, ServedRequest, ServiceStats};
 use crate::stats::SystemStats;
 
 /// How often the run loop re-checks whether every core has finished (in
@@ -61,6 +62,9 @@ pub struct RunResult {
     pub stats: SystemStats,
     /// Per-channel DRAM statistics (commands, idle periods, latencies).
     pub channels: Vec<ChannelStats>,
+    /// `getrandom()` service-layer statistics (request latencies, offered
+    /// vs served counts); `None` when no service clients were configured.
+    pub service: Option<ServiceStats>,
     /// Total CPU cycles simulated.
     pub cpu_cycles: u64,
     /// Total DRAM bus cycles simulated.
@@ -108,9 +112,10 @@ pub struct System {
     config: SystemConfig,
     cores: Vec<Core>,
     mem: MemSubsystem,
+    service: Option<RngService>,
     cpu_cycle: u64,
     skipped_cycles: u64,
-    completions: Vec<(CoreId, RequestId)>,
+    completions: Vec<Completion>,
 }
 
 impl System {
@@ -139,10 +144,13 @@ impl System {
             .map(|(i, t)| Core::new(i, config.core, t, config.instruction_target))
             .collect();
         let mem = MemSubsystem::new(config.clone(), mechanism);
+        let service = (!config.service.clients.is_empty())
+            .then(|| RngService::new(&config.service, config.cores));
         Ok(System {
             config,
             cores,
             mem,
+            service,
             cpu_cycle: 0,
             skipped_cycles: 0,
             completions: Vec::new(),
@@ -187,16 +195,30 @@ impl System {
     }
 
     fn step_one(&mut self) {
-        if self.cpu_cycle.is_multiple_of(CPU_CYCLES_PER_MEM_CYCLE) {
-            let mem_now = self.cpu_cycle / CPU_CYCLES_PER_MEM_CYCLE;
+        let now = self.cpu_cycle;
+        if now.is_multiple_of(CPU_CYCLES_PER_MEM_CYCLE) {
+            let mem_now = now / CPU_CYCLES_PER_MEM_CYCLE;
             self.mem.tick(mem_now, &mut self.completions);
-            for (core, id) in self.completions.drain(..) {
-                self.cores[core].complete(id);
+            for done in self.completions.drain(..) {
+                if done.core < self.cores.len() {
+                    self.cores[done.core].complete(done.id);
+                } else {
+                    let svc = self
+                        .service
+                        .as_mut()
+                        .expect("virtual-core completion without a service");
+                    debug_assert!(svc.owns_core(done.core), "completion core out of range");
+                    let (value, from_buffer) =
+                        done.rng.expect("service requests are RNG requests");
+                    svc.complete(done.id, value, from_buffer, now);
+                }
             }
         }
-        let now = self.cpu_cycle;
         for core in &mut self.cores {
             core.tick(now, &mut self.mem);
+        }
+        if let Some(svc) = &mut self.service {
+            svc.tick(now, &mut self.mem);
         }
         self.cpu_cycle += 1;
     }
@@ -219,6 +241,15 @@ impl System {
                 }
             }
         }
+        // Service-client arrivals are CPU-cycle events; a client holding
+        // unissued words (RNG-queue back-pressure) retries every cycle.
+        if let Some(svc) = &self.service {
+            match svc.next_event_at(now) {
+                Some(t) if t <= now => return now,
+                Some(t) => end = end.min(t),
+                None => {}
+            }
+        }
         // The next memory tick runs at the next multiple of the clock
         // ratio; events there bound the CPU-cycle span.
         let mem_next = self.cpu_cycle.div_ceil(CPU_CYCLES_PER_MEM_CYCLE);
@@ -239,8 +270,14 @@ impl System {
         if target <= now {
             return target;
         }
+        // Service targets can only be met at a live tick (a completion
+        // delivery), never inside a dead span, so an unmet service means
+        // the run cannot end inside the span.
+        if self.service.as_ref().is_some_and(|s| !s.targets_met()) {
+            return target;
+        }
         let span = target - now;
-        let mut last_finish = 0u64;
+        let mut last_finish = now;
         for core in &self.cores {
             match core.finish_within(now, span) {
                 Some(at) => last_finish = last_finish.max(at),
@@ -260,6 +297,15 @@ impl System {
     fn skip_to(&mut self, target: u64) {
         let now = self.cpu_cycle;
         debug_assert!(target > now);
+        // The service has no per-cycle accounting to replay; a dead span
+        // must simply not contain any of its events.
+        debug_assert!(
+            self.service
+                .as_ref()
+                .and_then(|s| s.next_event_at(now))
+                .is_none_or(|t| t >= target),
+            "skip_to past a service arrival"
+        );
         // Memory ticks that fall inside the skipped CPU span.
         let mem_lo = now.div_ceil(CPU_CYCLES_PER_MEM_CYCLE);
         let mem_hi = target.div_ceil(CPU_CYCLES_PER_MEM_CYCLE);
@@ -287,6 +333,7 @@ impl System {
             // the reported cycle totals agree.
             if self.cpu_cycle.is_multiple_of(FINISH_CHECK_PERIOD)
                 && self.cores.iter().all(Core::is_finished)
+                && self.service.as_ref().is_none_or(RngService::targets_met)
             {
                 break;
             }
@@ -311,7 +358,8 @@ impl System {
             }
         }
         self.mem.finish();
-        let hit_cycle_limit = !self.cores.iter().all(Core::is_finished);
+        let hit_cycle_limit = !self.cores.iter().all(Core::is_finished)
+            || self.service.as_ref().is_some_and(|s| !s.targets_met());
         RunResult {
             cores: self
                 .cores
@@ -323,10 +371,84 @@ impl System {
                 .collect(),
             stats: self.mem.stats().clone(),
             channels: self.mem.channels().iter().map(|c| c.stats().clone()).collect(),
+            service: self.service.as_ref().map(|s| s.stats().clone()),
             cpu_cycles: self.cpu_cycle,
             mem_cycles: self.cpu_cycle / CPU_CYCLES_PER_MEM_CYCLE,
             hit_cycle_limit,
         }
+    }
+
+    /// The `getrandom()` service layer, when configured.
+    pub fn service(&self) -> Option<&RngService> {
+        self.service.as_ref()
+    }
+
+    /// Submits a `getrandom(bytes)` request on a manual service client and
+    /// returns its sequence number (see
+    /// [`System::run_service_request`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no service is configured, `client` is out of range or
+    /// not a manual client, or `bytes` is zero.
+    pub fn service_submit(&mut self, client: usize, bytes: usize) -> u64 {
+        let now = self.cpu_cycle;
+        self.service
+            .as_mut()
+            .expect("no service configured")
+            .submit(client, bytes, now)
+    }
+
+    /// Advances the system (honoring the configured [`SimMode`]) until
+    /// `stop` returns true or `max_cycles` CPU cycles elapse; returns the
+    /// cycles advanced. This is the incremental counterpart of
+    /// [`System::run`] for interactive service front-ends.
+    pub fn advance_until(&mut self, max_cycles: u64, mut stop: impl FnMut(&System) -> bool) -> u64 {
+        let start = self.cpu_cycle;
+        let limit = start.saturating_add(max_cycles);
+        let fast = self.config.sim_mode == SimMode::FastForward;
+        while self.cpu_cycle < limit && !stop(self) {
+            if fast {
+                let target = self.next_event(limit);
+                if target > self.cpu_cycle {
+                    self.skip_to(target);
+                } else {
+                    self.step_one();
+                }
+            } else {
+                self.step_one();
+            }
+        }
+        self.cpu_cycle - start
+    }
+
+    /// Drives the simulation until the manual request `(client, seq)`
+    /// completes, then returns its served words, timing class, and
+    /// end-to-end latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no service is configured or the request does not
+    /// complete within `max_cycles` (a pathological configuration — e.g.
+    /// a zero-channel system; the memory subsystem otherwise always makes
+    /// progress on queued RNG requests).
+    pub fn run_service_request(
+        &mut self,
+        client: usize,
+        seq: u64,
+        max_cycles: u64,
+    ) -> ServedRequest {
+        assert!(self.service.is_some(), "no service configured");
+        self.advance_until(max_cycles, |s| {
+            s.service
+                .as_ref()
+                .is_some_and(|svc| svc.is_completed(client, seq))
+        });
+        self.service
+            .as_mut()
+            .expect("checked above")
+            .take_completed(client, seq)
+            .expect("service request did not complete within the cycle cap")
     }
 }
 

@@ -231,6 +231,10 @@ pub struct ChannelController<P> {
     /// Memoized earliest-ready cycle over the queue the controller would
     /// serve (`u64::MAX` when that queue is empty); `None` when stale.
     queue_ready_cache: Cell<Option<u64>>,
+    /// Monotonic mutation counter, bumped at every probe-invalidation
+    /// point. Engine-level probe caches key on the sum of these to detect
+    /// channel-state changes with one pointer read per channel.
+    probe_epoch: Cell<u64>,
 }
 
 impl<P: SchedulerPolicy> ChannelController<P> {
@@ -265,6 +269,7 @@ impl<P: SchedulerPolicy> ChannelController<P> {
             readiness_buf: Vec::with_capacity(DEFAULT_QUEUE_CAPACITY),
             probe_cache_enabled: true,
             queue_ready_cache: Cell::new(None),
+            probe_epoch: Cell::new(0),
         }
     }
 
@@ -283,6 +288,15 @@ impl<P: SchedulerPolicy> ChannelController<P> {
     /// activity, RNG mode preparation, and write-drain flag flips.
     fn invalidate_probe(&self) {
         self.queue_ready_cache.set(None);
+        self.probe_epoch.set(self.probe_epoch.get().wrapping_add(1));
+    }
+
+    /// Monotonic counter of probe-relevant state mutations (queue content,
+    /// command issue, refresh activity, RNG-mode preparation, drain-flag
+    /// flips). Unchanged epoch ⇒ the channel's scheduling-relevant state
+    /// is unchanged; higher layers key their own probe memoizations on it.
+    pub fn probe_epoch(&self) -> u64 {
+        self.probe_epoch.get()
     }
 
     /// Applies the write-drain hysteresis update from the current queue

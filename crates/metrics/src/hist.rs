@@ -1,0 +1,264 @@
+//! Latency histograms and percentile estimation for the service layer.
+//!
+//! The `getrandom()` service layer records one end-to-end latency per
+//! request. Two complementary tools summarize those:
+//!
+//! * [`Histogram`] — a constant-memory log₂-bucketed histogram for
+//!   long-running load experiments (tail quantiles are approximate, with
+//!   relative error bounded by the bucket width);
+//! * [`percentile_sorted`] — exact percentiles over a sorted sample vector
+//!   (the service keeps the full latency log at bench scales, so reports
+//!   use the exact path and the histogram cross-checks it).
+
+/// Number of log₂ buckets: covers the full `u64` range (bucket *i* holds
+/// values whose bit length is *i*, i.e. `[2^(i-1), 2^i)` for `i >= 1`).
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in cycles).
+///
+/// # Examples
+///
+/// ```
+/// use strange_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 40, 80, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), Some(10));
+/// assert_eq!(h.max(), Some(1000));
+/// // The median falls in the bucket containing 40.
+/// let p50 = h.quantile(0.50).unwrap();
+/// assert!((32..64).contains(&p50), "p50 bucket estimate: {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of the samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the midpoint of the bucket
+    /// containing the quantile rank, clamped to the observed min/max so
+    /// single-bucket distributions report exactly. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        // Rank of the quantile sample, nearest-rank convention.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = match i {
+                    0 => 0,
+                    // Bucket 64 holds values with the top bit set; its
+                    // upper edge is u64::MAX (1 << 64 would overflow).
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                let mid = lo + (hi - lo) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact `q`-quantile of an ascending-sorted sample slice, nearest-rank
+/// convention. `None` when empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `0.0..=1.0` or `sorted` is not ascending
+/// (debug builds only for the ordering check).
+///
+/// # Examples
+///
+/// ```
+/// use strange_metrics::percentile_sorted;
+///
+/// let xs = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+/// assert_eq!(percentile_sorted(&xs, 0.50), Some(5));
+/// assert_eq!(percentile_sorted(&xs, 0.99), Some(10));
+/// assert_eq!(percentile_sorted(&xs, 0.0), Some(1));
+/// ```
+pub fn percentile_sorted(sorted: &[u64], q: f64) -> Option<u64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(37);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(37));
+        }
+        assert_eq!(h.mean(), Some(37.0));
+    }
+
+    #[test]
+    fn top_bucket_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.max(), Some(u64::MAX));
+        let q = h.quantile(0.99).unwrap();
+        assert!(q >= 1u64 << 63, "top-bucket quantile in range: {q}");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(5000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(5000));
+    }
+
+    #[test]
+    fn percentile_sorted_nearest_rank() {
+        assert_eq!(percentile_sorted(&[], 0.5), None);
+        assert_eq!(percentile_sorted(&[7], 0.5), Some(7));
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_sorted(&xs, 0.50), Some(50));
+        assert_eq!(percentile_sorted(&xs, 0.95), Some(95));
+        assert_eq!(percentile_sorted(&xs, 0.99), Some(99));
+        assert_eq!(percentile_sorted(&xs, 1.0), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn out_of_range_quantile_rejected() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.quantile(1.5);
+    }
+
+    proptest! {
+        /// The histogram quantile brackets the exact percentile to within
+        /// its bucket (a factor-of-2 band).
+        #[test]
+        fn quantile_brackets_exact(mut xs in proptest::collection::vec(1u64..1_000_000, 1..200)) {
+            let mut h = Histogram::new();
+            for &x in &xs {
+                h.record(x);
+            }
+            xs.sort_unstable();
+            for q in [0.5, 0.95, 0.99] {
+                let exact = percentile_sorted(&xs, q).unwrap();
+                let approx = h.quantile(q).unwrap();
+                prop_assert!(approx <= exact * 2, "approx {approx} exact {exact}");
+                prop_assert!(exact <= approx.saturating_mul(2).max(1), "approx {approx} exact {exact}");
+            }
+        }
+
+        /// Count/sum/extremes are exact regardless of bucketing.
+        #[test]
+        fn counts_are_exact(xs in proptest::collection::vec(any::<u64>(), 1..100)) {
+            let mut h = Histogram::new();
+            for &x in &xs {
+                h.record(x);
+            }
+            prop_assert_eq!(h.count(), xs.len() as u64);
+            prop_assert_eq!(h.min(), xs.iter().copied().min());
+            prop_assert_eq!(h.max(), xs.iter().copied().max());
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //!   applications of a workload ([`unfairness_index`], [`MemSlowdown`]).
 //! * **Buffer serve rate** and **predictor accuracy**, simple ratios
 //!   ([`Ratio`], [`ConfusionCounts`]).
+//! * **Service-latency distributions** for the `getrandom()` service layer:
+//!   log₂-bucketed [`Histogram`]s and exact percentiles
+//!   ([`percentile_sorted`]) for p50/p95/p99 reporting.
 //!
 //! Figures 2, 5, and 18 are box-and-whiskers plots; [`boxplot`] computes the
 //! interquartile statistics (median, quartiles, whiskers, outliers) with the
@@ -37,11 +40,13 @@ pub mod boxplot;
 pub mod table;
 
 mod error;
+mod hist;
 mod means;
 mod perf;
 
 pub use boxplot::BoxStats;
 pub use error::MetricsError;
+pub use hist::{percentile_sorted, Histogram};
 pub use means::{arithmetic_mean, geometric_mean, harmonic_mean};
 pub use perf::{
     accuracy, normalized_value, slowdown, unfairness_index, weighted_speedup, ConfusionCounts,

@@ -1,0 +1,183 @@
+//! Service-client populations for the `getrandom()` service layer.
+//!
+//! The paper's RNG *benchmarks* ([`crate::RngBenchmark`]) model
+//! random-hungry applications as instruction traces; these generators
+//! model the complementary view — the kernel-side request stream that N
+//! concurrent clients offer to the DR-STRaNGe service layer
+//! (`strange_core::RngService`). Each preset builds a deterministic
+//! client population at a named offered load, ready to drop into
+//! `SystemConfig::service`.
+//!
+//! Offered-load arithmetic assumes the paper's 4 GHz CPU clock: a client
+//! issuing `bytes`-byte requests every `gap` cycles offers
+//! `bytes × 8 × 4e9 / gap` bits/s.
+
+use strange_core::{ClientSpec, ServiceConfig};
+
+use crate::synth::seed_for;
+
+/// CPU clock in cycles per microsecond (4 GHz, paper Table 1).
+const CPU_CYCLES_PER_US: u64 = 4_000;
+
+/// Mean inter-arrival gap (CPU cycles per client) for a population of
+/// `clients` clients to offer `mbps` Mb/s of `bytes`-byte requests in
+/// aggregate.
+///
+/// # Examples
+///
+/// ```
+/// use strange_workloads::gap_for_offered_mbps;
+///
+/// // 4 clients × 32-byte requests at 1024 Mb/s aggregate:
+/// // each client offers 256 Mb/s = one 256-bit request per microsecond.
+/// assert_eq!(gap_for_offered_mbps(4, 32, 1024), 4_000);
+/// ```
+///
+/// # Panics
+///
+/// Panics when any argument is zero.
+pub fn gap_for_offered_mbps(clients: usize, bytes: usize, mbps: u32) -> u64 {
+    assert!(clients > 0 && bytes > 0 && mbps > 0, "arguments must be nonzero");
+    let bits_per_request = bytes as u64 * 8;
+    // gap = clients × bits/request × cycles-per-second / offered bits/sec.
+    let gap = clients as u64 * bits_per_request * CPU_CYCLES_PER_US * 1_000_000
+        / (mbps as u64 * 1_000_000);
+    gap.max(1)
+}
+
+/// A Poisson open-loop population: `clients` independent clients whose
+/// aggregate offered load is `mbps` Mb/s of `bytes`-byte requests, each
+/// issuing `requests` requests. Seeds derive from `instance`, so equal
+/// arguments give bit-identical arrival streams.
+pub fn poisson_service(
+    clients: usize,
+    bytes: usize,
+    mbps: u32,
+    requests: u64,
+    instance: u64,
+) -> ServiceConfig {
+    let gap = gap_for_offered_mbps(clients, bytes, mbps);
+    ServiceConfig {
+        clients: (0..clients)
+            .map(|i| {
+                // Hash instance and client index independently and
+                // combine: a plain `instance ^ i` collides for adjacent
+                // instances (instance 6 client 0 == instance 7 client 1),
+                // silently correlating populations meant to be
+                // independent.
+                let seed = seed_for("service-poisson", instance)
+                    .wrapping_add(seed_for("service-client", i as u64));
+                ClientSpec::poisson(bytes, gap, requests, seed)
+            })
+            .collect(),
+        capture_values: false,
+    }
+}
+
+/// A closed-loop population: `clients` clients, each with one request in
+/// flight and `think` cycles between completion and the next call.
+pub fn closed_loop_service(
+    clients: usize,
+    bytes: usize,
+    think: u64,
+    requests: u64,
+) -> ServiceConfig {
+    ServiceConfig {
+        clients: (0..clients)
+            .map(|_| ClientSpec::closed_loop(bytes, think, requests))
+            .collect(),
+        capture_values: false,
+    }
+}
+
+/// A bursty open-loop population: each client issues `burst` back-to-back
+/// requests every `gap` cycles (the paper's `getrandom()`-for-key-material
+/// shape). Client *i* uses `gap + i`, so the population's bursts drift
+/// apart instead of phase-locking on the same cycles.
+pub fn bursty_service(
+    clients: usize,
+    bytes: usize,
+    burst: u32,
+    gap: u64,
+    requests: u64,
+) -> ServiceConfig {
+    ServiceConfig {
+        clients: (0..clients)
+            .map(|i| ClientSpec::bursty(bytes, burst, gap + i as u64, requests))
+            .collect(),
+        capture_values: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_arithmetic_matches_offered_load() {
+        // One client, 8-byte requests, 256 Mb/s: 64 bits per request,
+        // 4e9 cycles/s → one request per 1000 cycles.
+        assert_eq!(gap_for_offered_mbps(1, 8, 256), 1_000);
+        // Doubling the clients doubles each client's gap.
+        assert_eq!(gap_for_offered_mbps(2, 8, 256), 2_000);
+        // Doubling the load halves the gap.
+        assert_eq!(gap_for_offered_mbps(1, 8, 512), 500);
+    }
+
+    #[test]
+    fn poisson_population_is_deterministic() {
+        let a = poisson_service(4, 32, 1024, 100, 7);
+        let b = poisson_service(4, 32, 1024, 100, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.clients.len(), 4);
+        // Distinct clients get distinct seeds.
+        let c = poisson_service(4, 32, 1024, 100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn adjacent_instances_share_no_client_seeds() {
+        // The natural sweep `instance = 0..N` must produce fully
+        // independent populations: no (instance, client) seed may repeat.
+        let mut seeds = std::collections::HashSet::new();
+        for instance in 0..8u64 {
+            for c in &poisson_service(4, 32, 1024, 10, instance).clients {
+                if let strange_core::ArrivalProcess::Poisson { seed, .. } = c.arrival {
+                    assert!(seeds.insert(seed), "seed collision at instance {instance}");
+                } else {
+                    panic!("poisson expected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_population_shape() {
+        let cfg = closed_loop_service(3, 16, 500, 50);
+        assert_eq!(cfg.clients.len(), 3);
+        for c in &cfg.clients {
+            assert_eq!(c.bytes, 16);
+            assert_eq!(c.requests, 50);
+        }
+    }
+
+    #[test]
+    fn bursty_population_staggers_gaps() {
+        let cfg = bursty_service(3, 8, 8, 10_000, 64);
+        let gaps: Vec<u64> = cfg
+            .clients
+            .iter()
+            .map(|c| match c.arrival {
+                strange_core::ArrivalProcess::Bursty { gap, .. } => gap,
+                _ => panic!("bursty expected"),
+            })
+            .collect();
+        assert_eq!(gaps, vec![10_000, 10_001, 10_002]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_load_rejected() {
+        gap_for_offered_mbps(1, 8, 0);
+    }
+}

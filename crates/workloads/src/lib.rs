@@ -1,6 +1,8 @@
 //! Workload infrastructure for the DR-STRaNGe reproduction: the 43-app
 //! benchmark catalog, synthetic trace generation, the synthetic RNG
-//! benchmarks, and every multi-programmed mix the paper evaluates.
+//! benchmarks, every multi-programmed mix the paper evaluates, and
+//! service-client populations (closed-loop / Poisson / bursty arrival
+//! processes) for the cycle-accurate `getrandom()` service layer.
 //!
 //! The paper's applications come from SPEC CPU2006, TPC, STREAM,
 //! MediaBench, and YCSB via 200 M-instruction SimPoint traces; those traces
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod apps;
+mod clients;
 mod mix;
 mod rng_app;
 mod synth;
@@ -38,6 +41,9 @@ pub use apps::{
 pub use mix::{
     eval_pairs, four_core_groups, motivation_pairs, multicore_class_groups, nonrng_class_groups,
     AppRef, Workload,
+};
+pub use clients::{
+    bursty_service, closed_loop_service, gap_for_offered_mbps, poisson_service,
 };
 pub use rng_app::{
     rng_gap_for_throughput, RngBenchmark, RNG_BURST_REQUESTS, RNG_THROUGHPUTS_MBPS,

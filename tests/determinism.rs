@@ -127,6 +127,10 @@ mod fastforward {
             assert_eq!(f.end_stats, r.end_stats, "{label}: core {i} end stats");
         }
         assert_eq!(fast_values, ref_values, "{label}: served random values");
+        assert_eq!(
+            fast.service, reference.service,
+            "{label}: service stats (incl. latency log)"
+        );
         fast_skipped as f64 / fast.cpu_cycles as f64
     }
 
@@ -221,6 +225,99 @@ mod fastforward {
                 skipped > 0.5,
                 "{label}: skipped fraction {skipped:.2} too low for an idle-dominated run"
             );
+        }
+    }
+
+    /// Service layer active: every arrival process must stay bit-identical
+    /// across simulation modes (arrivals are CPU-cycle events the
+    /// fast-forward next-event contract now has to honor).
+    mod service {
+        use super::*;
+        use dr_strange::core::{ServiceConfig, SystemConfig};
+        use dr_strange::workloads::{
+            bursty_service, closed_loop_service, poisson_service,
+        };
+
+        fn with_requests(mut cfg: ServiceConfig, log: bool) -> ServiceConfig {
+            cfg.capture_values = log;
+            cfg
+        }
+
+        #[test]
+        fn closed_loop_clients_with_trace_cores() {
+            let wl = &eval_pairs(5120)[10];
+            let cfg = base(SystemConfig::dr_strange(2))
+                .with_service(with_requests(closed_loop_service(3, 32, 400, 60), true));
+            assert_modes_identical(cfg, wl, "svc-closed-loop");
+        }
+
+        #[test]
+        fn poisson_clients_with_trace_cores() {
+            let wl = &eval_pairs(5120)[4];
+            let cfg = base(SystemConfig::dr_strange(2))
+                .with_service(with_requests(poisson_service(4, 16, 2048, 80, 11), true));
+            assert_modes_identical(cfg, wl, "svc-poisson");
+        }
+
+        #[test]
+        fn bursty_clients_with_oblivious_baseline() {
+            // Service requests ride the read queues under Oblivious
+            // routing; bursts exercise the demand-batching path.
+            let wl = &eval_pairs(5120)[7];
+            let cfg = base(SystemConfig::rng_oblivious(2))
+                .with_service(with_requests(bursty_service(2, 24, 8, 9000, 64), true));
+            assert_modes_identical(cfg, wl, "svc-bursty-oblivious");
+        }
+
+        #[test]
+        fn pure_service_system_without_cores() {
+            // Zero trace cores: the run is driven entirely by client
+            // arrivals and ends when the service targets are met.
+            let cfg = SystemConfig::dr_strange(0)
+                .with_service(with_requests(poisson_service(4, 32, 1024, 120, 3), true));
+            let run = |mode: SimMode| {
+                let mut sys = System::new(
+                    cfg.clone().with_sim_mode(mode),
+                    Vec::new(),
+                    Box::new(DRange::new(3)),
+                )
+                .expect("valid configuration");
+                let res = sys.run();
+                (res, sys.skipped_cycles())
+            };
+            let (reference, ref_skipped) = run(SimMode::Reference);
+            let (fast, fast_skipped) = run(SimMode::FastForward);
+            assert_eq!(ref_skipped, 0);
+            assert!(fast_skipped > 0, "pure-service run must fast-forward");
+            assert!(!fast.hit_cycle_limit, "targets must be met");
+            assert_eq!(fast.cpu_cycles, reference.cpu_cycles);
+            assert_eq!(fast.stats, reference.stats);
+            assert_eq!(fast.channels, reference.channels);
+            assert_eq!(fast.service, reference.service);
+            let svc = fast.service.expect("service stats");
+            assert_eq!(svc.requests_completed, 4 * 120);
+            assert_eq!(svc.latency_log.len(), 4 * 120);
+        }
+
+        #[test]
+        fn service_with_probe_cache_off_is_bit_identical() {
+            // The engine fill-probe memoization must be a pure
+            // memoization under service traffic too.
+            let cfg = base(SystemConfig::dr_strange(2))
+                .with_service(with_requests(closed_loop_service(2, 32, 300, 50), true));
+            let wl = &eval_pairs(5120)[0];
+            let run = |probe_cache: bool| {
+                let cfg = cfg.clone().with_probe_cache(probe_cache);
+                System::new(cfg, wl.traces(), Box::new(DRange::new(3)))
+                    .expect("valid configuration")
+                    .run()
+            };
+            let on = run(true);
+            let off = run(false);
+            assert_eq!(on.cpu_cycles, off.cpu_cycles);
+            assert_eq!(on.stats, off.stats);
+            assert_eq!(on.channels, off.channels);
+            assert_eq!(on.service, off.service);
         }
     }
 
