@@ -1,0 +1,59 @@
+//! Embeds a fingerprint of the simulator's source code into the bench
+//! crate as `STRANGE_CODE_FINGERPRINT`.
+//!
+//! The on-disk alone-baseline cache (`src/diskcache.rs`) uses it as the
+//! default code-version tag: any edit to a crate that can influence a
+//! simulation result rebuilds this crate with a new fingerprint, so a
+//! freshly edited simulator can never read baselines computed by older
+//! code. The same fingerprint is embedded in every bench binary built
+//! from the same sources, which is what lets the figure targets share
+//! one cache namespace. `STRANGE_CACHE_TAG` still overrides it (CI pins
+//! the commit SHA).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Every workspace crate whose code can influence an alone-run result.
+const SIM_CRATES: [&str; 8] = [
+    "bench", "core", "cpu", "dram", "energy", "metrics", "trng", "workloads",
+];
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("cargo sets this"));
+    let crates = manifest.parent().expect("crates/ parent dir");
+    let mut files = Vec::new();
+    for krate in SIM_CRATES {
+        let src = crates.join(krate).join("src");
+        // Re-run on file additions/removals too (directory mtime).
+        println!("cargo:rerun-if-changed={}", src.display());
+        collect(&src, &mut files);
+    }
+    files.sort();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for file in &files {
+        println!("cargo:rerun-if-changed={}", file.display());
+        // Hash the workspace-relative name and the contents (FNV-1a),
+        // so renames and edits both change the fingerprint.
+        let rel = file.strip_prefix(crates).unwrap_or(file);
+        let contents = fs::read(file).unwrap_or_default();
+        for b in rel.to_string_lossy().bytes().chain([0u8]).chain(contents) {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    println!("cargo:rustc-env=STRANGE_CODE_FINGERPRINT={hash:016x}");
+}

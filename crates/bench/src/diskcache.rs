@@ -1,0 +1,291 @@
+//! Content-keyed on-disk cache for alone-run baselines.
+//!
+//! Every figure target needs the same ~44 "application running alone on
+//! the baseline" simulations to normalize slowdowns; within one process
+//! the [`crate::Harness`] memoizes them, but each `cargo bench --bench
+//! figNN` invocation is a fresh process that recomputed them all. This
+//! cache persists [`crate::AloneRun`]s across processes, keyed by the
+//! full simulation content key — application label, mechanism, per-core
+//! instruction target, and a *code-version tag* — so a stale binary can
+//! never serve a result computed by different code.
+//!
+//! * Location: `$STRANGE_ALONE_CACHE_DIR`, default `target/alone-cache`.
+//!   Set `STRANGE_ALONE_CACHE=0` (or `off`) to disable.
+//! * Tag: `$STRANGE_CACHE_TAG`, default a build-time fingerprint of the
+//!   simulator crates' sources (`build.rs`) — editing any code that can
+//!   influence a result starts a fresh namespace automatically. CI pins
+//!   the commit hash instead.
+//! * Format: one small JSON file per key. Floats are stored as exact
+//!   `f64::to_bits` values — a cache hit is **bit-identical** to the
+//!   recompute (asserted in `tests/disk_cache.rs`). The key fields are
+//!   stored alongside and verified on read, so a file-name collision can
+//!   only miss, never serve a wrong result. Writes go through a
+//!   temp-file rename, so concurrent bench processes race benignly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::AloneRun;
+
+/// The full content key of one alone-run baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AloneKeyFields<'a> {
+    /// Application label (catalog name or RNG-benchmark label).
+    pub app: &'a str,
+    /// Mechanism key (`Mech` debug form).
+    pub mech: &'a str,
+    /// Per-core instruction target of the run.
+    pub instr: u64,
+    /// Code-version tag.
+    pub tag: &'a str,
+}
+
+impl AloneKeyFields<'_> {
+    /// File name for this key: readable prefix + FNV-1a content hash
+    /// (collisions are detected by the stored key fields, not assumed
+    /// away).
+    fn file_name(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in [self.app, self.mech, self.tag, &self.instr.to_string()] {
+            for b in part.bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= 0x1f;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let safe: String = self
+            .app
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        format!("alone-{safe}-{hash:016x}.json")
+    }
+}
+
+/// The on-disk cache handle (one per [`crate::Harness`]).
+#[derive(Debug)]
+pub struct AloneDiskCache {
+    dir: PathBuf,
+    tag: String,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AloneDiskCache {
+    /// Opens a cache in `dir` with the given code-version tag (the
+    /// directory is created lazily on the first store).
+    pub fn new(dir: impl Into<PathBuf>, tag: impl Into<String>) -> Self {
+        AloneDiskCache {
+            dir: dir.into(),
+            tag: tag.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The environment-configured cache: `STRANGE_ALONE_CACHE_DIR`
+    /// (default `target/alone-cache` of the workspace), tag
+    /// `STRANGE_CACHE_TAG` (default: the build-time source fingerprint
+    /// of the simulator crates, so code edits auto-invalidate); `None`
+    /// when `STRANGE_ALONE_CACHE` is `0`/`off`.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("STRANGE_ALONE_CACHE") {
+            Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => return None,
+            _ => {}
+        }
+        // Bench/test binaries run with CWD = the package root, so anchor
+        // the default at the workspace target dir rather than a relative
+        // path that would sprout a second target/ under crates/bench.
+        let dir = std::env::var("STRANGE_ALONE_CACHE_DIR").unwrap_or_else(|_| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/alone-cache").to_string()
+        });
+        let tag = std::env::var("STRANGE_CACHE_TAG")
+            .unwrap_or_else(|_| concat!("src-", env!("STRANGE_CODE_FINGERPRINT")).to_string());
+        Some(AloneDiskCache::new(dir, tag))
+    }
+
+    /// The cache's code-version tag.
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// Cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Disk hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Disk misses (computations that went to the simulator) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Looks up a baseline; verifies the stored key fields before
+    /// trusting the payload. Any malformed or mismatched file is a miss.
+    pub fn load(&self, app: &str, mech: &str, instr: u64) -> Option<AloneRun> {
+        let key = AloneKeyFields {
+            app,
+            mech,
+            instr,
+            tag: &self.tag,
+        };
+        let text = fs::read_to_string(self.dir.join(key.file_name())).ok();
+        let run = text.as_deref().and_then(|t| parse_entry(t, &key));
+        match run {
+            Some(run) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(run)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly computed baseline (best-effort: I/O failures are
+    /// ignored — the cache is an accelerator, not a source of truth).
+    pub fn store(&self, app: &str, mech: &str, instr: u64, run: &AloneRun) {
+        let key = AloneKeyFields {
+            app,
+            mech,
+            instr,
+            tag: &self.tag,
+        };
+        if fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let body = render_entry(&key, run);
+        let path = self.dir.join(key.file_name());
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}",
+            key.file_name(),
+            std::process::id()
+        ));
+        if fs::write(&tmp, body).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+    }
+}
+
+fn render_entry(key: &AloneKeyFields<'_>, run: &AloneRun) -> String {
+    format!(
+        "{{\"app\": {:?}, \"mech\": {:?}, \"instr\": {}, \"tag\": {:?}, \
+         \"exec_cycles\": {}, \"mcpi_bits\": {}, \"ipc_bits\": {}, \
+         \"mcpi\": {:.6}, \"ipc\": {:.6}}}\n",
+        key.app,
+        key.mech,
+        key.instr,
+        key.tag,
+        run.exec_cycles,
+        run.mcpi.to_bits(),
+        run.ipc.to_bits(),
+        run.mcpi, // human-readable duplicates; the _bits fields are load-bearing
+        run.ipc,
+    )
+}
+
+/// Extracts `"field": <raw>` from the flat JSON entry (no nesting, no
+/// escapes beyond what `{:?}` produces for the label strings).
+fn field_raw<'a>(text: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\": ");
+    let start = text.find(&tag)? + tag.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn field_str<'a>(text: &'a str, name: &str) -> Option<&'a str> {
+    let raw = field_raw(text, name)?;
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn parse_entry(text: &str, key: &AloneKeyFields<'_>) -> Option<AloneRun> {
+    if field_str(text, "app")? != key.app
+        || field_str(text, "mech")? != key.mech
+        || field_str(text, "tag")? != key.tag
+        || field_raw(text, "instr")?.parse::<u64>().ok()? != key.instr
+    {
+        return None;
+    }
+    Some(AloneRun {
+        exec_cycles: field_raw(text, "exec_cycles")?.parse().ok()?,
+        mcpi: f64::from_bits(field_raw(text, "mcpi_bits")?.parse().ok()?),
+        ipc: f64::from_bits(field_raw(text, "ipc_bits")?.parse().ok()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AloneRun {
+        AloneRun {
+            exec_cycles: 123_456,
+            mcpi: 1.519_283_746_500_1,
+            ipc: 0.912_837_465_000_3,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_bit_exactly() {
+        let key = AloneKeyFields {
+            app: "mcf",
+            mech: "DRange",
+            instr: 200_000,
+            tag: "v0.1.0",
+        };
+        let text = render_entry(&key, &sample());
+        let run = parse_entry(&text, &key).expect("parses");
+        assert_eq!(run.exec_cycles, sample().exec_cycles);
+        assert_eq!(run.mcpi.to_bits(), sample().mcpi.to_bits());
+        assert_eq!(run.ipc.to_bits(), sample().ipc.to_bits());
+    }
+
+    #[test]
+    fn mismatched_key_fields_are_misses() {
+        let key = AloneKeyFields {
+            app: "mcf",
+            mech: "DRange",
+            instr: 200_000,
+            tag: "v0.1.0",
+        };
+        let text = render_entry(&key, &sample());
+        for wrong in [
+            AloneKeyFields { app: "lbm", ..key.clone() },
+            AloneKeyFields { mech: "Quac", ..key.clone() },
+            AloneKeyFields { instr: 60_000, ..key.clone() },
+            AloneKeyFields { tag: "v9", ..key.clone() },
+        ] {
+            assert!(parse_entry(&text, &wrong).is_none(), "{wrong:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_files_are_misses() {
+        let key = AloneKeyFields {
+            app: "mcf",
+            mech: "DRange",
+            instr: 1,
+            tag: "t",
+        };
+        for garbage in ["", "{}", "not json", "{\"app\": \"mcf\"}"] {
+            assert!(parse_entry(garbage, &key).is_none());
+        }
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_files() {
+        let a = AloneKeyFields { app: "mcf", mech: "DRange", instr: 1, tag: "t" };
+        let b = AloneKeyFields { app: "mcf", mech: "DRange", instr: 2, tag: "t" };
+        let c = AloneKeyFields { app: "mcf", mech: "Quac", instr: 1, tag: "t" };
+        assert_ne!(a.file_name(), b.file_name());
+        assert_ne!(a.file_name(), c.file_name());
+    }
+}

@@ -1,0 +1,112 @@
+//! The on-disk alone-baseline cache: a disk hit must be bit-identical to
+//! a fresh recompute, stale/foreign entries must miss, and the cache must
+//! be invisible to results (only to wall time).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use strange_bench::{AloneDiskCache, Harness, Mech, ScaleConfig};
+use strange_workloads::AppRef;
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+/// A unique throwaway cache directory per test (under the target dir so
+/// the sandboxed build environment may write it).
+fn scratch_dir() -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("alone-cache-test-{}-{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_scale() -> ScaleConfig {
+    ScaleConfig {
+        instr: 5_000,
+        per_group: 2,
+    }
+}
+
+#[test]
+fn disk_hit_is_bit_identical_to_recompute() {
+    let dir = scratch_dir();
+    let app = AppRef::Named("povray");
+
+    // Fresh harness, no disk cache: the ground truth.
+    let truth = Harness::with_scale(tiny_scale()).alone(&app, Mech::DRange);
+
+    // First cached harness: miss + store.
+    let h1 = Harness::with_scale(tiny_scale())
+        .with_disk_cache(AloneDiskCache::new(&dir, "test-tag"));
+    let first = h1.alone(&app, Mech::DRange);
+    assert_eq!(h1.disk_cache().unwrap().hits(), 0);
+    assert_eq!(h1.disk_cache().unwrap().misses(), 1);
+
+    // Second cached harness (fresh in-memory cache): disk hit.
+    let h2 = Harness::with_scale(tiny_scale())
+        .with_disk_cache(AloneDiskCache::new(&dir, "test-tag"));
+    let second = h2.alone(&app, Mech::DRange);
+    assert_eq!(h2.disk_cache().unwrap().hits(), 1, "second run must hit disk");
+
+    // Bit-identical across truth, store path, and hit path.
+    for run in [first, second] {
+        assert_eq!(run.exec_cycles, truth.exec_cycles);
+        assert_eq!(run.mcpi.to_bits(), truth.mcpi.to_bits());
+        assert_eq!(run.ipc.to_bits(), truth.ipc.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tag_and_scale_changes_invalidate() {
+    let dir = scratch_dir();
+    let app = AppRef::Named("povray");
+    let h = Harness::with_scale(tiny_scale())
+        .with_disk_cache(AloneDiskCache::new(&dir, "tag-a"));
+    h.alone(&app, Mech::DRange);
+
+    // Different code tag: same key otherwise, must recompute.
+    let other_tag = Harness::with_scale(tiny_scale())
+        .with_disk_cache(AloneDiskCache::new(&dir, "tag-b"));
+    other_tag.alone(&app, Mech::DRange);
+    assert_eq!(other_tag.disk_cache().unwrap().hits(), 0);
+
+    // Different instruction target: must recompute.
+    let other_scale = Harness::with_scale(ScaleConfig {
+        instr: 6_000,
+        per_group: 2,
+    })
+    .with_disk_cache(AloneDiskCache::new(&dir, "tag-a"));
+    other_scale.alone(&app, Mech::DRange);
+    assert_eq!(other_scale.disk_cache().unwrap().hits(), 0);
+
+    // Different mechanism: must recompute.
+    let h2 = Harness::with_scale(tiny_scale())
+        .with_disk_cache(AloneDiskCache::new(&dir, "tag-a"));
+    h2.alone(&app, Mech::Quac);
+    assert_eq!(h2.disk_cache().unwrap().hits(), 0);
+    // …while the original key still hits.
+    h2.alone(&app, Mech::DRange);
+    assert_eq!(h2.disk_cache().unwrap().hits(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_entries_fall_back_to_recompute() {
+    let dir = scratch_dir();
+    let app = AppRef::Named("povray");
+    let h = Harness::with_scale(tiny_scale())
+        .with_disk_cache(AloneDiskCache::new(&dir, "t"));
+    let truth = h.alone(&app, Mech::DRange);
+
+    // Corrupt every cache file in place.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        std::fs::write(entry.unwrap().path(), "{corrupt").unwrap();
+    }
+    let h2 = Harness::with_scale(tiny_scale())
+        .with_disk_cache(AloneDiskCache::new(&dir, "t"));
+    let run = h2.alone(&app, Mech::DRange);
+    assert_eq!(h2.disk_cache().unwrap().hits(), 0, "corrupt file must miss");
+    assert_eq!(run.exec_cycles, truth.exec_cycles);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -4,7 +4,7 @@
 use strange_cpu::CoreConfig;
 use strange_dram::{ConfigError, Geometry, TimingParams};
 
-use crate::service::{ArrivalProcess, ServiceConfig};
+use crate::service::{QosClass, ServiceConfig};
 
 /// Which baseline per-channel scheduling policy the controller uses for
 /// regular (non-RNG) requests.
@@ -267,6 +267,33 @@ impl SystemConfig {
         self.priorities.get(core).copied().unwrap_or(1)
     }
 
+    /// Extends `priorities` to cover the service clients' virtual cores
+    /// (index `cores + i` for client *i*) from their QoS classes, so the
+    /// Section 5.2 arbitration sees tenant priorities. Explicit entries
+    /// win; when every client is [`QosClass::Normal`] and no entry covers
+    /// a virtual core, the vector is left as-is (Normal equals the
+    /// unset-default priority 1). Called by `System::new` /
+    /// `MemSubsystem::new`; idempotent.
+    pub(crate) fn materialize_client_priorities(&mut self) {
+        let clients = &self.service.clients;
+        let full = self.cores + clients.len();
+        if clients.is_empty() || self.priorities.len() >= full {
+            return;
+        }
+        if clients.iter().all(|c| c.qos == QosClass::Normal)
+            && self.priorities.len() <= self.cores
+        {
+            return;
+        }
+        while self.priorities.len() < self.cores {
+            self.priorities.push(1);
+        }
+        while self.priorities.len() < full {
+            let i = self.priorities.len() - self.cores;
+            self.priorities.push(clients[i].qos.priority());
+        }
+    }
+
     /// Upper bound on CPU cycles for the run.
     pub fn cycle_limit(&self) -> u64 {
         if self.max_cpu_cycles > 0 {
@@ -285,28 +312,25 @@ impl SystemConfig {
     /// range (zero cores, zero instruction target, geometry/timing issues,
     /// or a predictive configuration with a zero-entry buffer).
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.cores == 0 && self.service.clients.is_empty() {
+        if self.cores == 0 && self.service.clients.is_empty() && !self.service.sessions {
             // A pure service-driven system (no trace cores) is a valid
-            // configuration; a system with neither cores nor clients is
-            // not.
+            // configuration; a system with neither cores nor clients —
+            // and no dynamic-session registration — is not.
             return Err(ConfigError::InvalidParameter {
                 field: "cores",
-                constraint: "be nonzero (or configure service clients)",
+                constraint: "be nonzero (or configure service clients/sessions)",
             });
         }
         for client in &self.service.clients {
-            if client.bytes == 0 {
-                return Err(ConfigError::InvalidParameter {
-                    field: "service.clients.bytes",
-                    constraint: "be nonzero",
-                });
-            }
-            if let ArrivalProcess::Bursty { burst: 0, .. } = client.arrival {
-                return Err(ConfigError::InvalidParameter {
-                    field: "service.clients.burst",
-                    constraint: "be nonzero",
-                });
-            }
+            client.validate()?;
+        }
+        if self.priorities.len() > self.cores + self.service.clients.len() {
+            // Entries beyond the last virtual client core could never be
+            // consulted; rejecting them catches mis-sized QoS setups.
+            return Err(ConfigError::InvalidParameter {
+                field: "priorities",
+                constraint: "cover at most the cores plus service clients",
+            });
         }
         if self.instruction_target == 0 {
             return Err(ConfigError::InvalidParameter {

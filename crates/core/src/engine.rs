@@ -179,7 +179,8 @@ pub struct MemSubsystem {
 impl MemSubsystem {
     /// Builds the memory subsystem for `config` with the given TRNG
     /// mechanism.
-    pub fn new(config: SystemConfig, mechanism: Box<dyn TrngMechanism>) -> Self {
+    pub fn new(mut config: SystemConfig, mechanism: Box<dyn TrngMechanism>) -> Self {
+        config.materialize_client_priorities();
         let geometry = config.geometry;
         let timing = config.timing;
         let make_policy = || match config.scheduler {
@@ -280,6 +281,27 @@ impl MemSubsystem {
     /// Number of requests currently in the global RNG queue.
     pub fn rng_queue_len(&self) -> usize {
         self.rng_queue.len()
+    }
+
+    /// Registers a dynamically opened service client addressed as virtual
+    /// core `core`, carrying OS priority `priority` into the Section 5.2
+    /// arbitration.
+    pub(crate) fn register_client(&mut self, core: usize, priority: u8) {
+        if self.rng_app.len() <= core {
+            self.rng_app.resize(core + 1, false);
+        }
+        if self.config.priorities.len() <= core {
+            // Indices below the new client keep the unset-default level.
+            self.config.priorities.resize(core + 1, 1);
+        }
+        self.config.priorities[core] = priority;
+    }
+
+    /// Whether any configured priority differs from the default level 1
+    /// (gates the priority-ordered buffer-serve scan; with uniform
+    /// priorities FIFO order is already priority order).
+    fn priorities_differentiate(&self) -> bool {
+        self.config.priorities.iter().any(|&p| p != 1)
     }
 
     /// Flushes end-of-run accounting (open idle periods).
@@ -583,14 +605,34 @@ impl MemSubsystem {
     }
 
     /// Serves queued RNG requests from the buffer (requests that missed at
-    /// issue time can still hit once filling catches up).
+    /// issue time can still hit once filling catches up). When tenant
+    /// priorities differ, the highest-priority (then oldest) queued
+    /// request is served first — the Section 5.2 rules applied to the
+    /// buffer fast path, which is what separates QoS classes when buffer
+    /// words are the contended resource. With uniform priorities this
+    /// degenerates to the original FIFO pop (the queue is
+    /// arrival-ordered).
     fn serve_rng_from_buffer(&mut self, now: u64) {
         if self.rng_queue.is_empty() || self.buffer.available_words() == 0 {
             return;
         }
         self.touch_fill();
+        let by_priority = self.priorities_differentiate();
         while !self.rng_queue.is_empty() && self.buffer.available_words() > 0 {
-            let req = self.rng_queue.pop_front().expect("non-empty");
+            let req = if by_priority {
+                let best = self
+                    .rng_queue
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, r)| {
+                        (self.config.priority_of(r.core), Reverse((r.arrival, r.id)))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty queue");
+                self.rng_queue.remove(best).expect("index in range")
+            } else {
+                self.rng_queue.pop_front().expect("non-empty")
+            };
             let word = self.buffer.pop_word().expect("word available");
             self.log_value(word);
             self.complete_rng(now, &req, now + self.config.buffer_serve_latency, word, true);

@@ -91,7 +91,7 @@ impl RngDevice {
         config.prefill_buffer = false;
         config.service = ServiceConfig {
             clients: vec![ClientSpec::manual(8)],
-            capture_values: false,
+            ..ServiceConfig::default()
         };
         let system = System::new(config, Vec::new(), mechanism).expect("valid device config");
         RngDevice {

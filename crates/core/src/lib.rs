@@ -107,7 +107,8 @@ pub use predictor::{
     AlwaysLongPredictor, IdlenessPredictor, Prediction, QlearningPredictor, SimplePredictor,
 };
 pub use service::{
-    ArrivalProcess, ClientSpec, RngService, ServeKind, ServedRequest, ServiceConfig, ServiceStats,
+    ArrivalProcess, ClientSpec, QosClass, RngService, ServeKind, ServedRequest, ServiceConfig,
+    ServiceStats,
 };
 pub use stats::SystemStats;
 pub use system::{CoreOutcome, RunResult, System};

@@ -25,6 +25,7 @@
 //! shared between clients.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -33,6 +34,39 @@ use strange_dram::RequestId;
 use strange_metrics::{percentile_sorted, Histogram};
 
 use crate::engine::MemSubsystem;
+
+/// Per-tenant quality-of-service class, mapped onto the OS priority
+/// levels the Section 5.2 arbitration rules consume (higher = more
+/// important; trace cores default to priority 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QosClass {
+    /// Background tenant (priority 0): loses Section 5.2 arbitration
+    /// against every default-priority competitor.
+    Low,
+    /// The default tenant class (priority 1 — equal to unconfigured
+    /// trace cores, so behavior matches the pre-QoS service layer).
+    #[default]
+    Normal,
+    /// Latency-sensitive tenant (priority 2): wins arbitration against
+    /// default-priority competitors and is served first from the buffer
+    /// and the per-cycle issue path.
+    High,
+    /// An explicit raw OS priority level (escape hatch for studies that
+    /// need more than three tiers).
+    Custom(u8),
+}
+
+impl QosClass {
+    /// The OS priority level this class maps to.
+    pub fn priority(self) -> u8 {
+        match self {
+            QosClass::Low => 0,
+            QosClass::Normal => 1,
+            QosClass::High => 2,
+            QosClass::Custom(p) => p,
+        }
+    }
+}
 
 /// How a `getrandom` call was satisfied (observable timing class — the
 /// Section 6 side-channel discussion).
@@ -73,6 +107,17 @@ pub enum ArrivalProcess {
         /// Cycles between burst starts.
         gap: u64,
     },
+    /// Replay of a recorded arrival trace: one request per entry, at the
+    /// given **absolute** CPU cycles (non-decreasing). This is how
+    /// production `getrandom` arrival logs — or the recorded arrivals of
+    /// a previous run (`ServiceConfig::record_arrivals`) — are fed back
+    /// into the simulator; `strange-workloads` provides the text-format
+    /// parser and writer.
+    TraceReplay {
+        /// Absolute arrival cycles, non-decreasing (duplicates allowed:
+        /// several requests may arrive on one cycle).
+        schedule: Arc<Vec<u64>>,
+    },
     /// Externally driven: requests are submitted explicitly through
     /// [`crate::System::service_submit`] (the interactive `RngDevice`
     /// front-end). Never blocks run-loop termination.
@@ -90,6 +135,9 @@ pub struct ClientSpec {
     /// Total requests this client issues over the run (ignored for
     /// [`ArrivalProcess::Manual`]; zero means the client is inert).
     pub requests: u64,
+    /// QoS class: the OS priority level this tenant's requests carry into
+    /// the Section 5.2 arbitration (defaults to [`QosClass::Normal`]).
+    pub qos: QosClass,
 }
 
 impl ClientSpec {
@@ -100,6 +148,7 @@ impl ClientSpec {
             arrival: ArrivalProcess::ClosedLoop { think },
             bytes,
             requests,
+            qos: QosClass::Normal,
         }
     }
 
@@ -109,6 +158,7 @@ impl ClientSpec {
             arrival: ArrivalProcess::Poisson { mean_gap, seed },
             bytes,
             requests,
+            qos: QosClass::Normal,
         }
     }
 
@@ -118,6 +168,20 @@ impl ClientSpec {
             arrival: ArrivalProcess::Bursty { burst, gap },
             bytes,
             requests,
+            qos: QosClass::Normal,
+        }
+    }
+
+    /// A trace-replay client: one request of `bytes` per entry of
+    /// `schedule`, at those absolute CPU cycles (must be non-decreasing).
+    pub fn trace_replay(bytes: usize, schedule: Vec<u64>) -> Self {
+        ClientSpec {
+            requests: schedule.len() as u64,
+            arrival: ArrivalProcess::TraceReplay {
+                schedule: Arc::new(schedule),
+            },
+            bytes,
+            qos: QosClass::Normal,
         }
     }
 
@@ -127,7 +191,54 @@ impl ClientSpec {
             arrival: ArrivalProcess::Manual,
             bytes,
             requests: 0,
+            qos: QosClass::Normal,
         }
+    }
+
+    /// Sets the tenant's QoS class (the per-session priority override).
+    pub fn with_qos(mut self, qos: QosClass) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Validates the spec: nonzero bytes, nonzero burst, a non-decreasing
+    /// replay schedule that covers `requests`. Enforced both for
+    /// configured clients ([`crate::SystemConfig::validate`]) and for
+    /// dynamically opened sessions ([`crate::System::open_session`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`strange_dram::ConfigError::InvalidParameter`] naming the
+    /// offending field.
+    pub fn validate(&self) -> Result<(), strange_dram::ConfigError> {
+        use strange_dram::ConfigError::InvalidParameter;
+        if self.bytes == 0 {
+            return Err(InvalidParameter {
+                field: "service.clients.bytes",
+                constraint: "be nonzero",
+            });
+        }
+        if let ArrivalProcess::Bursty { burst: 0, .. } = self.arrival {
+            return Err(InvalidParameter {
+                field: "service.clients.burst",
+                constraint: "be nonzero",
+            });
+        }
+        if let ArrivalProcess::TraceReplay { schedule } = &self.arrival {
+            if schedule.windows(2).any(|w| w[0] > w[1]) {
+                return Err(InvalidParameter {
+                    field: "service.clients.schedule",
+                    constraint: "be non-decreasing",
+                });
+            }
+            if self.requests > schedule.len() as u64 {
+                return Err(InvalidParameter {
+                    field: "service.clients.requests",
+                    constraint: "not exceed the replay schedule length",
+                });
+            }
+        }
+        Ok(())
     }
 
     fn words(&self) -> u32 {
@@ -138,12 +249,21 @@ impl ClientSpec {
 /// Service-layer configuration carried by [`crate::SystemConfig`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceConfig {
-    /// The simulated clients (empty disables the service layer).
+    /// The simulated clients (empty disables the service layer — unless
+    /// `sessions` enables dynamic registration).
     pub clients: Vec<ClientSpec>,
     /// Record the served 64-bit words per request (tests of the Section 6
     /// no-duplication property; manual requests always capture, since the
     /// caller consumes the bytes).
     pub capture_values: bool,
+    /// Record each client's arrival cycles
+    /// ([`RngService::arrival_log`]), so a run can be replayed later
+    /// through [`ArrivalProcess::TraceReplay`].
+    pub record_arrivals: bool,
+    /// Allow dynamic session registration ([`crate::System::open_session`]):
+    /// the service layer is active even with zero initial clients, and a
+    /// coreless system with no initial clients validates.
+    pub sessions: bool,
 }
 
 /// Aggregate statistics of the service layer over one run.
@@ -175,6 +295,10 @@ pub struct ServiceStats {
     pub latency: Histogram,
     /// Exact per-request latencies in completion order.
     pub latency_log: Vec<u64>,
+    /// Exact per-request latencies split by client (index = client /
+    /// session id), each in that client's completion order — the
+    /// per-tenant view the QoS studies compare.
+    pub latency_by_client: Vec<Vec<u64>>,
 }
 
 impl ServiceStats {
@@ -197,6 +321,14 @@ impl ServiceStats {
     /// Mean request latency in CPU cycles.
     pub fn mean_latency(&self) -> Option<f64> {
         self.latency.mean()
+    }
+
+    /// Exact latency percentile of one client's requests (`None` before
+    /// any completion or for an unknown client).
+    pub fn client_latency_percentile(&self, client: usize, q: f64) -> Option<u64> {
+        let mut sorted = self.latency_by_client.get(client)?.clone();
+        sorted.sort_unstable();
+        percentile_sorted(&sorted, q)
     }
 
     /// Fraction of completed requests served entirely from the buffer.
@@ -239,6 +371,8 @@ struct ActiveRequest {
 struct ClientState {
     spec: ClientSpec,
     rng: SmallRng,
+    /// OS priority level of this tenant ([`QosClass::priority`]).
+    priority: u8,
     /// Absolute CPU cycle of the next arrival (`None`: no arrival
     /// scheduled — closed loop waiting on a completion, open loop
     /// exhausted, or manual).
@@ -250,30 +384,50 @@ struct ClientState {
     in_flight: HashMap<u64, ActiveRequest>,
     /// Completed manual requests awaiting pickup.
     done_manual: HashMap<u64, ServedRequest>,
+    /// Arrival cycles of every request, in arrival order (only populated
+    /// when `ServiceConfig::record_arrivals` is set).
+    arrival_log: Vec<u64>,
+    /// A closed session: no further arrivals or submissions accepted.
+    closed: bool,
 }
 
 impl ClientState {
     fn new(spec: ClientSpec) -> Self {
-        let (seed, next_arrival) = match spec.arrival {
+        ClientState::new_at(spec, 0)
+    }
+
+    /// Builds the state for a client opened at CPU cycle `open`: relative
+    /// arrival processes (closed loop, Poisson, bursty) schedule from the
+    /// open cycle; trace replay keeps its absolute schedule; manual
+    /// clients schedule nothing.
+    fn new_at(spec: ClientSpec, open: u64) -> Self {
+        let (seed, next_arrival) = match &spec.arrival {
             ArrivalProcess::ClosedLoop { .. } | ArrivalProcess::Bursty { .. } => {
-                (0, (spec.requests > 0).then_some(0))
+                (0, (spec.requests > 0).then_some(open))
             }
-            ArrivalProcess::Poisson { seed, .. } => (seed, None), // drawn below
+            ArrivalProcess::Poisson { seed, .. } => (*seed, None), // drawn below
+            ArrivalProcess::TraceReplay { schedule } => {
+                (0, (spec.requests > 0).then(|| schedule.first().copied().unwrap_or(0)))
+            }
             ArrivalProcess::Manual => (0, None),
         };
+        let priority = spec.qos.priority();
         let mut state = ClientState {
             spec,
             rng: SmallRng::seed_from_u64(seed),
+            priority,
             next_arrival,
             arrivals: 0,
             next_seq: 0,
             issue_queue: VecDeque::new(),
             in_flight: HashMap::new(),
             done_manual: HashMap::new(),
+            arrival_log: Vec::new(),
+            closed: false,
         };
         if let ArrivalProcess::Poisson { mean_gap, .. } = state.spec.arrival {
             if state.spec.requests > 0 {
-                let first = state.draw_gap(mean_gap);
+                let first = open + state.draw_gap(mean_gap);
                 state.next_arrival = Some(first);
             }
         }
@@ -289,10 +443,11 @@ impl ClientState {
 
     /// Whether this client can block run-loop termination.
     fn targets_met(&self) -> bool {
-        let arrivals_done = match self.spec.arrival {
-            ArrivalProcess::Manual => true,
-            _ => self.arrivals >= self.spec.requests,
-        };
+        let arrivals_done = self.closed
+            || match self.spec.arrival {
+                ArrivalProcess::Manual => true,
+                _ => self.arrivals >= self.spec.requests,
+            };
         arrivals_done && self.issue_queue.is_empty() && self.in_flight.is_empty()
     }
 
@@ -307,12 +462,25 @@ impl ClientState {
 pub struct RngService {
     base_core: usize,
     capture: bool,
+    record_arrivals: bool,
+    /// Whether manual completions are queued for in-order draining
+    /// ([`RngService::pop_completed`]). On for session-driven systems
+    /// (server front-ends); off for the take-by-seq `RngDevice` path,
+    /// which would otherwise accumulate never-drained queue entries.
+    track_completed_order: bool,
     clients: Vec<ClientState>,
+    /// Client indices in issue order: descending priority, ascending
+    /// index within a priority level (so equal-priority populations keep
+    /// the original index order). Rebuilt on session open.
+    issue_order: Vec<usize>,
     /// Word-request id → (client index, request seq).
     word_map: HashMap<RequestId, (usize, u64)>,
     /// Served words of completed requests, in completion order (only
     /// populated when value capture is on).
     captured: Vec<u64>,
+    /// Completed manual requests in completion order, for in-order
+    /// draining by server front-ends ([`RngService::pop_completed`]).
+    completed_order: VecDeque<(usize, u64)>,
     stats: ServiceStats,
 }
 
@@ -321,14 +489,87 @@ impl RngService {
     /// number of real trace cores; client *i* issues requests as virtual
     /// core `base_core + i`.
     pub(crate) fn new(config: &ServiceConfig, base_core: usize) -> Self {
-        RngService {
+        let clients: Vec<ClientState> =
+            config.clients.iter().cloned().map(ClientState::new).collect();
+        let mut service = RngService {
             base_core,
             capture: config.capture_values,
-            clients: config.clients.iter().cloned().map(ClientState::new).collect(),
+            record_arrivals: config.record_arrivals,
+            track_completed_order: config.sessions,
+            issue_order: Vec::new(),
             word_map: HashMap::new(),
             captured: Vec::new(),
-            stats: ServiceStats::default(),
+            completed_order: VecDeque::new(),
+            stats: ServiceStats {
+                latency_by_client: vec![Vec::new(); clients.len()],
+                ..ServiceStats::default()
+            },
+            clients,
+        };
+        service.rebuild_issue_order();
+        service
+    }
+
+    /// Recomputes the priority-ordered issue schedule (stable: equal
+    /// priorities stay in index order).
+    fn rebuild_issue_order(&mut self) {
+        self.issue_order = (0..self.clients.len()).collect();
+        self.issue_order
+            .sort_by_key(|&i| std::cmp::Reverse(self.clients[i].priority));
+    }
+
+    /// Registers a new session at CPU cycle `now` and returns its client
+    /// index (the session id; virtual core = `base_core + id`).
+    pub(crate) fn open_session(&mut self, spec: ClientSpec, now: u64) -> usize {
+        let id = self.clients.len();
+        self.clients.push(ClientState::new_at(spec, now));
+        self.stats.latency_by_client.push(Vec::new());
+        self.rebuild_issue_order();
+        self.track_completed_order = true;
+        id
+    }
+
+    /// Closes a session: no further arrivals or submissions are
+    /// accepted. Requests already in flight (or queued for issue) drain
+    /// normally — the session blocks run-loop termination only until
+    /// they complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session is out of range.
+    pub(crate) fn close_session(&mut self, id: usize) {
+        let c = &mut self.clients[id];
+        c.closed = true;
+        c.next_arrival = None;
+    }
+
+    /// The OS priority level of a session's tenant.
+    pub fn client_priority(&self, id: usize) -> u8 {
+        self.clients[id].priority
+    }
+
+    /// The recorded arrival cycles of client `id` (empty unless
+    /// `ServiceConfig::record_arrivals` was set).
+    pub fn arrival_log(&self, id: usize) -> &[u64] {
+        &self.clients[id].arrival_log
+    }
+
+    /// Completed manual requests not yet drained via
+    /// [`RngService::pop_completed`].
+    pub fn completed_pending(&self) -> usize {
+        self.completed_order.len()
+    }
+
+    /// Drains the oldest undelivered manual completion, in completion
+    /// order: `(client, seq, result)`. Entries already taken through
+    /// [`RngService::take_completed`] are skipped.
+    pub(crate) fn pop_completed(&mut self) -> Option<(usize, u64, ServedRequest)> {
+        while let Some((client, seq)) = self.completed_order.pop_front() {
+            if let Some(served) = self.clients[client].done_manual.remove(&seq) {
+                return Some((client, seq, served));
+            }
         }
+        None
     }
 
     /// Accumulated statistics.
@@ -359,7 +600,19 @@ impl RngService {
 
     /// Takes the result of a completed manual request.
     pub(crate) fn take_completed(&mut self, client: usize, seq: u64) -> Option<ServedRequest> {
-        self.clients[client].done_manual.remove(&seq)
+        let served = self.clients[client].done_manual.remove(&seq);
+        if served.is_some() && self.track_completed_order {
+            // Keep the in-order drain queue free of tombstones under
+            // mixed take-by-seq / pop-in-order use.
+            if let Some(pos) = self
+                .completed_order
+                .iter()
+                .position(|&entry| entry == (client, seq))
+            {
+                self.completed_order.remove(pos);
+            }
+        }
+        served
     }
 
     /// Submits a manual request of `bytes` at CPU cycle `now`; returns the
@@ -372,11 +625,16 @@ impl RngService {
     /// [`ArrivalProcess::Manual`] client, or `bytes` is zero.
     pub(crate) fn submit(&mut self, client: usize, bytes: usize, now: u64) -> u64 {
         assert!(bytes > 0, "getrandom of zero bytes");
+        let record = self.record_arrivals;
         let c = &mut self.clients[client];
         assert!(
             matches!(c.spec.arrival, ArrivalProcess::Manual),
             "submit on a non-manual client"
         );
+        assert!(!c.closed, "submit on a closed session");
+        if record {
+            c.arrival_log.push(now);
+        }
         self.stats.requests_offered += 1;
         let seq = c.next_seq;
         c.next_seq += 1;
@@ -418,12 +676,18 @@ impl RngService {
         (event != u64::MAX).then(|| event.max(now))
     }
 
-    /// Advances the service by one CPU cycle: processes due arrivals and
-    /// issues queued word requests into the memory subsystem.
+    /// Advances the service by one CPU cycle: processes due arrivals for
+    /// every client, then issues queued word requests into the memory
+    /// subsystem in tenant-priority order (descending; index order within
+    /// a level), so high-QoS sessions take RNG-queue slots and buffer
+    /// words first under contention.
     pub(crate) fn tick(&mut self, now: u64, mem: &mut MemSubsystem) {
-        let mut blocked = false;
         for ci in 0..self.clients.len() {
             self.process_arrivals(ci, now);
+        }
+        let mut blocked = false;
+        for oi in 0..self.issue_order.len() {
+            let ci = self.issue_order[oi];
             blocked |= self.issue_words(ci, mem);
         }
         if blocked {
@@ -438,13 +702,20 @@ impl RngService {
             }
             let (burst, reschedule) = {
                 let c = &mut self.clients[ci];
-                match c.spec.arrival {
+                match &c.spec.arrival {
                     ArrivalProcess::ClosedLoop { .. } => (1, None),
                     ArrivalProcess::Poisson { mean_gap, .. } => {
+                        let mean_gap = *mean_gap;
                         let gap = c.draw_gap(mean_gap);
                         (1, Some(t + gap))
                     }
-                    ArrivalProcess::Bursty { burst, gap } => (burst.max(1), Some(t + gap.max(1))),
+                    ArrivalProcess::Bursty { burst, gap } => {
+                        let (burst, gap) = (*burst, *gap);
+                        (burst.max(1), Some(t + gap.max(1)))
+                    }
+                    ArrivalProcess::TraceReplay { schedule } => {
+                        (1, schedule.get(c.arrivals as usize + 1).copied())
+                    }
                     ArrivalProcess::Manual => unreachable!("manual clients never schedule"),
                 }
             };
@@ -454,6 +725,9 @@ impl RngService {
                     break;
                 }
                 c.arrivals += 1;
+                if self.record_arrivals {
+                    c.arrival_log.push(t);
+                }
                 let seq = c.next_seq;
                 c.next_seq += 1;
                 let words = c.spec.words();
@@ -568,6 +842,7 @@ impl RngService {
         self.stats.bytes_served += req.bytes as u64;
         self.stats.latency.record(latency);
         self.stats.latency_log.push(latency);
+        self.stats.latency_by_client[ci].push(latency);
         let kind = if req.generated_words == 0 {
             self.stats.buffer_hit_requests += 1;
             ServeKind::Buffer
@@ -576,7 +851,7 @@ impl RngService {
         };
         let c = &mut self.clients[ci];
         match c.spec.arrival {
-            ArrivalProcess::ClosedLoop { think } if c.arrivals < c.spec.requests => {
+            ArrivalProcess::ClosedLoop { think } if !c.closed && c.arrivals < c.spec.requests => {
                 c.next_arrival = Some(now + think);
             }
             ArrivalProcess::Manual => {
@@ -588,6 +863,9 @@ impl RngService {
                         latency_cycles: latency,
                     },
                 );
+                if self.track_completed_order {
+                    self.completed_order.push_back((ci, seq));
+                }
             }
             _ => {}
         }

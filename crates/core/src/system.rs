@@ -13,7 +13,7 @@ use strange_trng::TrngMechanism;
 
 use crate::config::{SimMode, SystemConfig};
 use crate::engine::{Completion, MemSubsystem};
-use crate::service::{RngService, ServedRequest, ServiceStats};
+use crate::service::{ClientSpec, RngService, ServedRequest, ServiceStats};
 use crate::stats::SystemStats;
 
 /// How often the run loop re-checks whether every core has finished (in
@@ -131,7 +131,9 @@ impl System {
         traces: Vec<Box<dyn TraceSource + Send>>,
         mechanism: Box<dyn TrngMechanism>,
     ) -> Result<Self, ConfigError> {
+        let mut config = config;
         config.validate()?;
+        config.materialize_client_priorities();
         if traces.len() != config.cores {
             return Err(ConfigError::InvalidParameter {
                 field: "traces",
@@ -144,7 +146,7 @@ impl System {
             .map(|(i, t)| Core::new(i, config.core, t, config.instruction_target))
             .collect();
         let mem = MemSubsystem::new(config.clone(), mechanism);
-        let service = (!config.service.clients.is_empty())
+        let service = (!config.service.clients.is_empty() || config.service.sessions)
             .then(|| RngService::new(&config.service, config.cores));
         Ok(System {
             config,
@@ -381,6 +383,75 @@ impl System {
     /// The `getrandom()` service layer, when configured.
     pub fn service(&self) -> Option<&RngService> {
         self.service.as_ref()
+    }
+
+    /// Opens a new service session at the current simulated cycle and
+    /// returns its session id (also its client index: the session is
+    /// addressed as virtual core `config.cores + id`). Relative arrival
+    /// processes (closed loop, Poisson, bursty) schedule from the open
+    /// cycle; [`crate::ArrivalProcess::TraceReplay`] keeps its absolute
+    /// schedule; manual sessions are driven through
+    /// [`System::service_submit`]. The session's
+    /// [`crate::ClientSpec::qos`] class is registered with the engine so
+    /// the Section 5.2 arbitration sees the tenant's priority.
+    ///
+    /// The service layer is created on first use when the system was
+    /// built without one (e.g. `service.sessions` unset but `cores > 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is invalid ([`ClientSpec::validate`]) —
+    /// dynamically opened sessions get the same checks as configured
+    /// clients.
+    pub fn open_session(&mut self, spec: ClientSpec) -> usize {
+        if let Err(e) = spec.validate() {
+            panic!("open_session: invalid session spec: {e}");
+        }
+        let now = self.cpu_cycle;
+        let base = self.config.cores;
+        let priority = spec.qos.priority();
+        let service = self
+            .service
+            .get_or_insert_with(|| RngService::new(&self.config.service, base));
+        let id = service.open_session(spec.clone(), now);
+        self.mem.register_client(base + id, priority);
+        // Keep the System's own config view consistent with the live
+        // session set (priorities + client list).
+        self.config.service.clients.push(spec);
+        self.config.materialize_client_priorities();
+        if self.config.priorities.len() > base + id {
+            self.config.priorities[base + id] = priority;
+        }
+        id
+    }
+
+    /// Closes a session opened with [`System::open_session`] (or a
+    /// configured client): it stops arriving and rejects further
+    /// submissions; requests already in flight drain normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no service is configured or `session` is out of
+    /// range.
+    pub fn close_session(&mut self, session: usize) {
+        self.service
+            .as_mut()
+            .expect("no service configured")
+            .close_session(session);
+    }
+
+    /// Completed manual service requests not yet drained via
+    /// [`System::take_service_completion`].
+    pub fn service_completions_pending(&self) -> usize {
+        self.service.as_ref().map_or(0, RngService::completed_pending)
+    }
+
+    /// Drains the oldest undelivered manual completion in completion
+    /// order: `(session, seq, result)`. The incremental counterpart of
+    /// [`System::run_service_request`] for server front-ends that
+    /// multiplex many sessions.
+    pub fn take_service_completion(&mut self) -> Option<(usize, u64, ServedRequest)> {
+        self.service.as_mut()?.pop_completed()
     }
 
     /// Submits a `getrandom(bytes)` request on a manual service client and

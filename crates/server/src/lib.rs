@@ -1,0 +1,679 @@
+//! Host-concurrent RNG server front-end over the cycle-accurate
+//! DR-STRaNGe service core.
+//!
+//! The synchronous service layer (`strange_core::service`) simulates
+//! clients *inside* the simulation loop; this crate turns the simulated
+//! system into a **server**: many real OS threads open sessions and
+//! submit `getrandom(bytes)` requests against one shared [`System`],
+//! while a single *driver* thread owns the simulation, advances virtual
+//! time in [`System::advance_until`] spans, injects arrivals at their
+//! exact cycles, and drains completions back to the blocked or polling
+//! submitters over per-session channels.
+//!
+//! # Threading model
+//!
+//! ```text
+//!  submitter threads                    driver thread
+//!  ┌──────────────┐  Ctl::Submit   ┌──────────────────────┐
+//!  │SessionHandle │ ─────────────▶ │  schedule (min-heap)  │
+//!  │  .getrandom  │                │  System::advance_until│
+//!  │  .recv ◀──────────────────────│  take_service_        │
+//!  └──────────────┘  ServedRequest │     completion()      │
+//!        × N          per-session  └──────────────────────┘
+//!                     channel
+//! ```
+//!
+//! The driver is the only owner of the [`System`]; submitters never touch
+//! simulation state, so no lock guards the hot loop.
+//!
+//! # Pacing and the determinism contract
+//!
+//! * [`Pacing::Virtual`] — virtual time is **data-driven**: it advances
+//!   only to the next scheduled arrival or pending completion, and never
+//!   while an open interactive session owes the driver its next decision
+//!   (submit or close). A request's arrival cycle is
+//!   `max(previous completion cycle + delay, now)` — host scheduling
+//!   cannot perturb it — so a fixed submission schedule (sessions opened
+//!   in a fixed order, each running a seeded request sequence) produces
+//!   **bit-for-bit** the results of the equivalent synchronous
+//!   `ServiceConfig` run, no matter how many OS threads submit or how
+//!   they interleave (asserted in `tests/facade.rs`). Because a
+//!   completion is observed one cycle after it lands, a post-completion
+//!   delay of 0 behaves as 1; the equivalent synchronous closed loop is
+//!   one with `think >= 1`.
+//! * [`Pacing::WallClock`] — virtual time is pegged to the host clock at
+//!   a configurable rate for interactive load tests; arrivals are
+//!   stamped when the driver receives them, so results are *not*
+//!   reproducible across runs.
+//!
+//! Sessions carry a [`strange_core::QosClass`]; the Section 5.2
+//! arbitration and the service issue path see the tenant priority, so
+//! high-QoS sessions observe lower tail latency under contention.
+//!
+//! Autonomous sessions (non-manual [`ClientSpec`]s — Poisson, bursty,
+//! trace replay) may also be opened as *background load generators*:
+//! they run inside the simulation without per-request channel traffic.
+//! Under [`Pacing::Virtual`] they do not gate time — they generate load
+//! only while interactive traffic (or wall-clock pacing) advances it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use strange_core::{ArrivalProcess, ClientSpec, ServedRequest, ServiceStats, System};
+
+/// CPU-cycle budget per driver advance while waiting on a completion;
+/// generously above any realistic request latency, so exhausting it
+/// without progress indicates an internal bug.
+const DRIVE_SLICE: u64 = 50_000_000;
+
+/// How the driver maps virtual (simulated) time onto host time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Deterministic virtual time: advance only as far as the submitted
+    /// work requires (see the crate docs for the determinism contract).
+    Virtual,
+    /// Wall-clock-paced load testing: virtual time tracks the host clock
+    /// at `cycles_per_ms` simulated CPU cycles per host millisecond
+    /// (4 000 000 ≈ real time for the paper's 4 GHz clock).
+    WallClock {
+        /// Simulated CPU cycles per host millisecond.
+        cycles_per_ms: u64,
+    },
+}
+
+/// Control messages from session handles to the driver.
+enum Ctl {
+    Open {
+        spec: ClientSpec,
+        completions: Sender<ServedRequest>,
+        reply: Sender<usize>,
+    },
+    Submit {
+        session: usize,
+        bytes: usize,
+        delay: u64,
+    },
+    Close {
+        session: usize,
+    },
+    Shutdown,
+}
+
+/// Final accounting of a server run, returned by [`RngServer::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// The service layer's aggregate statistics (per-request latency log,
+    /// per-session latency split, fast/slow path counts).
+    pub stats: ServiceStats,
+    /// Served words in completion order (only populated when the system
+    /// was configured with `capture_values`).
+    pub captured: Vec<u64>,
+    /// Total simulated CPU cycles.
+    pub cpu_cycles: u64,
+    /// Sessions opened over the server's lifetime.
+    pub sessions: usize,
+}
+
+/// A cloneable connection to a running [`RngServer`]: hand one to each
+/// submitter thread so it can open its own sessions.
+#[derive(Clone)]
+pub struct ServerClient {
+    ctl: Sender<Ctl>,
+}
+
+impl ServerClient {
+    /// Opens a session and returns its handle. Interactive sessions use
+    /// a manual [`ClientSpec`] (e.g. `ClientSpec::manual(bytes)`, with a
+    /// QoS class via [`ClientSpec::with_qos`]); non-manual specs become
+    /// autonomous background load generators whose handle never receives
+    /// completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server has shut down, or if the spec is invalid
+    /// ([`ClientSpec::validate`] — checked here so the error surfaces in
+    /// the calling thread, not the driver).
+    pub fn open_session(&self, spec: ClientSpec) -> SessionHandle {
+        if let Err(e) = spec.validate() {
+            panic!("open_session: invalid session spec: {e}");
+        }
+        let (completions, rx) = channel();
+        let (reply, reply_rx) = channel();
+        self.ctl
+            .send(Ctl::Open {
+                spec,
+                completions,
+                reply,
+            })
+            .expect("server is running");
+        let id = reply_rx.recv().expect("server is running");
+        SessionHandle {
+            id,
+            ctl: self.ctl.clone(),
+            rx,
+            outstanding: 0,
+            first: true,
+        }
+    }
+}
+
+/// One open session: the submitting thread's endpoint.
+///
+/// Requests submitted through the handle are served in order; results
+/// arrive on the session's private channel via [`SessionHandle::recv`]
+/// (blocking) or [`SessionHandle::try_recv`] (polling).
+pub struct SessionHandle {
+    id: usize,
+    ctl: Sender<Ctl>,
+    rx: Receiver<ServedRequest>,
+    outstanding: usize,
+    first: bool,
+}
+
+impl SessionHandle {
+    /// The session id (also its client index in
+    /// [`ServiceStats::latency_by_client`]).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Requests currently submitted but not yet received.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Submits a `getrandom(bytes)` request without blocking. Under
+    /// [`Pacing::Virtual`] the request arrives `delay` cycles after the
+    /// session's previous completion (its open cycle for the first
+    /// request); under [`Pacing::WallClock`] `delay` is a minimum gap and
+    /// the arrival is otherwise stamped on receipt.
+    pub fn submit_after(&mut self, bytes: usize, delay: u64) {
+        assert!(bytes > 0, "getrandom of zero bytes");
+        self.ctl
+            .send(Ctl::Submit {
+                session: self.id,
+                bytes,
+                delay,
+            })
+            .expect("server is running");
+        self.outstanding += 1;
+    }
+
+    /// Blocks until the next completion for this session arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server shut down with the request still in flight,
+    /// or when nothing is outstanding.
+    pub fn recv(&mut self) -> ServedRequest {
+        assert!(self.outstanding > 0, "recv with no outstanding request");
+        let served = self.rx.recv().expect("server dropped the session");
+        self.outstanding -= 1;
+        served
+    }
+
+    /// Returns the next completion if one is already available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server shut down with requests still in flight
+    /// (mirrors [`SessionHandle::recv`] — a polling submitter must not
+    /// spin forever on a dead driver).
+    pub fn try_recv(&mut self) -> Option<ServedRequest> {
+        match self.rx.try_recv() {
+            Ok(served) => {
+                self.outstanding -= 1;
+                Some(served)
+            }
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => panic!("server dropped the session"),
+        }
+    }
+
+    /// Fills `out` with true-random bytes, blocking until the simulated
+    /// system serves the request, and returns the served result (timing
+    /// class + latency). `think` is the virtual-time gap between the
+    /// previous completion and this arrival (the closed-loop think time;
+    /// the first call arrives at the session's open cycle) — equivalent
+    /// to `ArrivalProcess::ClosedLoop { think }` for `think >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is empty.
+    pub fn getrandom(&mut self, out: &mut [u8], think: u64) -> ServedRequest {
+        let delay = if self.first { 0 } else { think };
+        self.first = false;
+        self.submit_after(out.len(), delay);
+        let served = self.recv();
+        for (chunk, word) in out.chunks_mut(8).zip(&served.words) {
+            chunk.copy_from_slice(&word.to_le_bytes()[..chunk.len()]);
+        }
+        served
+    }
+
+    /// Closes the session. Submits not yet injected into the simulation
+    /// are discarded; requests already in flight drain inside the
+    /// simulation and their results are dropped.
+    pub fn close(self) {
+        let _ = self.ctl.send(Ctl::Close { session: self.id });
+    }
+}
+
+/// The server: owns the driver thread that owns the simulated [`System`].
+pub struct RngServer {
+    ctl: Sender<Ctl>,
+    driver: Option<JoinHandle<ServerReport>>,
+}
+
+impl RngServer {
+    /// Starts a server over `system`. Build the system with
+    /// `SystemConfig::service.sessions = true` (and `capture_values` if
+    /// the caller consumes the bytes); trace cores are allowed and run
+    /// alongside the served sessions as background memory traffic.
+    pub fn start(system: System, pacing: Pacing) -> RngServer {
+        let (ctl, ctl_rx) = channel();
+        let driver = std::thread::Builder::new()
+            .name("strange-server-driver".into())
+            .spawn(move || Driver::new(system, ctl_rx, pacing).run())
+            .expect("spawn driver thread");
+        RngServer {
+            ctl,
+            driver: Some(driver),
+        }
+    }
+
+    /// A cloneable connection for submitter threads.
+    pub fn client(&self) -> ServerClient {
+        ServerClient {
+            ctl: self.ctl.clone(),
+        }
+    }
+
+    /// Opens a session directly (see [`ServerClient::open_session`]).
+    pub fn open_session(&self, spec: ClientSpec) -> SessionHandle {
+        self.client().open_session(spec)
+    }
+
+    /// Stops the server after draining every in-flight request and
+    /// returns the final accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver thread panicked.
+    pub fn shutdown(mut self) -> ServerReport {
+        let _ = self.ctl.send(Ctl::Shutdown);
+        self.driver
+            .take()
+            .expect("driver present until shutdown")
+            .join()
+            .expect("driver thread panicked")
+    }
+}
+
+impl Drop for RngServer {
+    fn drop(&mut self) {
+        if let Some(driver) = self.driver.take() {
+            let _ = self.ctl.send(Ctl::Shutdown);
+            let _ = driver.join();
+        }
+    }
+}
+
+/// Driver-side session state.
+struct Sess {
+    tx: Sender<ServedRequest>,
+    /// Cycle the session last became free: its open cycle, then the
+    /// completion cycle of each served request.
+    release: u64,
+    /// Requests injected into the simulation and not yet completed.
+    in_flight: usize,
+    /// Requests scheduled in the arrival heap but not yet injected.
+    scheduled: usize,
+    /// Submits queued behind earlier ones (virtual pacing keeps one
+    /// request committed per interactive session; the rest chain off its
+    /// completion in FIFO order, so host message timing cannot reorder
+    /// or re-time them).
+    pending: VecDeque<(usize, u64)>,
+    /// Virtual pacing: the driver must hear from this session (submit or
+    /// close) before time may advance.
+    awaiting: bool,
+    interactive: bool,
+    closed: bool,
+}
+
+impl Sess {
+    /// Whether the session already has a committed request (scheduled or
+    /// in flight) that later submits must chain behind.
+    fn busy(&self) -> bool {
+        self.in_flight > 0 || self.scheduled > 0 || !self.pending.is_empty()
+    }
+}
+
+/// The driver loop: sole owner of the simulated system.
+struct Driver {
+    sys: System,
+    ctl: Receiver<Ctl>,
+    pacing: Pacing,
+    /// Driver-opened sessions, indexed by `session_id - id_base` (a
+    /// system built with configured service clients hands out ids
+    /// starting past them).
+    sessions: Vec<Sess>,
+    /// Service client id of the first driver-opened session.
+    id_base: Option<usize>,
+    /// Scheduled arrivals: `(cycle, session, bytes)` min-heap. The
+    /// session-id tiebreak makes same-cycle injection order independent
+    /// of host message order.
+    schedule: BinaryHeap<Reverse<(u64, usize, usize)>>,
+    /// `(session, seq)` → arrival cycle of every in-flight request.
+    inflight: HashMap<(usize, u64), u64>,
+    shutdown: bool,
+}
+
+impl Driver {
+    fn new(sys: System, ctl: Receiver<Ctl>, pacing: Pacing) -> Self {
+        Driver {
+            sys,
+            ctl,
+            pacing,
+            sessions: Vec::new(),
+            id_base: None,
+            schedule: BinaryHeap::new(),
+            inflight: HashMap::new(),
+            shutdown: false,
+        }
+    }
+
+    fn virtual_pacing(&self) -> bool {
+        self.pacing == Pacing::Virtual
+    }
+
+    /// Driver slot of a session id (ids from handles are service client
+    /// indices, offset by any clients configured at construction).
+    fn slot(&self, session: usize) -> usize {
+        let base = self.id_base.expect("no session opened yet");
+        debug_assert!(session >= base, "message for a non-driver session");
+        session - base
+    }
+
+    fn handle(&mut self, msg: Ctl) {
+        match msg {
+            Ctl::Open {
+                spec,
+                completions,
+                reply,
+            } => {
+                let interactive = matches!(spec.arrival, ArrivalProcess::Manual);
+                let id = self.sys.open_session(spec);
+                let base = *self.id_base.get_or_insert(id);
+                debug_assert_eq!(id, base + self.sessions.len(), "driver-contiguous ids");
+                self.sessions.push(Sess {
+                    tx: completions,
+                    release: self.sys.cpu_cycles(),
+                    in_flight: 0,
+                    scheduled: 0,
+                    pending: VecDeque::new(),
+                    awaiting: interactive && self.virtual_pacing(),
+                    interactive,
+                    closed: false,
+                });
+                let _ = reply.send(id);
+            }
+            Ctl::Submit {
+                session,
+                bytes,
+                delay,
+            } => {
+                let now = self.sys.cpu_cycles();
+                let virtual_pacing = self.virtual_pacing();
+                let slot = self.slot(session);
+                let sess = &mut self.sessions[slot];
+                assert!(!sess.closed, "submit on a closed session");
+                sess.awaiting = false;
+                // Virtual pacing: a session with any committed request
+                // chains later submits behind it in FIFO order — whether
+                // the driver has drained one or two control messages when
+                // a pipelined pair arrives must not change any arrival
+                // cycle.
+                if virtual_pacing && sess.busy() {
+                    sess.pending.push_back((bytes, delay));
+                } else {
+                    let arrival = (sess.release + delay).max(now);
+                    sess.scheduled += 1;
+                    self.schedule.push(Reverse((arrival, session, bytes)));
+                }
+            }
+            Ctl::Close { session } => self.close_session(session),
+            Ctl::Shutdown => self.shutdown = true,
+        }
+    }
+
+    /// Closes a session: discards its queued and scheduled-but-not-yet
+    /// injected submits, stops the service-side client (in-flight
+    /// requests drain normally; their completions are discarded if the
+    /// handle is gone), and never again gates virtual time on it.
+    fn close_session(&mut self, session: usize) {
+        let slot = self.slot(session);
+        let sess = &mut self.sessions[slot];
+        if sess.closed {
+            return;
+        }
+        sess.closed = true;
+        sess.awaiting = false;
+        sess.pending.clear();
+        if sess.scheduled > 0 {
+            sess.scheduled = 0;
+            let entries = std::mem::take(&mut self.schedule).into_vec();
+            self.schedule = entries
+                .into_iter()
+                .filter(|Reverse((_, s, _))| *s != session)
+                .collect();
+        }
+        self.sys.close_session(session);
+    }
+
+    /// Injects every scheduled arrival due at the current cycle.
+    fn inject_due(&mut self) {
+        let now = self.sys.cpu_cycles();
+        while let Some(&Reverse((cycle, session, bytes))) = self.schedule.peek() {
+            if cycle > now {
+                break;
+            }
+            self.schedule.pop();
+            let seq = self.sys.service_submit(session, bytes);
+            self.inflight.insert((session, seq), now);
+            let slot = self.slot(session);
+            let sess = &mut self.sessions[slot];
+            sess.scheduled -= 1;
+            sess.in_flight += 1;
+        }
+    }
+
+    /// Drains every pending completion to its session channel, chaining
+    /// queued submits. A send failure means the handle was dropped
+    /// without closing; treating the session as closed right here is
+    /// what keeps the virtual-time barrier from waiting forever on a
+    /// submitter that no longer exists.
+    fn deliver(&mut self) {
+        while let Some((session, seq, served)) = self.sys.take_service_completion() {
+            let arrival = self
+                .inflight
+                .remove(&(session, seq))
+                .expect("every in-flight request is tracked");
+            let done_at = arrival + served.latency_cycles;
+            let virtual_pacing = self.virtual_pacing();
+            let now = self.sys.cpu_cycles();
+            let slot = self.slot(session);
+            let sess = &mut self.sessions[slot];
+            sess.in_flight -= 1;
+            sess.release = done_at;
+            let receiver_alive = sess.tx.send(served).is_ok();
+            if !receiver_alive {
+                self.close_session(session);
+                continue;
+            }
+            if let Some((bytes, delay)) = sess.pending.pop_front() {
+                let arrival = (sess.release + delay).max(now);
+                sess.scheduled += 1;
+                self.schedule.push(Reverse((arrival, session, bytes)));
+            } else if sess.interactive && !sess.closed {
+                sess.awaiting = virtual_pacing;
+            }
+        }
+    }
+
+    fn run(mut self) -> ServerReport {
+        match self.pacing {
+            Pacing::Virtual => self.run_virtual(),
+            Pacing::WallClock { cycles_per_ms } => self.run_wallclock(cycles_per_ms),
+        }
+        let stats = self
+            .sys
+            .service()
+            .map(|s| s.stats().clone())
+            .unwrap_or_default();
+        let captured = self
+            .sys
+            .service()
+            .map(|s| s.captured_words().to_vec())
+            .unwrap_or_default();
+        ServerReport {
+            stats,
+            captured,
+            cpu_cycles: self.sys.cpu_cycles(),
+            sessions: self.sessions.len(),
+        }
+    }
+
+    /// One blocking control receive; returns false when the channel is
+    /// disconnected (treated as shutdown).
+    fn recv_blocking(&mut self) -> bool {
+        match self.ctl.recv() {
+            Ok(msg) => {
+                self.handle(msg);
+                true
+            }
+            Err(_) => {
+                self.shutdown = true;
+                false
+            }
+        }
+    }
+
+    fn drain_ctl(&mut self) {
+        loop {
+            match self.ctl.try_recv() {
+                Ok(msg) => self.handle(msg),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.shutdown = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn run_virtual(&mut self) {
+        loop {
+            self.drain_ctl();
+            let drained = self.schedule.is_empty() && self.inflight.is_empty();
+            if self.shutdown && drained {
+                break;
+            }
+            // Time may not advance while an interactive session owes the
+            // driver its next decision — that barrier is what makes the
+            // interleaving independent of host thread scheduling.
+            if !self.shutdown && self.sessions.iter().any(|s| s.awaiting) {
+                self.recv_blocking();
+                continue;
+            }
+            if drained {
+                if self.shutdown {
+                    break;
+                }
+                self.recv_blocking();
+                continue;
+            }
+            if self.sys.service_completions_pending() > 0 {
+                self.deliver();
+                continue;
+            }
+            if let Some(&Reverse((cycle, _, _))) = self.schedule.peek() {
+                let now = self.sys.cpu_cycles();
+                debug_assert!(cycle >= now, "arrivals are never scheduled in the past");
+                if cycle > now {
+                    self.sys
+                        .advance_until(cycle - now, |s| s.service_completions_pending() > 0);
+                }
+                if self.sys.service_completions_pending() == 0 {
+                    self.inject_due();
+                    continue;
+                }
+            } else {
+                let before = self.sys.cpu_cycles();
+                self.sys
+                    .advance_until(DRIVE_SLICE, |s| s.service_completions_pending() > 0);
+                assert!(
+                    self.sys.service_completions_pending() > 0
+                        || self.sys.cpu_cycles() > before,
+                    "driver stuck: in-flight requests but no progress"
+                );
+            }
+            self.deliver();
+        }
+    }
+
+    fn run_wallclock(&mut self, cycles_per_ms: u64) {
+        let start = Instant::now();
+        loop {
+            self.drain_ctl();
+            let drained = self.schedule.is_empty() && self.inflight.is_empty();
+            if self.shutdown {
+                if drained {
+                    break;
+                }
+                // Drain outstanding work at full simulation speed.
+                self.catch_up(u64::MAX);
+                continue;
+            }
+            let target = start.elapsed().as_micros() as u64 * cycles_per_ms / 1000;
+            let now = self.sys.cpu_cycles();
+            if target <= now {
+                if drained {
+                    match self.ctl.recv_timeout(Duration::from_millis(1)) {
+                        Ok(msg) => self.handle(msg),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => self.shutdown = true,
+                    }
+                } else {
+                    // Simulation ahead of the host clock: let it catch up.
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                continue;
+            }
+            self.catch_up(target);
+        }
+    }
+
+    /// Advances the simulation toward `target`, stopping at scheduled
+    /// arrivals and completions on the way.
+    fn catch_up(&mut self, target: u64) {
+        let now = self.sys.cpu_cycles();
+        let bound = match self.schedule.peek() {
+            Some(&Reverse((cycle, _, _))) if cycle < target => cycle.max(now),
+            _ => target,
+        };
+        if bound > now {
+            let span = (bound - now).min(DRIVE_SLICE);
+            self.sys
+                .advance_until(span, |s| s.service_completions_pending() > 0);
+        }
+        self.inject_due();
+        self.deliver();
+    }
+}

@@ -1,0 +1,160 @@
+//! Arrival-trace recording format for the `getrandom()` service layer.
+//!
+//! A trace is a text file with **one absolute CPU cycle per line** — the
+//! arrival cycle of one `getrandom` request — in non-decreasing order
+//! (duplicates allowed: several requests may arrive on the same cycle).
+//! Blank lines and `#` comment lines are ignored. The format is the
+//! on-disk twin of [`strange_core::ArrivalProcess::TraceReplay`]: record
+//! a run with `ServiceConfig::record_arrivals`, emit each client's log
+//! with [`emit_arrival_trace`], and replay it bit-identically with
+//! [`trace_replay_service`].
+
+use std::fmt;
+
+use strange_core::{ClientSpec, ServiceConfig};
+
+/// A parse failure in an arrival-trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrivalTraceError {
+    /// A line was neither a cycle count, a comment, nor blank.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content (trimmed).
+        content: String,
+    },
+    /// Arrival cycles must be non-decreasing.
+    NotSorted {
+        /// 1-based line number of the out-of-order entry.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ArrivalTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalTraceError::BadLine { line, content } => {
+                write!(f, "line {line}: expected an absolute cycle, got {content:?}")
+            }
+            ArrivalTraceError::NotSorted { line } => {
+                write!(f, "line {line}: arrival cycles must be non-decreasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrivalTraceError {}
+
+/// Parses an arrival trace: one absolute CPU cycle per line, `#`
+/// comments and blank lines skipped.
+///
+/// # Errors
+///
+/// Returns [`ArrivalTraceError`] on a malformed line or an out-of-order
+/// entry.
+///
+/// # Examples
+///
+/// ```
+/// use strange_workloads::parse_arrival_trace;
+///
+/// let trace = "# two requests, one burst\n100\n100\n\n250\n";
+/// assert_eq!(parse_arrival_trace(trace).unwrap(), vec![100, 100, 250]);
+/// ```
+pub fn parse_arrival_trace(text: &str) -> Result<Vec<u64>, ArrivalTraceError> {
+    let mut arrivals = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cycle: u64 = line.parse().map_err(|_| ArrivalTraceError::BadLine {
+            line: i + 1,
+            content: line.to_string(),
+        })?;
+        if arrivals.last().is_some_and(|&prev| cycle < prev) {
+            return Err(ArrivalTraceError::NotSorted { line: i + 1 });
+        }
+        arrivals.push(cycle);
+    }
+    Ok(arrivals)
+}
+
+/// Renders an arrival log in the trace format ([`parse_arrival_trace`]
+/// round-trips it).
+pub fn emit_arrival_trace(arrivals: &[u64]) -> String {
+    let mut out = String::with_capacity(arrivals.len() * 8 + 32);
+    out.push_str("# getrandom arrival trace: one absolute CPU cycle per line\n");
+    for &cycle in arrivals {
+        out.push_str(&cycle.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// A replay population: client *i* re-issues `bytes`-byte requests at the
+/// absolute cycles of `schedules[i]` (e.g. the recorded
+/// `RngService::arrival_log`s of a previous run).
+pub fn trace_replay_service(schedules: Vec<Vec<u64>>, bytes: usize) -> ServiceConfig {
+    ServiceConfig {
+        clients: schedules
+            .into_iter()
+            .map(|schedule| ClientSpec::trace_replay(bytes, schedule))
+            .collect(),
+        ..ServiceConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let arrivals = vec![0, 0, 17, 512, 512, 512, 40_000_000_000];
+        let text = emit_arrival_trace(&arrivals);
+        assert_eq!(parse_arrival_trace(&text).unwrap(), arrivals);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        assert_eq!(
+            parse_arrival_trace(&emit_arrival_trace(&[])).unwrap(),
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn comments_blanks_and_whitespace_are_skipped() {
+        let text = "  # header\n\n 10 \n#inline\n20\n";
+        assert_eq!(parse_arrival_trace(text).unwrap(), vec![10, 20]);
+    }
+
+    #[test]
+    fn bad_line_is_reported_with_its_number() {
+        let err = parse_arrival_trace("5\nnot-a-cycle\n9\n").unwrap_err();
+        assert_eq!(
+            err,
+            ArrivalTraceError::BadLine {
+                line: 2,
+                content: "not-a-cycle".to_string()
+            }
+        );
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn out_of_order_entries_are_rejected() {
+        let err = parse_arrival_trace("5\n9\n7\n").unwrap_err();
+        assert_eq!(err, ArrivalTraceError::NotSorted { line: 3 });
+    }
+
+    #[test]
+    fn replay_population_shape() {
+        let cfg = trace_replay_service(vec![vec![1, 2, 3], vec![10]], 32);
+        assert_eq!(cfg.clients.len(), 2);
+        assert_eq!(cfg.clients[0].requests, 3);
+        assert_eq!(cfg.clients[1].requests, 1);
+        assert_eq!(cfg.clients[0].bytes, 32);
+    }
+}

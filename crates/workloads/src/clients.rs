@@ -12,9 +12,30 @@
 //! issuing `bytes`-byte requests every `gap` cycles offers
 //! `bytes × 8 × 4e9 / gap` bits/s.
 
-use strange_core::{ClientSpec, ServiceConfig};
+use strange_core::{ClientSpec, QosClass, ServiceConfig};
 
 use crate::synth::seed_for;
+
+/// Assigns QoS classes to a client population, client *i* getting
+/// `qos[i]` (clients beyond the slice keep their current class). Used to
+/// turn a uniform population into a mixed-tenant one for fairness/QoS
+/// studies.
+///
+/// # Panics
+///
+/// Panics when `qos` names more clients than the population has.
+pub fn assign_qos(mut config: ServiceConfig, qos: &[QosClass]) -> ServiceConfig {
+    assert!(
+        qos.len() <= config.clients.len(),
+        "{} QoS classes for {} clients",
+        qos.len(),
+        config.clients.len()
+    );
+    for (client, &q) in config.clients.iter_mut().zip(qos) {
+        client.qos = q;
+    }
+    config
+}
 
 /// CPU clock in cycles per microsecond (4 GHz, paper Table 1).
 const CPU_CYCLES_PER_US: u64 = 4_000;
@@ -70,7 +91,7 @@ pub fn poisson_service(
                 ClientSpec::poisson(bytes, gap, requests, seed)
             })
             .collect(),
-        capture_values: false,
+        ..ServiceConfig::default()
     }
 }
 
@@ -86,7 +107,7 @@ pub fn closed_loop_service(
         clients: (0..clients)
             .map(|_| ClientSpec::closed_loop(bytes, think, requests))
             .collect(),
-        capture_values: false,
+        ..ServiceConfig::default()
     }
 }
 
@@ -105,7 +126,7 @@ pub fn bursty_service(
         clients: (0..clients)
             .map(|i| ClientSpec::bursty(bytes, burst, gap + i as u64, requests))
             .collect(),
-        capture_values: false,
+        ..ServiceConfig::default()
     }
 }
 

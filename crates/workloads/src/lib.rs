@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod apps;
+mod arrivals;
 mod clients;
 mod mix;
 mod rng_app;
@@ -38,12 +39,15 @@ mod synth;
 pub use apps::{
     all_apps, app_by_name, apps_in_class, figure_apps, low_intensity_apps, AppSpec, IntensityClass,
 };
+pub use arrivals::{
+    emit_arrival_trace, parse_arrival_trace, trace_replay_service, ArrivalTraceError,
+};
 pub use mix::{
     eval_pairs, four_core_groups, motivation_pairs, multicore_class_groups, nonrng_class_groups,
     AppRef, Workload,
 };
 pub use clients::{
-    bursty_service, closed_loop_service, gap_for_offered_mbps, poisson_service,
+    assign_qos, bursty_service, closed_loop_service, gap_for_offered_mbps, poisson_service,
 };
 pub use rng_app::{
     rng_gap_for_throughput, RngBenchmark, RNG_BURST_REQUESTS, RNG_THROUGHPUTS_MBPS,

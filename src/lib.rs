@@ -20,6 +20,7 @@
 //! | [`cpu`] | `strange-cpu` | trace-driven OoO core model |
 //! | [`trng`] | `strange-trng` | D-RaNGe, QUAC-TRNG, entropy substrate, quality tests |
 //! | [`core`] | `strange-core` | buffer, predictors, RNG-aware engine, `System` |
+//! | [`server`] | `strange-server` | host-concurrent RNG server front-end (async submit/drain) |
 //! | [`workloads`] | `strange-workloads` | 43-app catalog, RNG benchmarks, mixes |
 //! | [`metrics`] | `strange-metrics` | slowdown, weighted speedup, unfairness, box plots |
 //! | [`energy`] | `strange-energy` | DRAMPower-style energy, CACTI-style area |
@@ -56,5 +57,6 @@ pub use strange_cpu as cpu;
 pub use strange_dram as dram;
 pub use strange_energy as energy;
 pub use strange_metrics as metrics;
+pub use strange_server as server;
 pub use strange_trng as trng;
 pub use strange_workloads as workloads;

@@ -300,6 +300,33 @@ mod fastforward {
         }
 
         #[test]
+        fn trace_replay_clients_with_trace_cores() {
+            // TraceReplay arrivals are absolute-cycle events: the
+            // fast-forward next-event contract must honor them exactly
+            // like the generated processes. The schedule mixes bursts
+            // (duplicate cycles) with long gaps so both the live path and
+            // dead-span skipping cross arrivals.
+            let wl = &eval_pairs(5120)[10];
+            let schedules: Vec<Vec<u64>> = (0..3)
+                .map(|c| {
+                    (0..40)
+                        .map(|i| (i / 2) * 7_000 + c * 911)
+                        .collect()
+                })
+                .collect();
+            let clients = schedules
+                .into_iter()
+                .map(|s| dr_strange::core::ClientSpec::trace_replay(24, s))
+                .collect();
+            let cfg = base(SystemConfig::dr_strange(2)).with_service(ServiceConfig {
+                clients,
+                capture_values: true,
+                ..ServiceConfig::default()
+            });
+            assert_modes_identical(cfg, wl, "svc-trace-replay");
+        }
+
+        #[test]
         fn service_with_probe_cache_off_is_bit_identical() {
             // The engine fill-probe memoization must be a pure
             // memoization under service traffic too.
