@@ -4,6 +4,7 @@
 use strange_cpu::CoreConfig;
 use strange_dram::{ConfigError, Geometry, TimingParams};
 
+use crate::sched::{CoalesceWindow, FairnessPolicy};
 use crate::service::{QosClass, ServiceConfig};
 
 /// Which baseline per-channel scheduling policy the controller uses for
@@ -135,6 +136,16 @@ pub struct SystemConfig {
     /// random-number requests from configurable arrival processes (empty
     /// disables the service — the default).
     pub service: ServiceConfig,
+    /// How competing tenants are ordered at the buffer-serve and
+    /// service-issue decision points (defaults to
+    /// [`FairnessPolicy::Strict`], the pre-policy behavior, bit-identical
+    /// to earlier versions).
+    pub fairness: FairnessPolicy,
+    /// The Section 5.2 burst-coalescing window: when a queued RNG burst
+    /// commits to one generation episode (defaults to
+    /// [`CoalesceWindow::Stability`], the paper-faithful one-cycle
+    /// stability wait).
+    pub coalesce: CoalesceWindow,
 }
 
 impl SystemConfig {
@@ -163,6 +174,8 @@ impl SystemConfig {
             probe_cache: true,
             prefill_buffer: true,
             service: ServiceConfig::default(),
+            fairness: FairnessPolicy::Strict,
+            coalesce: CoalesceWindow::Stability,
         }
     }
 
@@ -262,6 +275,19 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the tenant fairness policy (strict priority, aging, or
+    /// weighted fair queueing).
+    pub fn with_fairness(mut self, fairness: FairnessPolicy) -> Self {
+        self.fairness = fairness;
+        self
+    }
+
+    /// Sets the RNG-burst coalescing window.
+    pub fn with_coalesce_window(mut self, coalesce: CoalesceWindow) -> Self {
+        self.coalesce = coalesce;
+        self
+    }
+
     /// Priority level of `core` (1 when unset — all applications equal).
     pub fn priority_of(&self, core: usize) -> u8 {
         self.priorities.get(core).copied().unwrap_or(1)
@@ -350,6 +376,24 @@ impl SystemConfig {
                 constraint: "be nonzero when a fill mode is enabled",
             });
         }
+        if matches!(self.fairness, FairnessPolicy::Aging { quantum: 0 }) {
+            return Err(ConfigError::InvalidParameter {
+                field: "fairness.quantum",
+                constraint: "be nonzero (aging cycles per priority level)",
+            });
+        }
+        if matches!(self.fairness, FairnessPolicy::WeightedFair { quantum: 0 }) {
+            return Err(ConfigError::InvalidParameter {
+                field: "fairness.quantum",
+                constraint: "be nonzero (DRR words per unit weight)",
+            });
+        }
+        if matches!(self.coalesce, CoalesceWindow::KOrTimeout { k: 0, .. }) {
+            return Err(ConfigError::InvalidParameter {
+                field: "coalesce.k",
+                constraint: "be nonzero (k = 1 disables coalescing)",
+            });
+        }
         self.geometry.validate()?;
         self.timing.validate()?;
         Ok(())
@@ -421,6 +465,27 @@ mod tests {
     fn predictive_fill_requires_buffer() {
         let cfg = SystemConfig::dr_strange(2).with_buffer_entries(0);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fairness_policy_parameters_are_validated() {
+        for cfg in [
+            SystemConfig::dr_strange(2).with_fairness(FairnessPolicy::aging()),
+            SystemConfig::dr_strange(2).with_fairness(FairnessPolicy::weighted_fair()),
+            SystemConfig::dr_strange(2)
+                .with_coalesce_window(CoalesceWindow::KOrTimeout { k: 8, timeout: 400 }),
+        ] {
+            cfg.validate().unwrap();
+        }
+        let zero_aging =
+            SystemConfig::dr_strange(2).with_fairness(FairnessPolicy::Aging { quantum: 0 });
+        assert!(zero_aging.validate().is_err());
+        let zero_wfq =
+            SystemConfig::dr_strange(2).with_fairness(FairnessPolicy::WeightedFair { quantum: 0 });
+        assert!(zero_wfq.validate().is_err());
+        let zero_k = SystemConfig::dr_strange(2)
+            .with_coalesce_window(CoalesceWindow::KOrTimeout { k: 0, timeout: 400 });
+        assert!(zero_k.validate().is_err());
     }
 
     #[test]

@@ -24,12 +24,13 @@ use std::collections::{BinaryHeap, VecDeque};
 use strange_cpu::MemorySystem;
 use strange_dram::{
     Bliss, ChannelController, CompletedAccess, CoreId, DramAddress, FrFcfs, Readiness, Request,
-    RequestId, RequestKind, SchedulerPolicy,
+    RequestId, RequestKind, SchedulerPolicy, CPU_CYCLES_PER_MEM_CYCLE,
 };
 use strange_trng::TrngMechanism;
 
 use crate::buffer::RandomNumberBuffer;
 use crate::config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SystemConfig};
+use crate::sched::{effective_priority, strict_pick, CoalesceWindow, DrrState, FairnessPolicy};
 use crate::predictor::{
     AlwaysLongPredictor, IdlenessPredictor, Prediction, QlearningPredictor, SimplePredictor,
 };
@@ -152,6 +153,9 @@ pub struct MemSubsystem {
     mechanism: Box<dyn TrngMechanism>,
     buffer: RandomNumberBuffer,
     rng_queue: VecDeque<Request>,
+    /// Deficit-round-robin state for [`FairnessPolicy::WeightedFair`]'s
+    /// buffer-serve arbitration (tenant = issuing core id).
+    drr: DrrState,
     predictors: Vec<AnyPredictor>,
     fill: Vec<ChanFill>,
     demand_finish: Option<u64>,
@@ -221,6 +225,7 @@ impl MemSubsystem {
             mapping: strange_dram::AddressMapping::new(geometry).expect("validated geometry"),
             buffer,
             rng_queue: VecDeque::new(),
+            drr: DrrState::new(),
             predictors,
             fill,
             demand_finish: None,
@@ -605,34 +610,79 @@ impl MemSubsystem {
     }
 
     /// Serves queued RNG requests from the buffer (requests that missed at
-    /// issue time can still hit once filling catches up). When tenant
-    /// priorities differ, the highest-priority (then oldest) queued
-    /// request is served first — the Section 5.2 rules applied to the
-    /// buffer fast path, which is what separates QoS classes when buffer
-    /// words are the contended resource. With uniform priorities this
-    /// degenerates to the original FIFO pop (the queue is
-    /// arrival-ordered).
+    /// issue time can still hit once filling catches up). Which request a
+    /// contended buffer word goes to is the configured
+    /// [`FairnessPolicy`]'s decision — this is the Section 5.2 rules
+    /// applied to the buffer fast path, which is what separates QoS
+    /// classes when buffer words are the contended resource:
+    ///
+    /// * `Strict` — highest OS priority, then oldest (with uniform
+    ///   priorities this degenerates to the original FIFO pop: the queue
+    ///   is arrival-ordered).
+    /// * `Aging` — like `Strict`, but a request's priority rises one
+    ///   level per aging quantum it has waited, so a backlogged Low
+    ///   tenant eventually outranks fresh High traffic.
+    /// * `WeightedFair` — deficit round robin over the queued tenants;
+    ///   within the chosen tenant, oldest first.
     fn serve_rng_from_buffer(&mut self, now: u64) {
         if self.rng_queue.is_empty() || self.buffer.available_words() == 0 {
             return;
         }
         self.touch_fill();
         let by_priority = self.priorities_differentiate();
+        // DRR scratch, reused across the served words of this cycle so
+        // the per-word policy evaluation allocates nothing (amortized).
+        let mut wfq_active: Vec<usize> = Vec::new();
+        let mut wfq_quanta: Vec<u64> = Vec::new();
         while !self.rng_queue.is_empty() && self.buffer.available_words() > 0 {
-            let req = if by_priority {
-                let best = self
-                    .rng_queue
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, r)| {
-                        (self.config.priority_of(r.core), Reverse((r.arrival, r.id)))
-                    })
-                    .map(|(i, _)| i)
-                    .expect("non-empty queue");
-                self.rng_queue.remove(best).expect("index in range")
-            } else {
-                self.rng_queue.pop_front().expect("non-empty")
+            let best = match self.config.fairness {
+                FairnessPolicy::Strict => {
+                    if by_priority {
+                        strict_pick(
+                            self.rng_queue
+                                .iter()
+                                .map(|r| (self.config.priority_of(r.core), r.arrival, r.id)),
+                        )
+                        .expect("non-empty queue")
+                    } else {
+                        0 // arrival-ordered queue: FIFO is priority order
+                    }
+                }
+                FairnessPolicy::Aging { quantum } => {
+                    // The engine runs on the DRAM bus clock; scale the
+                    // CPU-cycle quantum through the 5:1 clock ratio.
+                    let qm = (quantum / CPU_CYCLES_PER_MEM_CYCLE).max(1);
+                    self.rng_queue
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, r)| {
+                            let base = self.config.priority_of(r.core);
+                            let eff = effective_priority(base, now - r.arrival, qm);
+                            (eff, Reverse((r.arrival, r.id)))
+                        })
+                        .map(|(i, _)| i)
+                        .expect("non-empty queue")
+                }
+                FairnessPolicy::WeightedFair { quantum } => {
+                    wfq_active.clear();
+                    wfq_active.extend(self.rng_queue.iter().map(|r| r.core));
+                    wfq_active.sort_unstable();
+                    wfq_active.dedup();
+                    wfq_quanta.clear();
+                    wfq_quanta.extend(wfq_active.iter().map(|&c| {
+                        quantum as u64 * FairnessPolicy::weight_of(self.config.priority_of(c))
+                    }));
+                    let tenant = self.drr.pick(&wfq_active, &wfq_quanta, 1);
+                    self.rng_queue
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.core == tenant)
+                        .min_by_key(|(_, r)| (r.arrival, r.id))
+                        .map(|(i, _)| i)
+                        .expect("picked tenant has a queued request")
+                }
             };
+            let req = self.rng_queue.remove(best).expect("index in range");
             let word = self.buffer.pop_word().expect("word available");
             self.log_value(word);
             self.complete_rng(now, &req, now + self.config.buffer_serve_latency, word, true);
@@ -659,12 +709,28 @@ impl MemSubsystem {
             return;
         }
         // Burst coalescing: requests arrive back-to-back (the paper: "RNG
-        // requests are received in bursts and served together"); wait one
-        // cycle of queue stability so the whole burst shares one mode
-        // switch.
-        if self.rng_queue.len() != self.rng_queue_len_last {
-            self.rng_queue_len_last = self.rng_queue.len();
-            return;
+        // requests are received in bursts and served together"), so the
+        // queue waits for the configured window before the whole burst
+        // shares one mode switch.
+        match self.config.coalesce {
+            // One cycle of queue stability (the paper-faithful default).
+            CoalesceWindow::Stability => {
+                if self.rng_queue.len() != self.rng_queue_len_last {
+                    self.rng_queue_len_last = self.rng_queue.len();
+                    return;
+                }
+            }
+            // Hold for a k-deep burst, bounded by how long the oldest
+            // request may wait (both checks run on the DRAM bus clock;
+            // the queue being non-empty pins the engine to live ticks,
+            // so the timeout is observed on its exact cycle).
+            CoalesceWindow::KOrTimeout { k, timeout } => {
+                self.rng_queue_len_last = self.rng_queue.len();
+                let oldest = self.rng_queue.front().expect("non-empty queue").arrival;
+                if self.rng_queue.len() < k && now.saturating_sub(oldest) < timeout {
+                    return;
+                }
+            }
         }
         let max_rng_prio = self
             .rng_queue

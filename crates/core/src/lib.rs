@@ -11,7 +11,11 @@
 //!    latency by generating during predicted-long idle periods.
 //! 2. **RNG-aware scheduling** — the engine's separate RNG request queue,
 //!    OS-priority arbitration rules, and starvation prevention
-//!    (see [`MemSubsystem`]).
+//!    (see [`MemSubsystem`]); the [`sched`] module generalizes the
+//!    Section 5.2 starvation counter into pluggable tenant fairness
+//!    policies ([`FairnessPolicy`]: strict priority, aging, weighted
+//!    fair queueing) and makes the burst-coalescing window a knob
+//!    ([`CoalesceWindow`]).
 //! 3. **Application interface** — the cycle-accurate `getrandom()` service
 //!    layer ([`RngService`], [`ServiceConfig`], [`ArrivalProcess`]): N
 //!    simulated clients issue requests from closed-loop, Poisson, or
@@ -95,6 +99,7 @@ mod config;
 mod engine;
 mod interface;
 mod predictor;
+pub mod sched;
 mod service;
 mod stats;
 mod system;
@@ -106,6 +111,7 @@ pub use interface::RngDevice;
 pub use predictor::{
     AlwaysLongPredictor, IdlenessPredictor, Prediction, QlearningPredictor, SimplePredictor,
 };
+pub use sched::{CoalesceWindow, FairnessPolicy};
 pub use service::{
     ArrivalProcess, ClientSpec, QosClass, RngService, ServeKind, ServedRequest, ServiceConfig,
     ServiceStats,

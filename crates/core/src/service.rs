@@ -24,6 +24,7 @@
 //! retains per-request word values so tests can assert no byte is ever
 //! shared between clients.
 
+use std::cmp::Reverse;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -34,6 +35,7 @@ use strange_dram::RequestId;
 use strange_metrics::{percentile_sorted, Histogram};
 
 use crate::engine::MemSubsystem;
+use crate::sched::{effective_priority, DrrState, FairnessPolicy};
 
 /// Per-tenant quality-of-service class, mapped onto the OS priority
 /// levels the Section 5.2 arbitration rules consume (higher = more
@@ -299,6 +301,13 @@ pub struct ServiceStats {
     /// session id), each in that client's completion order — the
     /// per-tenant view the QoS studies compare.
     pub latency_by_client: Vec<Vec<u64>>,
+    /// Bytes delivered per client (requested bytes of its completed
+    /// calls) — with [`ServiceStats::last_completion_by_client`], the
+    /// per-tenant served-throughput view the fairness sweeps feed into
+    /// Jain's index.
+    pub bytes_by_client: Vec<u64>,
+    /// CPU cycle of each client's most recent completion (0 before any).
+    pub last_completion_by_client: Vec<u64>,
 }
 
 impl ServiceStats {
@@ -329,6 +338,19 @@ impl ServiceStats {
         let mut sorted = self.latency_by_client.get(client)?.clone();
         sorted.sort_unstable();
         percentile_sorted(&sorted, q)
+    }
+
+    /// Served throughput of one client in Mb/s over its active span
+    /// (arrival of its first request is approximated as cycle 0; `None`
+    /// before any completion). The per-tenant rates a fairness index
+    /// compares.
+    pub fn client_served_mbps(&self, client: usize) -> Option<f64> {
+        let bytes = *self.bytes_by_client.get(client)?;
+        let last = *self.last_completion_by_client.get(client)?;
+        if bytes == 0 || last == 0 {
+            return None;
+        }
+        Some(bytes as f64 * 8.0 / (last as f64 / 4e9) / 1e6)
     }
 
     /// Fraction of completed requests served entirely from the buffer.
@@ -469,9 +491,16 @@ pub struct RngService {
     /// which would otherwise accumulate never-drained queue entries.
     track_completed_order: bool,
     clients: Vec<ClientState>,
-    /// Client indices in issue order: descending priority, ascending
-    /// index within a priority level (so equal-priority populations keep
-    /// the original index order). Rebuilt on session open.
+    /// How competing clients are ordered on the per-cycle issue path
+    /// (who takes RNG-queue slots and buffer words first).
+    fairness: FairnessPolicy,
+    /// Deficit-round-robin state for [`FairnessPolicy::WeightedFair`]
+    /// (tenant = client index).
+    drr: DrrState,
+    /// Client indices in [`FairnessPolicy::Strict`] issue order:
+    /// descending priority, ascending index within a priority level (so
+    /// equal-priority populations keep the original index order).
+    /// Rebuilt on session open.
     issue_order: Vec<usize>,
     /// Word-request id → (client index, request seq).
     word_map: HashMap<RequestId, (usize, u64)>,
@@ -487,8 +516,9 @@ pub struct RngService {
 impl RngService {
     /// Builds the service from its configuration. `base_core` is the
     /// number of real trace cores; client *i* issues requests as virtual
-    /// core `base_core + i`.
-    pub(crate) fn new(config: &ServiceConfig, base_core: usize) -> Self {
+    /// core `base_core + i`. `fairness` orders competing clients on the
+    /// issue path (`SystemConfig::fairness`).
+    pub(crate) fn new(config: &ServiceConfig, base_core: usize, fairness: FairnessPolicy) -> Self {
         let clients: Vec<ClientState> =
             config.clients.iter().cloned().map(ClientState::new).collect();
         let mut service = RngService {
@@ -496,12 +526,16 @@ impl RngService {
             capture: config.capture_values,
             record_arrivals: config.record_arrivals,
             track_completed_order: config.sessions,
+            fairness,
+            drr: DrrState::new(),
             issue_order: Vec::new(),
             word_map: HashMap::new(),
             captured: Vec::new(),
             completed_order: VecDeque::new(),
             stats: ServiceStats {
                 latency_by_client: vec![Vec::new(); clients.len()],
+                bytes_by_client: vec![0; clients.len()],
+                last_completion_by_client: vec![0; clients.len()],
                 ..ServiceStats::default()
             },
             clients,
@@ -524,6 +558,8 @@ impl RngService {
         let id = self.clients.len();
         self.clients.push(ClientState::new_at(spec, now));
         self.stats.latency_by_client.push(Vec::new());
+        self.stats.bytes_by_client.push(0);
+        self.stats.last_completion_by_client.push(0);
         self.rebuild_issue_order();
         self.track_completed_order = true;
         id
@@ -678,17 +714,54 @@ impl RngService {
 
     /// Advances the service by one CPU cycle: processes due arrivals for
     /// every client, then issues queued word requests into the memory
-    /// subsystem in tenant-priority order (descending; index order within
-    /// a level), so high-QoS sessions take RNG-queue slots and buffer
-    /// words first under contention.
+    /// subsystem in the order the configured [`FairnessPolicy`] dictates
+    /// — this is who takes RNG-queue slots and buffer words first under
+    /// contention:
+    ///
+    /// * `Strict` — descending tenant priority, index order within a
+    ///   level (the pre-policy behavior).
+    /// * `Aging` — like `Strict`, but each waiting tenant's priority
+    ///   rises one level per aging quantum its oldest queued request has
+    ///   waited; ties go to the older request, then the lower index.
+    /// * `WeightedFair` — deficit round robin, one word per turn, so a
+    ///   saturating high-priority tenant cannot monopolize the issue
+    ///   path.
     pub(crate) fn tick(&mut self, now: u64, mem: &mut MemSubsystem) {
         for ci in 0..self.clients.len() {
             self.process_arrivals(ci, now);
         }
         let mut blocked = false;
-        for oi in 0..self.issue_order.len() {
-            let ci = self.issue_order[oi];
-            blocked |= self.issue_words(ci, mem);
+        match self.fairness {
+            FairnessPolicy::Strict => {
+                for oi in 0..self.issue_order.len() {
+                    let ci = self.issue_order[oi];
+                    blocked |= self.issue_words(ci, mem);
+                }
+            }
+            FairnessPolicy::Aging { quantum } => {
+                // (effective priority desc, oldest arrival, index): a
+                // dynamic re-sort of the Strict order with waiting time
+                // folded in. Clients with nothing to issue don't compete.
+                let mut order: Vec<(Reverse<u64>, u64, usize)> = self
+                    .clients
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(ci, c)| {
+                        let &seq = c.issue_queue.front()?;
+                        let arrival = c.in_flight[&seq].arrival;
+                        let eff =
+                            effective_priority(c.priority, now.saturating_sub(arrival), quantum);
+                        Some((Reverse(eff), arrival, ci))
+                    })
+                    .collect();
+                order.sort_unstable();
+                for (_, _, ci) in order {
+                    blocked |= self.issue_words(ci, mem);
+                }
+            }
+            FairnessPolicy::WeightedFair { quantum } => {
+                blocked = self.issue_words_drr(quantum, mem);
+            }
         }
         if blocked {
             self.stats.issue_blocked_cycles += 1;
@@ -794,6 +867,61 @@ impl RngService {
         false
     }
 
+    /// Deficit-round-robin issue: one word per DRR turn, interleaving
+    /// the competing clients by their QoS weight instead of issuing each
+    /// client to exhaustion. Returns true when back-pressure left words
+    /// unissued (the memory subsystem rejecting one client's word means
+    /// the global RNG queue is full, so no client could issue).
+    fn issue_words_drr(&mut self, quantum: u32, mem: &mut MemSubsystem) -> bool {
+        // Scratch reused across the words issued this cycle, so the
+        // per-word DRR evaluation allocates nothing (amortized).
+        let mut active: Vec<usize> = Vec::new();
+        let mut quanta: Vec<u64> = Vec::new();
+        loop {
+            active.clear();
+            active.extend(
+                (0..self.clients.len()).filter(|&ci| self.clients[ci].has_unissued_words()),
+            );
+            if active.is_empty() {
+                return false;
+            }
+            quanta.clear();
+            quanta.extend(
+                active
+                    .iter()
+                    .map(|&ci| quantum as u64 * FairnessPolicy::weight_of(self.clients[ci].priority)),
+            );
+            let ci = self.drr.pick(&active, &quanta, 1);
+            let core = self.base_core + ci;
+            let &seq = self.clients[ci]
+                .issue_queue
+                .front()
+                .expect("active client has queued words");
+            match mem.try_rng(core) {
+                Some(id) => {
+                    let req = self.clients[ci]
+                        .in_flight
+                        .get_mut(&seq)
+                        .expect("queued request is in flight");
+                    req.words_to_issue -= 1;
+                    req.outstanding += 1;
+                    self.stats.words_issued += 1;
+                    self.word_map.insert(id, (ci, seq));
+                    if req.words_to_issue == 0 {
+                        self.clients[ci].issue_queue.pop_front();
+                    }
+                }
+                None => {
+                    // The word was never served: hand the charged credit
+                    // (and the turn) back, or blocked cycles would burn
+                    // this tenant's round on phantom picks.
+                    self.drr.refund(ci, 1);
+                    return true;
+                }
+            }
+        }
+    }
+
     /// Whether `core` addresses one of this service's virtual clients.
     pub(crate) fn owns_core(&self, core: usize) -> bool {
         core >= self.base_core && core < self.base_core + self.clients.len()
@@ -843,6 +971,8 @@ impl RngService {
         self.stats.latency.record(latency);
         self.stats.latency_log.push(latency);
         self.stats.latency_by_client[ci].push(latency);
+        self.stats.bytes_by_client[ci] += req.bytes as u64;
+        self.stats.last_completion_by_client[ci] = now;
         let kind = if req.generated_words == 0 {
             self.stats.buffer_hit_requests += 1;
             ServeKind::Buffer

@@ -147,7 +147,7 @@ impl System {
             .collect();
         let mem = MemSubsystem::new(config.clone(), mechanism);
         let service = (!config.service.clients.is_empty() || config.service.sessions)
-            .then(|| RngService::new(&config.service, config.cores));
+            .then(|| RngService::new(&config.service, config.cores, config.fairness));
         Ok(System {
             config,
             cores,
@@ -410,9 +410,10 @@ impl System {
         let now = self.cpu_cycle;
         let base = self.config.cores;
         let priority = spec.qos.priority();
+        let fairness = self.config.fairness;
         let service = self
             .service
-            .get_or_insert_with(|| RngService::new(&self.config.service, base));
+            .get_or_insert_with(|| RngService::new(&self.config.service, base, fairness));
         let id = service.open_session(spec.clone(), now);
         self.mem.register_client(base + id, priority);
         // Keep the System's own config view consistent with the live

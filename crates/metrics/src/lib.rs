@@ -49,7 +49,7 @@ pub use error::MetricsError;
 pub use hist::{percentile_sorted, Histogram};
 pub use means::{arithmetic_mean, geometric_mean, harmonic_mean};
 pub use perf::{
-    accuracy, normalized_value, slowdown, unfairness_index, weighted_speedup, ConfusionCounts,
-    MemSlowdown, Ratio,
+    accuracy, jain_index, normalized_value, slowdown, unfairness_index, weighted_speedup,
+    ConfusionCounts, MemSlowdown, Ratio,
 };
 pub use table::{fmt_row, fmt_series, Table};

@@ -168,6 +168,39 @@ pub fn unfairness_index(slowdowns: &[MemSlowdown]) -> Result<f64, MetricsError> 
     Ok(max / min)
 }
 
+/// Jain's fairness index of an allocation:
+///
+/// `J(x) = (Σ xᵢ)² / (n · Σ xᵢ²)`
+///
+/// Ranges over `(0, 1]`: 1 means every tenant receives an equal share,
+/// `1/n` means one tenant receives everything. Used by the fairness-policy
+/// sweeps over per-tenant served throughput (Mb/s).
+///
+/// # Errors
+///
+/// Returns [`MetricsError::EmptyInput`] when `shares` is empty or sums to
+/// zero (no served throughput to compare).
+///
+/// # Examples
+///
+/// ```
+/// use strange_metrics::jain_index;
+/// assert_eq!(jain_index(&[10.0, 10.0, 10.0]).unwrap(), 1.0);
+/// // One tenant starved to nothing out of two: J = 1/2.
+/// assert_eq!(jain_index(&[5.0, 0.0]).unwrap(), 0.5);
+/// ```
+pub fn jain_index(shares: &[f64]) -> Result<f64, MetricsError> {
+    if shares.is_empty() {
+        return Err(MetricsError::EmptyInput);
+    }
+    let sum: f64 = shares.iter().sum();
+    let sq_sum: f64 = shares.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        return Err(MetricsError::EmptyInput);
+    }
+    Ok(sum * sum / (shares.len() as f64 * sq_sum))
+}
+
 /// Ratio counter for "x out of y" statistics: buffer serve rate (Figure 10)
 /// and similar. Avoids ad-hoc float pairs at call sites.
 ///
@@ -313,6 +346,16 @@ mod tests {
     #[test]
     fn slowdown_of_equal_times_is_one() {
         assert_eq!(slowdown(100, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn jain_index_spans_equal_to_starved() {
+        assert_eq!(jain_index(&[7.0]).unwrap(), 1.0);
+        assert!((jain_index(&[4.0, 4.0, 4.0, 4.0]).unwrap() - 1.0).abs() < 1e-12);
+        // One of four tenants takes everything: J = 1/4.
+        assert!((jain_index(&[12.0, 0.0, 0.0, 0.0]).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), Err(MetricsError::EmptyInput));
+        assert_eq!(jain_index(&[0.0, 0.0]), Err(MetricsError::EmptyInput));
     }
 
     #[test]

@@ -55,6 +55,15 @@
 //! they run inside the simulation without per-request channel traffic.
 //! Under [`Pacing::Virtual`] they do not gate time — they generate load
 //! only while interactive traffic (or wall-clock pacing) advances it.
+//!
+//! Two observability hooks close the load-testing loop:
+//! [`RngServer::start_observed`] streams periodic [`Snapshot`]s
+//! (per-tenant latency percentiles, RNG queue depth, buffer occupancy)
+//! from the driver during wall-clock runs, and — when the system was
+//! built with `ServiceConfig::record_arrivals` — the final
+//! [`ServerReport::arrival_logs`] carry every session's arrival trace,
+//! so a wall-clock load test can be re-run deterministically through
+//! `ArrivalProcess::TraceReplay`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -114,10 +123,47 @@ pub struct ServerReport {
     /// Served words in completion order (only populated when the system
     /// was configured with `capture_values`).
     pub captured: Vec<u64>,
+    /// Per-session arrival traces: the absolute CPU cycle of every
+    /// request each session (client index) injected, in arrival order.
+    /// Populated when the system was configured with
+    /// `ServiceConfig::record_arrivals`; the `strange-workloads`
+    /// arrival-trace writer (`emit_arrival_trace`) turns each entry into
+    /// the on-disk format, and replaying them through
+    /// `ArrivalProcess::TraceReplay` reproduces a virtual-paced run bit
+    /// for bit (and re-runs a wall-clock load test deterministically).
+    pub arrival_logs: Vec<Vec<u64>>,
     /// Total simulated CPU cycles.
     pub cpu_cycles: u64,
     /// Sessions opened over the server's lifetime.
     pub sessions: usize,
+}
+
+/// A periodic progress snapshot emitted by the driver thread of an
+/// observed wall-clock server ([`RngServer::start_observed`]): the
+/// in-progress view a live load-test dashboard consumes instead of
+/// waiting for the final [`ServerReport`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Simulated CPU cycles at the snapshot.
+    pub cpu_cycles: u64,
+    /// Requests offered so far (all sessions).
+    pub requests_offered: u64,
+    /// Requests fully served so far.
+    pub requests_completed: u64,
+    /// Requests currently in flight inside the simulation.
+    pub in_flight: usize,
+    /// Current depth of the engine's global RNG request queue.
+    pub rng_queue_len: usize,
+    /// 64-bit words currently available in the random number buffer.
+    pub buffer_words: usize,
+    /// In-progress per-tenant p50 latency (CPU cycles; `None` before a
+    /// tenant's first completion). Indexed by service client — session
+    /// ids land at their client index, i.e. offset by any service
+    /// clients configured at `System` construction.
+    pub tenant_p50: Vec<Option<u64>>,
+    /// In-progress per-tenant p99 latency (same indexing as
+    /// [`Snapshot::tenant_p50`]).
+    pub tenant_p99: Vec<Option<u64>>,
 }
 
 /// A cloneable connection to a running [`RngServer`]: hand one to each
@@ -277,10 +323,31 @@ impl RngServer {
     /// the caller consumes the bytes); trace cores are allowed and run
     /// alongside the served sessions as background memory traffic.
     pub fn start(system: System, pacing: Pacing) -> RngServer {
+        RngServer::spawn(system, pacing, None)
+    }
+
+    /// Starts an *observed* server: the driver thread additionally emits
+    /// a [`Snapshot`] on the returned channel roughly every `every` of
+    /// host time while the simulation is being paced against the wall
+    /// clock, plus one final snapshot as the driver winds down (under
+    /// any pacing). Dropping the receiver silently stops the stream.
+    /// *Periodic* snapshots only flow under [`Pacing::WallClock`] — a
+    /// virtual-paced run is deterministic and fully described by its
+    /// final report, so it emits just the parting snapshot.
+    pub fn start_observed(
+        system: System,
+        pacing: Pacing,
+        every: Duration,
+    ) -> (RngServer, Receiver<Snapshot>) {
+        let (tx, rx) = channel();
+        (RngServer::spawn(system, pacing, Some(Observer::new(tx, every))), rx)
+    }
+
+    fn spawn(system: System, pacing: Pacing, observer: Option<Observer>) -> RngServer {
         let (ctl, ctl_rx) = channel();
         let driver = std::thread::Builder::new()
             .name("strange-server-driver".into())
-            .spawn(move || Driver::new(system, ctl_rx, pacing).run())
+            .spawn(move || Driver::new(system, ctl_rx, pacing, observer).run())
             .expect("spawn driver thread");
         RngServer {
             ctl,
@@ -355,11 +422,30 @@ impl Sess {
     }
 }
 
+/// Snapshot-emission state of an observed server.
+struct Observer {
+    tx: Sender<Snapshot>,
+    every: Duration,
+    last: Instant,
+}
+
+impl Observer {
+    fn new(tx: Sender<Snapshot>, every: Duration) -> Self {
+        Observer {
+            tx,
+            every,
+            // Emit the first snapshot one interval in, not immediately.
+            last: Instant::now(),
+        }
+    }
+}
+
 /// The driver loop: sole owner of the simulated system.
 struct Driver {
     sys: System,
     ctl: Receiver<Ctl>,
     pacing: Pacing,
+    observer: Option<Observer>,
     /// Driver-opened sessions, indexed by `session_id - id_base` (a
     /// system built with configured service clients hands out ids
     /// starting past them).
@@ -376,11 +462,12 @@ struct Driver {
 }
 
 impl Driver {
-    fn new(sys: System, ctl: Receiver<Ctl>, pacing: Pacing) -> Self {
+    fn new(sys: System, ctl: Receiver<Ctl>, pacing: Pacing, observer: Option<Observer>) -> Self {
         Driver {
             sys,
             ctl,
             pacing,
+            observer,
             sessions: Vec::new(),
             id_base: None,
             schedule: BinaryHeap::new(),
@@ -527,11 +614,58 @@ impl Driver {
         }
     }
 
+    /// Builds the current in-progress snapshot.
+    fn snapshot(&self) -> Snapshot {
+        let svc = self.sys.service();
+        let stats = svc.map(|s| s.stats());
+        let tenants = stats.map_or(0, |s| s.latency_by_client.len());
+        let pct = |q: f64| -> Vec<Option<u64>> {
+            stats.map_or_else(Vec::new, |s| {
+                (0..tenants).map(|i| s.client_latency_percentile(i, q)).collect()
+            })
+        };
+        Snapshot {
+            cpu_cycles: self.sys.cpu_cycles(),
+            requests_offered: stats.map_or(0, |s| s.requests_offered),
+            requests_completed: stats.map_or(0, |s| s.requests_completed),
+            in_flight: svc.map_or(0, |s| s.in_flight()),
+            rng_queue_len: self.sys.mem().rng_queue_len(),
+            buffer_words: self.sys.mem().buffer().available_words(),
+            tenant_p50: pct(0.50),
+            tenant_p99: pct(0.99),
+        }
+    }
+
+    /// Emits a snapshot if the observation interval elapsed (`force`
+    /// skips the interval check — the driver's parting snapshot). A
+    /// dropped receiver ends the stream.
+    fn observe(&mut self, force: bool) {
+        let Some(obs) = &mut self.observer else {
+            return;
+        };
+        if !force && obs.last.elapsed() < obs.every {
+            return;
+        }
+        obs.last = Instant::now();
+        let snap = self.snapshot();
+        if self
+            .observer
+            .as_ref()
+            .expect("checked above")
+            .tx
+            .send(snap)
+            .is_err()
+        {
+            self.observer = None;
+        }
+    }
+
     fn run(mut self) -> ServerReport {
         match self.pacing {
             Pacing::Virtual => self.run_virtual(),
             Pacing::WallClock { cycles_per_ms } => self.run_wallclock(cycles_per_ms),
         }
+        self.observe(true);
         let stats = self
             .sys
             .service()
@@ -542,9 +676,13 @@ impl Driver {
             .service()
             .map(|s| s.captured_words().to_vec())
             .unwrap_or_default();
+        let arrival_logs = self.sys.service().map_or_else(Vec::new, |s| {
+            (0..s.clients()).map(|i| s.arrival_log(i).to_vec()).collect()
+        });
         ServerReport {
             stats,
             captured,
+            arrival_logs,
             cpu_cycles: self.sys.cpu_cycles(),
             sessions: self.sessions.len(),
         }
@@ -632,6 +770,7 @@ impl Driver {
         let start = Instant::now();
         loop {
             self.drain_ctl();
+            self.observe(false);
             let drained = self.schedule.is_empty() && self.inflight.is_empty();
             if self.shutdown {
                 if drained {

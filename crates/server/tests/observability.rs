@@ -1,0 +1,86 @@
+//! Wall-clock observability: an observed server streams periodic
+//! [`strange_server::Snapshot`]s from the driver thread so a live
+//! dashboard can watch per-tenant latency percentiles, RNG queue depth,
+//! and buffer occupancy instead of waiting for the final report.
+
+use std::thread;
+use std::time::Duration;
+
+use strange_core::{ClientSpec, QosClass, ServiceConfig, System, SystemConfig};
+use strange_server::{Pacing, RngServer, Snapshot};
+use strange_trng::DRange;
+
+fn observed_system() -> System {
+    let cfg = SystemConfig::dr_strange(0).with_service(ServiceConfig {
+        sessions: true,
+        ..ServiceConfig::default()
+    });
+    System::new(cfg, Vec::new(), Box::new(DRange::new(7))).expect("valid configuration")
+}
+
+#[test]
+fn wall_clock_snapshots_stream_progress() {
+    let (server, snapshots) = RngServer::start_observed(
+        observed_system(),
+        Pacing::WallClock {
+            cycles_per_ms: 2_000_000,
+        },
+        Duration::from_millis(1),
+    );
+    let mut high = server.open_session(ClientSpec::manual(32).with_qos(QosClass::High));
+    let mut low = server.open_session(ClientSpec::manual(32).with_qos(QosClass::Low));
+    let worker = thread::spawn(move || {
+        let mut buf = [0u8; 32];
+        for _ in 0..40 {
+            high.getrandom(&mut buf, 10_000);
+            low.getrandom(&mut buf, 10_000);
+        }
+        high.close();
+        low.close();
+    });
+    worker.join().expect("worker");
+    let report = server.shutdown();
+    let snaps: Vec<Snapshot> = snapshots.try_iter().collect();
+    assert!(
+        !snaps.is_empty(),
+        "an observed wall-clock run must emit at least the final snapshot"
+    );
+    // Snapshots are monotone in simulated time and completions.
+    for pair in snaps.windows(2) {
+        assert!(pair[1].cpu_cycles >= pair[0].cpu_cycles);
+        assert!(pair[1].requests_completed >= pair[0].requests_completed);
+    }
+    let last = snaps.last().expect("non-empty");
+    assert_eq!(last.requests_completed, report.stats.requests_completed);
+    assert_eq!(last.cpu_cycles, report.cpu_cycles);
+    assert_eq!(last.tenant_p50.len(), 2, "one percentile slot per session");
+    assert_eq!(last.tenant_p99.len(), 2);
+    for session in 0..2 {
+        let p50 = last.tenant_p50[session].expect("session has completions");
+        let p99 = last.tenant_p99[session].expect("session has completions");
+        assert!(p50 > 0 && p99 >= p50);
+    }
+    // Queue/buffer gauges are plausible: the buffer never exceeds the
+    // configured 16 entries.
+    assert!(last.buffer_words <= 16);
+}
+
+#[test]
+fn dropping_the_snapshot_receiver_does_not_stall_the_server() {
+    let (server, snapshots) = RngServer::start_observed(
+        observed_system(),
+        Pacing::WallClock {
+            cycles_per_ms: 2_000_000,
+        },
+        Duration::from_micros(100),
+    );
+    drop(snapshots); // dashboard went away; the server must not care
+    let mut h = server.open_session(ClientSpec::manual(8));
+    let mut buf = [0u8; 8];
+    for _ in 0..20 {
+        h.getrandom(&mut buf, 1_000);
+    }
+    h.close();
+    let report = server.shutdown();
+    assert_eq!(report.stats.requests_completed, 20);
+}

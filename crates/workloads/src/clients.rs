@@ -12,7 +12,7 @@
 //! issuing `bytes`-byte requests every `gap` cycles offers
 //! `bytes × 8 × 4e9 / gap` bits/s.
 
-use strange_core::{ClientSpec, QosClass, ServiceConfig};
+use strange_core::{ClientSpec, FairnessPolicy, QosClass, ServiceConfig};
 
 use crate::synth::seed_for;
 
@@ -130,6 +130,49 @@ pub fn bursty_service(
     }
 }
 
+/// The contended mixed-QoS tenant scenario the fairness studies share
+/// (`examples/concurrent_server.rs`, `tests/fairness.rs`, and the
+/// `fairness` bench): clients 0–1 are **saturating High-priority
+/// aggressors** — closed loops of 256-byte requests (32 words each,
+/// exactly the RNG queue's capacity) with a 200-cycle think time, enough
+/// sustained demand to keep D-RaNGe's four channels past their ~620 Mb/s
+/// rate — and clients 2–3 are a Normal and a Low closed-loop tenant
+/// issuing `requests` calls of `bytes` each. The aggressors are
+/// self-throttled (one request in flight each), so the backlog stays
+/// finite but the queue slots and buffer words are contended on every
+/// cycle: under [`FairnessPolicy::Strict`] the Low tenant starves
+/// outright, while `Aging` and `WeightedFair` bound its tail latency.
+/// Fully deterministic — no seeds involved.
+pub fn contended_qos_service(bytes: usize, requests: u64) -> ServiceConfig {
+    let think = 2_000;
+    ServiceConfig {
+        clients: vec![
+            ClientSpec::closed_loop(256, 200, 4 * requests).with_qos(QosClass::High),
+            ClientSpec::closed_loop(256, 200, 4 * requests).with_qos(QosClass::High),
+            ClientSpec::closed_loop(bytes, think, requests).with_qos(QosClass::Normal),
+            ClientSpec::closed_loop(bytes, think, requests).with_qos(QosClass::Low),
+        ],
+        ..ServiceConfig::default()
+    }
+}
+
+/// The contended scenario paired with the default [`FairnessPolicy::Aging`]
+/// policy — drop the pair straight into
+/// `SystemConfig::with_service(..).with_fairness(..)`.
+pub fn aging_service(bytes: usize, requests: u64) -> (ServiceConfig, FairnessPolicy) {
+    (contended_qos_service(bytes, requests), FairnessPolicy::aging())
+}
+
+/// The contended scenario paired with the default
+/// [`FairnessPolicy::WeightedFair`] policy (deficit round robin over the
+/// tenants' QoS weights).
+pub fn wfq_service(bytes: usize, requests: u64) -> (ServiceConfig, FairnessPolicy) {
+    (
+        contended_qos_service(bytes, requests),
+        FairnessPolicy::weighted_fair(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +243,25 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_load_rejected() {
         gap_for_offered_mbps(1, 8, 0);
+    }
+
+    #[test]
+    fn contended_scenario_shape() {
+        let cfg = contended_qos_service(64, 100);
+        assert_eq!(cfg.clients.len(), 4);
+        assert_eq!(cfg.clients[0].qos, QosClass::High, "saturating aggressor");
+        assert_eq!(cfg.clients[1].qos, QosClass::High);
+        assert_eq!(cfg.clients[2].qos, QosClass::Normal);
+        assert_eq!(cfg.clients[3].qos, QosClass::Low);
+        // The aggressors outlast the measured tenants.
+        assert_eq!(cfg.clients[0].requests, 400);
+        assert_eq!(cfg.clients[3].requests, 100);
+        assert_eq!(contended_qos_service(64, 100), cfg, "deterministic");
+        let (a_cfg, a_pol) = aging_service(64, 100);
+        assert_eq!(a_cfg, cfg);
+        assert!(matches!(a_pol, FairnessPolicy::Aging { .. }));
+        let (w_cfg, w_pol) = wfq_service(64, 100);
+        assert_eq!(w_cfg, cfg);
+        assert!(matches!(w_pol, FairnessPolicy::WeightedFair { .. }));
     }
 }

@@ -47,7 +47,8 @@ pub use mix::{
     AppRef, Workload,
 };
 pub use clients::{
-    assign_qos, bursty_service, closed_loop_service, gap_for_offered_mbps, poisson_service,
+    aging_service, assign_qos, bursty_service, closed_loop_service, contended_qos_service,
+    gap_for_offered_mbps, poisson_service, wfq_service,
 };
 pub use rng_app::{
     rng_gap_for_throughput, RngBenchmark, RNG_BURST_REQUESTS, RNG_THROUGHPUTS_MBPS,

@@ -1,85 +1,125 @@
-//! Concurrent RNG server: many OS threads drawing random bytes from one
-//! shared simulated DR-STRaNGe system, with per-tenant QoS.
+//! Concurrent RNG server under three fairness policies: many OS threads
+//! drawing random bytes from one shared simulated DR-STRaNGe system,
+//! with per-tenant QoS — and the same contended 4-tenant scenario run
+//! under `Strict`, `Aging`, and `WeightedFair` tenant scheduling.
 //!
-//! Two interactive tenants — one `High` QoS, one `Low` — run closed
-//! loops from their own host threads while an autonomous Poisson tenant
-//! floods the service with background load. The driver thread advances
-//! virtual time deterministically (`Pacing::Virtual`), so this prints
-//! the same numbers on every run regardless of host scheduling.
+//! The scenario (the shared `contended_qos_service` shape): two
+//! saturating High-priority aggressors run closed loops of 256-byte
+//! requests — 32 words each, exactly the RNG queue's capacity, with a
+//! 200-cycle think time — while a Normal and a Low tenant issue modest
+//! 64-byte requests. Under strict Section 5.2 priority the Low tenant
+//! starves outright (p99 near two million cycles); priority aging (the
+//! paper's `stall_limit` idea generalized to tenants) and weighted fair
+//! queueing bound it, for a small toll on the aggressors.
+//!
+//! The driver thread advances virtual time deterministically
+//! (`Pacing::Virtual`), so this prints the same numbers on every run
+//! regardless of host scheduling.
 //!
 //! Run with: `cargo run --release --example concurrent_server`
 
 use std::thread;
 
-use dr_strange::core::{ClientSpec, QosClass, ServiceConfig, System, SystemConfig};
-use dr_strange::server::{Pacing, RngServer};
+use dr_strange::core::{
+    ArrivalProcess, ClientSpec, FairnessPolicy, ServiceConfig, System, SystemConfig,
+};
+use dr_strange::server::{Pacing, RngServer, ServerReport};
 use dr_strange::trng::DRange;
+use dr_strange::workloads::contended_qos_service;
 
-const REQUESTS: u64 = 150;
-// 256-byte requests: 32 words each, exactly the RNG queue's capacity, so
-// the two tenants genuinely contend for queue slots every cycle.
-const BYTES: usize = 256;
-const THINK: u64 = 200; // aggressive closed loop: contention is the point
+const REQUESTS: u64 = 50;
+/// Request size (bytes) of the measured Normal/Low tenants.
+const TENANT_BYTES: usize = 64;
 
-fn main() {
-    let config = SystemConfig::dr_strange(0).with_service(ServiceConfig {
-        sessions: true,
-        ..ServiceConfig::default()
-    });
-    let system = System::new(config, Vec::new(), Box::new(DRange::new(7)))
-        .expect("valid configuration");
+/// Runs the contended 4-tenant scenario (sessions 0–1: High aggressors,
+/// 2: Normal, 3: Low) under `policy` and returns the final report. The
+/// tenant shapes are **derived from the shared `contended_qos_service`
+/// preset** — the same closed loops `tests/fairness.rs` and the
+/// `fairness` bench run synchronously — so this example, the tests, and
+/// `BENCH_fairness.json` cannot drift apart; here each tenant runs from
+/// its own host thread against the server facade.
+fn run_scenario(policy: FairnessPolicy) -> ServerReport {
+    let config = SystemConfig::dr_strange(0)
+        .with_fairness(policy)
+        .with_service(ServiceConfig {
+            sessions: true,
+            ..ServiceConfig::default()
+        });
+    let system =
+        System::new(config, Vec::new(), Box::new(DRange::new(7))).expect("valid configuration");
     let server = RngServer::start(system, Pacing::Virtual);
 
-    // Background load: an open-loop Poisson tenant below the mechanism's
-    // sustained rate (a saturating higher-priority backlog would starve
-    // the Low tenant outright — strict Section 5.2 priority has no
-    // aging), so the interactive tenants also compete with its traffic.
-    let _background = server.open_session(ClientSpec::poisson(32, 4_000, 500, 42));
-
-    let tenants = [("high", QosClass::High), ("low", QosClass::Low)];
-    let workers: Vec<_> = tenants
-        .iter()
-        .map(|&(name, qos)| {
-            let mut session = server.open_session(ClientSpec::manual(BYTES).with_qos(qos));
+    let workers: Vec<_> = contended_qos_service(TENANT_BYTES, REQUESTS)
+        .clients
+        .into_iter()
+        .map(|spec| {
+            let ArrivalProcess::ClosedLoop { think } = spec.arrival else {
+                panic!("contended scenario tenants are closed loops");
+            };
+            let (bytes, requests) = (spec.bytes, spec.requests);
+            let mut session =
+                server.open_session(ClientSpec::manual(bytes).with_qos(spec.qos));
             thread::spawn(move || {
-                let mut buf = [0u8; BYTES];
+                let mut buf = vec![0u8; bytes];
                 let mut checksum = 0u64;
-                for _ in 0..REQUESTS {
-                    session.getrandom(&mut buf, THINK);
+                for _ in 0..requests {
+                    session.getrandom(&mut buf, think);
                     checksum ^= u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
                 }
-                let id = session.id();
                 session.close();
-                (name, id, checksum)
+                checksum
             })
         })
         .collect();
-    let done: Vec<_> = workers
-        .into_iter()
-        .map(|w| w.join().expect("tenant thread"))
-        .collect();
-
-    let report = server.shutdown();
-    let seconds = report.cpu_cycles as f64 / 4e9;
-    println!(
-        "served {} requests ({} offered incl. background) in {:.1} µs of virtual time — {:.0} Mb/s",
-        report.stats.requests_completed,
-        report.stats.requests_offered,
-        seconds * 1e6,
-        report.stats.bytes_served as f64 * 8.0 / seconds / 1e6,
-    );
-    println!("buffer hit rate {:.0}%\n", report.stats.buffer_hit_rate() * 100.0);
-
-    println!("{:>6} {:>4} {:>8} {:>8} {:>16}", "tenant", "sess", "p50", "p99", "xor");
-    for (name, id, checksum) in done {
-        let p50 = report.stats.client_latency_percentile(id, 0.50).expect("served");
-        let p99 = report.stats.client_latency_percentile(id, 0.99).expect("served");
-        println!("{name:>6} {id:>4} {p50:>8} {p99:>8} {checksum:>16x}");
+    for w in workers {
+        w.join().expect("tenant thread");
     }
-    let high_p99 = report.stats.client_latency_percentile(1, 0.99).expect("served");
-    let low_p99 = report.stats.client_latency_percentile(2, 0.99).expect("served");
-    println!(
-        "\nSection 5.2 QoS separation under contention: high-tenant p99 {high_p99} vs \
-         low-tenant p99 {low_p99} CPU cycles"
-    );
+    server.shutdown()
+}
+
+fn main() {
+    let policies = [
+        ("Strict", FairnessPolicy::Strict),
+        ("Aging", FairnessPolicy::aging()),
+        ("WeightedFair", FairnessPolicy::weighted_fair()),
+    ];
+    let names = ["agg-0", "agg-1", "normal", "low"];
+
+    let mut low_p99 = Vec::new();
+    let mut high_p99 = Vec::new();
+    for (label, policy) in policies {
+        let report = run_scenario(policy);
+        let seconds = report.cpu_cycles as f64 / 4e9;
+        println!(
+            "{label}: served {} requests in {:.1} µs of virtual time — {:.0} Mb/s, \
+             buffer hit rate {:.0}%",
+            report.stats.requests_completed,
+            seconds * 1e6,
+            report.stats.bytes_served as f64 * 8.0 / seconds / 1e6,
+            report.stats.buffer_hit_rate() * 100.0,
+        );
+        println!("{:>8} {:>6} {:>9} {:>9}", "tenant", "qos", "p50", "p99");
+        for (id, name) in names.iter().enumerate() {
+            let qos = ["High", "High", "Normal", "Low"][id];
+            let p50 = report.stats.client_latency_percentile(id, 0.50).expect("served");
+            let p99 = report.stats.client_latency_percentile(id, 0.99).expect("served");
+            println!("{name:>8} {qos:>6} {p50:>9} {p99:>9}");
+        }
+        println!();
+        high_p99.push(report.stats.client_latency_percentile(0, 0.99).expect("served"));
+        low_p99.push(report.stats.client_latency_percentile(3, 0.99).expect("served"));
+    }
+
+    println!("Low-tenant p99 delta vs Strict (the starvation the fair policies remove):");
+    for (i, (label, _)) in policies.iter().enumerate().skip(1) {
+        println!(
+            "  {label:>12}: low p99 {} vs {} ({:.1}x lower); high p99 {} vs {} ({:.2}x)",
+            low_p99[i],
+            low_p99[0],
+            low_p99[0] as f64 / low_p99[i] as f64,
+            high_p99[i],
+            high_p99[0],
+            high_p99[i] as f64 / high_p99[0] as f64,
+        );
+    }
 }

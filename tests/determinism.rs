@@ -327,6 +327,56 @@ mod fastforward {
         }
 
         #[test]
+        fn aging_policy_is_bit_identical_across_modes() {
+            // Priority aging is a closed-form function of (now, arrival),
+            // so it must not perturb the next-event contract even under a
+            // mixed-QoS overload.
+            use dr_strange::core::FairnessPolicy;
+            use dr_strange::workloads::assign_qos;
+            let wl = &eval_pairs(5120)[10];
+            let service = assign_qos(
+                poisson_service(4, 32, 2560, 60, 13),
+                &[
+                    dr_strange::core::QosClass::High,
+                    dr_strange::core::QosClass::Normal,
+                    dr_strange::core::QosClass::Normal,
+                    dr_strange::core::QosClass::Low,
+                ],
+            );
+            let cfg = base(SystemConfig::dr_strange(2))
+                .with_fairness(FairnessPolicy::aging())
+                .with_service(with_requests(service, true));
+            assert_modes_identical(cfg, wl, "svc-aging");
+        }
+
+        #[test]
+        fn weighted_fair_policy_is_bit_identical_across_modes() {
+            // DRR deficits mutate only at live decision cycles; fast
+            // forward must replay the exact same schedule.
+            use dr_strange::core::FairnessPolicy;
+            use dr_strange::workloads::contended_qos_service;
+            let wl = &eval_pairs(5120)[4];
+            let cfg = base(SystemConfig::dr_strange(2))
+                .with_fairness(FairnessPolicy::weighted_fair())
+                .with_service(with_requests(contended_qos_service(64, 30), true));
+            assert_modes_identical(cfg, wl, "svc-wfq");
+        }
+
+        #[test]
+        fn k_or_timeout_coalescing_is_bit_identical_across_modes() {
+            // The widened arbitration window holds the RNG queue for a
+            // k-deep burst or a timeout; both checks run on live cycles
+            // the fast-forward path never skips.
+            use dr_strange::core::CoalesceWindow;
+            let wl = &eval_pairs(5120)[7];
+            let cfg = base(SystemConfig::dr_strange(2))
+                .with_buffer_entries(1)
+                .with_coalesce_window(CoalesceWindow::KOrTimeout { k: 6, timeout: 300 })
+                .with_service(with_requests(bursty_service(2, 24, 8, 9000, 48), true));
+            assert_modes_identical(cfg, wl, "svc-k-or-timeout");
+        }
+
+        #[test]
         fn service_with_probe_cache_off_is_bit_identical() {
             // The engine fill-probe memoization must be a pure
             // memoization under service traffic too.

@@ -1,0 +1,184 @@
+//! Fairness-policy behavior: the starvation regression suite (Low-tenant
+//! tail latency under saturating High-priority load is bounded by
+//! `Aging`/`WeightedFair` but unbounded-trending under `Strict`) and the
+//! Strict-oracle property test (the refactored pick function reproduces
+//! the pre-refactor priority path bit for bit).
+
+use dr_strange::core::sched::strict_pick;
+use dr_strange::core::{
+    ClientSpec, FairnessPolicy, QosClass, RunResult, ServiceConfig, System, SystemConfig,
+};
+use dr_strange::trng::DRange;
+use dr_strange::workloads::contended_qos_service;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+
+/// Runs the shared contended scenario (two saturating High-priority
+/// closed-loop aggressors + Normal + Low tenants) under `policy`.
+fn contended(policy: FairnessPolicy, requests: u64) -> RunResult {
+    let cfg = SystemConfig::dr_strange(0)
+        .with_fairness(policy)
+        .with_service(contended_qos_service(64, requests));
+    System::new(cfg, Vec::new(), Box::new(DRange::new(17)))
+        .expect("valid configuration")
+        .run()
+}
+
+/// An open-loop overload: one saturating High-priority Poisson tenant
+/// whose backlog grows for the whole run, plus one Low closed-loop
+/// tenant. Under `Strict` the Low tenant's worst-case latency tracks the
+/// growing backlog; under `WeightedFair` its guaranteed share bounds it.
+fn open_loop_overload(policy: FairnessPolicy, requests: u64) -> RunResult {
+    let cfg = SystemConfig::dr_strange(0)
+        .with_fairness(policy)
+        .with_service(ServiceConfig {
+            clients: vec![
+                ClientSpec::poisson(32, 1200, requests, 5).with_qos(QosClass::High),
+                ClientSpec::closed_loop(64, 5_000, requests / 4).with_qos(QosClass::Low),
+            ],
+            ..ServiceConfig::default()
+        });
+    System::new(cfg, Vec::new(), Box::new(DRange::new(5)))
+        .expect("valid configuration")
+        .run()
+}
+
+fn tenant_pct(res: &RunResult, client: usize, q: f64) -> u64 {
+    res.service
+        .as_ref()
+        .expect("service stats")
+        .client_latency_percentile(client, q)
+        .expect("tenant completions")
+}
+
+#[test]
+fn strict_starves_low_while_aging_and_wfq_bound_it() {
+    // The acceptance numbers of the fairness-policy layer, asserted on
+    // the shared contended scenario: the fair policies cut the Low
+    // tenant's p99 by well over 5x while the High aggressor's p99
+    // regresses by at most 2x. (Measured: Strict low p99 ~1.94M vs
+    // ~83k under Aging and ~38k under WeightedFair; High p99 26.6k ->
+    // 40k under either fair policy.)
+    let strict = contended(FairnessPolicy::Strict, 50);
+    let aging = contended(FairnessPolicy::aging(), 50);
+    let wfq = contended(FairnessPolicy::weighted_fair(), 50);
+    for res in [&strict, &aging, &wfq] {
+        assert!(!res.hit_cycle_limit, "contended runs must drain");
+    }
+    let (strict_low, strict_high) = (tenant_pct(&strict, 3, 0.99), tenant_pct(&strict, 0, 0.99));
+    let (aging_low, aging_high) = (tenant_pct(&aging, 3, 0.99), tenant_pct(&aging, 0, 0.99));
+    let (wfq_low, wfq_high) = (tenant_pct(&wfq, 3, 0.99), tenant_pct(&wfq, 0, 0.99));
+    assert!(
+        strict_low >= 10 * strict_high,
+        "Strict must starve the Low tenant: low p99 {strict_low} vs high p99 {strict_high}"
+    );
+    assert!(
+        aging_low * 5 <= strict_low,
+        "Aging must cut the Low-tenant p99 >= 5x: {aging_low} vs {strict_low}"
+    );
+    assert!(
+        wfq_low * 5 <= strict_low,
+        "WeightedFair must cut the Low-tenant p99 >= 5x: {wfq_low} vs {strict_low}"
+    );
+    assert!(
+        aging_high <= 2 * strict_high,
+        "Aging may cost the High tenant at most 2x: {aging_high} vs {strict_high}"
+    );
+    assert!(
+        wfq_high <= 2 * strict_high,
+        "WeightedFair may cost the High tenant at most 2x: {wfq_high} vs {strict_high}"
+    );
+}
+
+#[test]
+fn fair_policies_stay_bounded_as_the_run_doubles() {
+    // Doubling the run length leaves the fair policies' Low-tenant p99
+    // essentially flat (bounded starvation), while Strict keeps it an
+    // order of magnitude above them at either scale.
+    for policy in [FairnessPolicy::aging(), FairnessPolicy::weighted_fair()] {
+        let short = contended(policy, 50);
+        let long = contended(policy, 100);
+        let (s, l) = (tenant_pct(&short, 3, 0.99), tenant_pct(&long, 3, 0.99));
+        assert!(
+            l * 2 <= 3 * s,
+            "{policy:?}: doubled run must not inflate Low p99 ({s} -> {l})"
+        );
+        let strict_long = contended(FairnessPolicy::Strict, 100);
+        assert!(tenant_pct(&strict_long, 3, 0.99) >= 5 * l);
+    }
+}
+
+#[test]
+fn strict_worst_case_trends_with_the_backlog_but_wfq_does_not() {
+    // Open-loop overload: the High tenant's backlog grows for the whole
+    // run. Strict's Low-tenant worst case tracks it (unbounded-trending:
+    // it keeps growing as the horizon doubles); WeightedFair's
+    // guaranteed share keeps the worst case flat; Aging sits in between
+    // (it degenerates to age-ordered FIFO, so it follows the queueing
+    // delay but stays well below Strict).
+    let horizons = [200u64, 400, 800];
+    let max_at = |policy, requests| {
+        let res = open_loop_overload(policy, requests);
+        assert!(!res.hit_cycle_limit);
+        tenant_pct(&res, 1, 1.0)
+    };
+    let strict: Vec<u64> = horizons.iter().map(|&r| max_at(FairnessPolicy::Strict, r)).collect();
+    let wfq: Vec<u64> = horizons
+        .iter()
+        .map(|&r| max_at(FairnessPolicy::weighted_fair(), r))
+        .collect();
+    assert!(
+        strict[1] * 2 >= strict[0] * 3 && strict[2] * 2 >= strict[1] * 3,
+        "Strict worst case must keep growing with the horizon: {strict:?}"
+    );
+    assert!(
+        wfq[2] * 5 <= wfq[0] * 6,
+        "WeightedFair worst case must stay flat across horizons: {wfq:?}"
+    );
+    assert!(wfq[2] * 5 <= strict[2], "WFQ bounds what Strict lets grow");
+    let aging_longest = max_at(FairnessPolicy::aging(), horizons[2]);
+    assert!(
+        aging_longest * 2 <= strict[2],
+        "Aging must stay well below Strict's trending worst case: {aging_longest} vs {}",
+        strict[2]
+    );
+}
+
+proptest! {
+    /// `strict_pick` is bit-identical to the pre-refactor priority path:
+    /// `max_by_key((priority, Reverse((arrival, id))))` over the queued
+    /// entries, and plain FIFO (index 0) for a uniformly prioritized,
+    /// arrival-ordered queue.
+    #[test]
+    fn strict_pick_matches_the_pre_refactor_path(
+        entries in proptest::collection::vec((0u8..4, 0u64..1_000), 1..24),
+    ) {
+        // Assign unique ids in queue order; arrivals become a running
+        // maximum for the FIFO half of the check.
+        let queue: Vec<(u8, u64, u64)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, a))| (p, a, i as u64 + 1))
+            .collect();
+        let oracle = queue
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &(p, a, id))| (p, Reverse((a, id))))
+            .map(|(i, _)| i);
+        prop_assert_eq!(strict_pick(queue.iter().copied()), oracle);
+
+        let mut running = 0;
+        let fifo: Vec<(u8, u64, u64)> = queue
+            .iter()
+            .map(|&(_, a, id)| {
+                running = running.max(a);
+                (1, running, id)
+            })
+            .collect();
+        prop_assert_eq!(
+            strict_pick(fifo.iter().copied()),
+            Some(0),
+            "uniform priorities over an arrival-ordered queue are FIFO"
+        );
+    }
+}
