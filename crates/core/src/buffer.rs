@@ -126,6 +126,17 @@ impl RandomNumberBuffer {
         self.partial = 0;
         self.partial_bits = 0;
     }
+
+    /// Discards up to `count` stored words, oldest first (the
+    /// fault-injection integrity-check hook: flagged-corrupt words are
+    /// dropped, never served). Returns how many were actually discarded.
+    /// The partial word is untouched — only complete words carry an
+    /// integrity tag.
+    pub fn discard_words(&mut self, count: usize) -> usize {
+        let n = count.min(self.words.len());
+        self.words.drain(..n);
+        n
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +197,19 @@ mod tests {
         b.push_bits(0xCD, 64);
         b.clear();
         assert_eq!(b.available_bits(), 0);
+    }
+
+    #[test]
+    fn discard_words_drops_oldest_and_caps_at_occupancy() {
+        let mut b = RandomNumberBuffer::new(4);
+        for w in 1u64..=3 {
+            b.push_bits(w, 64);
+        }
+        b.push_bits(0xF, 4); // partial word survives discards
+        assert_eq!(b.discard_words(2), 2);
+        assert_eq!(b.pop_word(), Some(3), "oldest words go first");
+        assert_eq!(b.discard_words(5), 0, "capped at occupancy");
+        assert_eq!(b.available_bits(), 4);
     }
 
     proptest! {

@@ -4,6 +4,7 @@
 use strange_cpu::CoreConfig;
 use strange_dram::{ConfigError, Geometry, TimingParams};
 
+use crate::faults::FaultPlan;
 use crate::sched::{CoalesceWindow, FairnessPolicy};
 use crate::service::{QosClass, ServiceConfig};
 
@@ -146,6 +147,10 @@ pub struct SystemConfig {
     /// [`CoalesceWindow::Stability`], the paper-faithful one-cycle
     /// stability wait).
     pub coalesce: CoalesceWindow,
+    /// Deterministic fault schedule (channel outages, stall storms,
+    /// entropy derating, buffer corruption) applied by the engine at
+    /// exact DRAM-bus cycles. Empty — no faults — by default.
+    pub fault_plan: FaultPlan,
 }
 
 impl SystemConfig {
@@ -176,6 +181,7 @@ impl SystemConfig {
             service: ServiceConfig::default(),
             fairness: FairnessPolicy::Strict,
             coalesce: CoalesceWindow::Stability,
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -288,6 +294,12 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the deterministic fault schedule.
+    pub fn with_fault_plan(mut self, fault_plan: FaultPlan) -> Self {
+        self.fault_plan = fault_plan;
+        self
+    }
+
     /// Priority level of `core` (1 when unset — all applications equal).
     pub fn priority_of(&self, core: usize) -> u8 {
         self.priorities.get(core).copied().unwrap_or(1)
@@ -394,6 +406,7 @@ impl SystemConfig {
                 constraint: "be nonzero (k = 1 disables coalescing)",
             });
         }
+        self.fault_plan.validate(self.geometry.channels)?;
         self.geometry.validate()?;
         self.timing.validate()?;
         Ok(())
@@ -486,6 +499,19 @@ mod tests {
         let zero_k = SystemConfig::dr_strange(2)
             .with_coalesce_window(CoalesceWindow::KOrTimeout { k: 0, timeout: 400 });
         assert!(zero_k.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plans_are_validated_against_the_geometry() {
+        let ok = SystemConfig::dr_strange(2)
+            .with_fault_plan(FaultPlan::new().outage(1_000, 3, 500).corruption(2_000, 8));
+        ok.validate().unwrap();
+        let bad_channel =
+            SystemConfig::dr_strange(2).with_fault_plan(FaultPlan::new().outage(1_000, 4, 500));
+        assert!(bad_channel.validate().is_err(), "channel 4 of 4 is out of range");
+        let unsorted = SystemConfig::dr_strange(2)
+            .with_fault_plan(FaultPlan::new().corruption(2_000, 8).outage(1_000, 0, 500));
+        assert!(unsorted.validate().is_err());
     }
 
     #[test]

@@ -30,6 +30,7 @@ use strange_trng::TrngMechanism;
 
 use crate::buffer::RandomNumberBuffer;
 use crate::config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SystemConfig};
+use crate::faults::FaultKind;
 use crate::sched::{effective_priority, strict_pick, CoalesceWindow, DrrState, FairnessPolicy};
 use crate::predictor::{
     AlwaysLongPredictor, IdlenessPredictor, Prediction, QlearningPredictor, SimplePredictor,
@@ -161,6 +162,24 @@ pub struct MemSubsystem {
     demand_finish: Option<u64>,
     rng_stall_counter: u64,
     rng_queue_len_last: usize,
+    /// Next unapplied `config.fault_plan` event (events fire in order on
+    /// their exact cycles; pending cycles bound `next_event_at`).
+    fault_next: usize,
+    /// Per-channel cycle (exclusive) until which a `ChannelOutage`
+    /// excludes the channel from TRNG generation; 0 = healthy.
+    chan_out_until: Vec<u64>,
+    /// Cycle (exclusive) until which `EntropyDerate` reduces the usable
+    /// bits per generation round to `derate_num / derate_den`.
+    derate_until: u64,
+    /// Active derate fraction, numerator.
+    derate_num: u32,
+    /// Active derate fraction, denominator.
+    derate_den: u32,
+    /// Running estimate (3/4-weighted EWMA) of one demand-generation
+    /// episode's cost in DRAM cycles; 2× this, on the CPU clock, is the
+    /// [`FairnessPolicy::AdaptiveAging`] quantum. Updated only at episode
+    /// starts (live cycles), so it is fast-forward safe.
+    demand_cost_est: u64,
     mem_now: u64,
     next_id: RequestId,
     next_rng_channel: u32,
@@ -221,6 +240,9 @@ impl MemSubsystem {
                 break;
             }
         }
+        // Seed the adaptive-aging estimate with the mechanism's closed-form
+        // uncontended episode cost; observed episodes refine it.
+        let demand_cost_est = mechanism.demand_latency_cycles(geometry.channels);
         MemSubsystem {
             mapping: strange_dram::AddressMapping::new(geometry).expect("validated geometry"),
             buffer,
@@ -231,6 +253,12 @@ impl MemSubsystem {
             demand_finish: None,
             rng_stall_counter: 0,
             rng_queue_len_last: 0,
+            fault_next: 0,
+            chan_out_until: vec![0; geometry.channels as usize],
+            derate_until: 0,
+            derate_num: 1,
+            derate_den: 1,
+            demand_cost_est,
             mem_now: 0,
             next_id: 0,
             next_rng_channel: 0,
@@ -309,6 +337,73 @@ impl MemSubsystem {
         self.config.priorities.iter().any(|&p| p != 1)
     }
 
+    /// Whether channel `i`'s TRNG cells are out at `now` (excluded from
+    /// demand generation and fill rounds; regular traffic unaffected).
+    fn chan_out(&self, i: usize, now: u64) -> bool {
+        now < self.chan_out_until[i]
+    }
+
+    /// Usable true-random bits per generation round at `now`: the
+    /// mechanism's nominal yield, reduced to the active derate fraction
+    /// (minimum 1) while an [`FaultKind::EntropyDerate`] window is open.
+    fn effective_batch_bits(&self, now: u64) -> u32 {
+        let bits = self.mechanism.batch_bits();
+        if now < self.derate_until {
+            ((bits as u64 * self.derate_num as u64 / self.derate_den as u64) as u32).max(1)
+        } else {
+            bits
+        }
+    }
+
+    /// The [`FairnessPolicy::AdaptiveAging`] quantum in **CPU cycles**:
+    /// 2× the running demand-episode cost estimate, converted through the
+    /// 5:1 clock ratio (engine-side consumers scale it back down).
+    pub fn adaptive_aging_quantum(&self) -> u64 {
+        (2 * self.demand_cost_est).max(1) * CPU_CYCLES_PER_MEM_CYCLE
+    }
+
+    /// Applies every fault-plan event due at or before `now`, in plan
+    /// order. Pending event cycles bound [`MemSubsystem::next_event_at`],
+    /// so both simulation modes land a live tick on each event's exact
+    /// cycle and the mutations below never fall inside a skipped span.
+    fn apply_due_faults(&mut self, now: u64) {
+        while let Some(ev) = self.config.fault_plan.events.get(self.fault_next) {
+            if ev.at > now {
+                break;
+            }
+            let kind = ev.kind;
+            self.fault_next += 1;
+            self.stats.faults_injected += 1;
+            match kind {
+                FaultKind::ChannelOutage { channel, duration } => {
+                    let i = channel as usize;
+                    self.chan_out_until[i] = self.chan_out_until[i].max(now + duration);
+                    // Outages flip fill predicates without touching any
+                    // channel epoch; recovery bounds live in
+                    // `fill_bound_scan` and the probe's `valid_until`.
+                    self.touch_fill();
+                }
+                FaultKind::StallStorm { channel, duration } => {
+                    // The blockade machinery already owns "no commands
+                    // issue until cycle X": next-event and probe-cache
+                    // handling of the recovery edge come for free.
+                    self.channels[channel as usize].block_until(now + duration);
+                    self.touch_fill();
+                }
+                FaultKind::EntropyDerate { num, den, duration } => {
+                    self.derate_until = now + duration;
+                    self.derate_num = num;
+                    self.derate_den = den;
+                }
+                FaultKind::BufferCorruption { words } => {
+                    let discarded = self.buffer.discard_words(words as usize);
+                    self.stats.corrupted_words_discarded += discarded as u64;
+                    self.touch_fill();
+                }
+            }
+        }
+    }
+
     /// Flushes end-of-run accounting (open idle periods).
     pub fn finish(&mut self) {
         for ch in &mut self.channels {
@@ -336,6 +431,10 @@ impl MemSubsystem {
         let mut event = u64::MAX;
         if let Some(f) = self.demand_finish {
             event = event.min(f);
+        }
+        if let Some(ev) = self.config.fault_plan.events.get(self.fault_next) {
+            // The next scheduled fault mutates state on its exact cycle.
+            event = event.min(ev.at);
         }
         if let Some(&Reverse((due, _, _, _, _))) = self.rng_done.peek() {
             event = event.min(due);
@@ -390,12 +489,14 @@ impl MemSubsystem {
         }
         let bound = self.fill_bound_scan(now);
         if self.config.probe_cache {
-            // Blockade expiries re-enable suppressed fill predicates with
-            // no state mutation, so the entry dies at the earliest one.
+            // Blockade and outage expiries re-enable suppressed fill
+            // predicates with no state mutation, so the entry dies at the
+            // earliest one.
             let valid_until = self
                 .channels
                 .iter()
                 .map(|ch| ch.blocked_until())
+                .chain(self.chan_out_until.iter().copied())
                 .filter(|&b| b > now)
                 .min()
                 .unwrap_or(u64::MAX);
@@ -413,6 +514,13 @@ impl MemSubsystem {
     /// oracle).
     fn fill_bound_scan(&self, now: u64) -> u64 {
         let mut event = u64::MAX;
+        // An outage expiry re-enables this channel's fill predicates by
+        // time passage alone; the recovery cycle must tick live.
+        for &until in &self.chan_out_until {
+            if until > now {
+                event = event.min(until);
+            }
+        }
         match self.config.fill {
             FillMode::None => {}
             FillMode::GreedyOracle => {
@@ -449,14 +557,18 @@ impl MemSubsystem {
                             && !self.buffer.is_full()
                             && !demand_active
                             && !ch.is_blocked(now)
+                            && !self.chan_out(i, now)
                         {
-                            // A fill round would start this cycle.
+                            // A fill round would start this cycle. (An
+                            // out channel waits for its recovery bound,
+                            // emitted above.)
                             return now;
                         }
                     } else if low_util > 0
                         && st.fill_end.is_none()
                         && !demand_active
                         && !ch.is_blocked(now)
+                        && !self.chan_out(i, now)
                         && !self.buffer.is_full()
                         && ch.read_queue_len() < low_util
                     {
@@ -522,6 +634,11 @@ impl MemSubsystem {
     pub fn tick(&mut self, now: u64, completions: &mut Vec<Completion>) {
         self.mem_now = now;
 
+        // Scheduled faults fire first: the rest of this tick already sees
+        // the degraded world (outage exclusions, blockades, derated
+        // yields, discarded buffer words).
+        self.apply_due_faults(now);
+
         // Demand-generation episode ends. Per the paper's flowchart
         // (Figure 4, track d): if a channel remains idle after random
         // number generation, keep filling the buffer — the timing
@@ -535,6 +652,7 @@ impl MemSubsystem {
                         if self.channels[i].queues_empty()
                             && !self.buffer.is_full()
                             && !self.channels[i].is_blocked(now)
+                            && !self.chan_out(i, now)
                         {
                             self.start_fill_round(i, now, 0, false);
                         }
@@ -648,9 +766,14 @@ impl MemSubsystem {
                         0 // arrival-ordered queue: FIFO is priority order
                     }
                 }
-                FairnessPolicy::Aging { quantum } => {
+                FairnessPolicy::Aging { .. } | FairnessPolicy::AdaptiveAging => {
                     // The engine runs on the DRAM bus clock; scale the
-                    // CPU-cycle quantum through the 5:1 clock ratio.
+                    // CPU-cycle quantum (static, or derived from the
+                    // observed episode cost) through the 5:1 clock ratio.
+                    let quantum = match self.config.fairness {
+                        FairnessPolicy::Aging { quantum } => quantum,
+                        _ => self.adaptive_aging_quantum(),
+                    };
                     let qm = (quantum / CPU_CYCLES_PER_MEM_CYCLE).max(1);
                     self.rng_queue
                         .iter()
@@ -785,20 +908,65 @@ impl MemSubsystem {
 
         if go {
             self.rng_stall_counter = 0;
-            let requests: Vec<Request> = self.rng_queue.drain(..).collect();
+            let requests = self.take_episode_batch();
             self.start_demand_generation(now, requests);
         }
     }
 
-    /// Switches all channels into RNG mode and generates 64 bits for every
-    /// request in `requests` (the all-channel, minimum-latency on-demand
-    /// path described in Section 3).
+    /// Commits queued RNG requests to one generation episode. Under
+    /// [`FairnessPolicy::WeightedFair`] a tenant's share of the episode is
+    /// capped at `quantum × weight` words — a queue-hogging tenant cannot
+    /// claim more of a shared mode switch than its weight entitles it to;
+    /// its excess requests stay queued for the next episode (the queue
+    /// remaining non-empty pins the engine to live ticks, so the deferral
+    /// is fast-forward safe). Every other policy drains the whole queue
+    /// (the paper's burst-sharing behavior).
+    fn take_episode_batch(&mut self) -> Vec<Request> {
+        let FairnessPolicy::WeightedFair { quantum } = self.config.fairness else {
+            return self.rng_queue.drain(..).collect();
+        };
+        let queued: Vec<Request> = self.rng_queue.drain(..).collect();
+        // Per-tenant words taken so far; the RNG queue holds at most
+        // `rng_queue_capacity` (32) entries, so a linear scan suffices.
+        let mut shares: Vec<(usize, u64)> = Vec::new();
+        let mut taken = Vec::new();
+        for req in queued {
+            let cap =
+                quantum as u64 * FairnessPolicy::weight_of(self.config.priority_of(req.core));
+            let share = match shares.iter_mut().find(|(core, _)| *core == req.core) {
+                Some((_, n)) => n,
+                None => {
+                    shares.push((req.core, 0));
+                    &mut shares.last_mut().expect("just pushed").1
+                }
+            };
+            if *share < cap {
+                *share += 1;
+                taken.push(req);
+            } else {
+                self.stats.demand_batch_deferrals += 1;
+                self.rng_queue.push_back(req);
+            }
+        }
+        // `cap >= 1` always admits each tenant's oldest request, so the
+        // episode is never empty.
+        taken
+    }
+
+    /// Switches the healthy channels into RNG mode and generates 64 bits
+    /// for every request in `requests` (the all-channel, minimum-latency
+    /// on-demand path described in Section 3 — degraded to the surviving
+    /// channels when a [`FaultKind::ChannelOutage`] is active: fewer bits
+    /// per round means more rounds, i.e. graceful degradation at reduced
+    /// rate rather than failure).
     fn start_demand_generation(&mut self, now: u64, requests: Vec<Request>) {
         debug_assert!(!requests.is_empty());
         self.touch_fill();
         // Resolve any in-flight fill rounds first: their bits land, their
-        // occupancy is folded into the episode start.
-        let fill_bits = self.mechanism.batch_bits();
+        // occupancy is folded into the episode start. (Rounds that started
+        // before an outage still deliver — the cells sampled before the
+        // fault are good.)
+        let fill_bits = self.effective_batch_bits(now);
         for i in 0..self.fill.len() {
             if self.fill[i].fill_end.take().is_some() {
                 self.deliver_batch_bits(fill_bits);
@@ -806,23 +974,48 @@ impl MemSubsystem {
             }
         }
 
+        // Failover: only channels whose TRNG cells are healthy at `now`
+        // participate. If every channel is out, the episode waits for the
+        // earliest recovery (degraded to a single just-recovered channel).
+        let mut live: Vec<usize> =
+            (0..self.channels.len()).filter(|&i| !self.chan_out(i, now)).collect();
         let mut ready = now;
-        for ch in &mut self.channels {
-            ready = ready.max(ch.blocked_until());
-            ready = ready.max(ch.prepare_rng_mode(now));
+        if live.is_empty() {
+            let (first, until) = self
+                .chan_out_until
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| (i, u))
+                .min_by_key(|&(i, u)| (u, i))
+                .expect("at least one channel");
+            ready = until;
+            live.push(first);
+        }
+        let eff_bits = self.effective_batch_bits(now);
+        if live.len() < self.channels.len() || eff_bits < self.mechanism.batch_bits() {
+            self.stats.degraded_generations += 1;
+        }
+        for &i in &live {
+            ready = ready.max(self.channels[i].blocked_until());
+            ready = ready.max(self.channels[i].prepare_rng_mode(now));
         }
         let mech = &mut self.mechanism;
         let start = ready + mech.demand_switch_cycles();
         let bits_needed = 64 * requests.len() as u64;
-        let per_round = mech.batch_bits() as u64 * self.channels.len() as u64;
+        let per_round = eff_bits as u64 * live.len() as u64;
         let rounds = bits_needed.div_ceil(per_round);
         let data_ready = start + rounds * mech.batch_latency();
         let finish = data_ready + mech.demand_switch_cycles();
         let cmds = mech.batch_commands();
-        for ch in &mut self.channels {
+        for &i in &live {
+            let ch = &mut self.channels[i];
             ch.block_until(finish);
             ch.note_rng_commands(cmds.acts * rounds, cmds.reads * rounds, cmds.pres * rounds);
         }
+        // Refine the adaptive-aging estimate from the observed cost (a
+        // live-cycle-only mutation, so fast-forward safe).
+        let cost = finish - now;
+        self.demand_cost_est = (3 * self.demand_cost_est + cost) / 4;
         for req in &requests {
             let value = self.mechanism.draw(64);
             self.log_value(value);
@@ -877,9 +1070,9 @@ impl MemSubsystem {
     /// idle period, zero occupancy, no commands. This is why the greedy
     /// design trails DR-STRaNGe: it cannot exploit the rest of a long idle
     /// period, nor low-utilization slack (Section 8.1).
-    fn greedy_fill_step(&mut self, _now: u64) {
+    fn greedy_fill_step(&mut self, now: u64) {
         let threshold = self.config.period_threshold;
-        let bits = self.mechanism.batch_bits();
+        let bits = self.effective_batch_bits(now);
         for i in 0..self.channels.len() {
             let idle_now = self.channels[i].queues_empty();
             if idle_now != self.fill[i].was_idle {
@@ -888,7 +1081,13 @@ impl MemSubsystem {
             }
             if idle_now {
                 self.fill[i].idle_len += 1;
-                if self.fill[i].idle_len == threshold && !self.buffer.is_full() {
+                if self.fill[i].idle_len == threshold
+                    && !self.buffer.is_full()
+                    && !self.chan_out(i, now)
+                {
+                    // An outage swallows this period's oracle batch (the
+                    // crossing still ticks live; only the delivery is
+                    // suppressed).
                     self.deliver_batch_bits(bits);
                     self.stats.greedy_batches += 1;
                 }
@@ -905,7 +1104,7 @@ impl MemSubsystem {
     fn predictive_fill_step(&mut self, now: u64) {
         let threshold = self.config.period_threshold;
         let low_util = self.config.low_util_threshold;
-        let batch_bits = self.mechanism.batch_bits();
+        let batch_bits = self.effective_batch_bits(now);
         let batch_latency = self.mechanism.batch_latency();
         let fill_switch = self.mechanism.fill_switch_cycles();
         let demand_active = self.demand_finish.is_some();
@@ -930,11 +1129,13 @@ impl MemSubsystem {
                         self.channels[i].block_until(now + fill_switch);
                     } else {
                         self.stats.fill_batches += 1;
-                        // Chain while the channel stays idle and the buffer
-                        // has room; otherwise restore timing parameters.
+                        // Chain while the channel stays idle (and healthy)
+                        // and the buffer has room; otherwise restore
+                        // timing parameters.
                         if self.channels[i].queues_empty()
                             && !self.buffer.is_full()
                             && !demand_active
+                            && !self.chan_out(i, now)
                         {
                             self.start_fill_round(i, now, 0, false);
                         } else {
@@ -965,12 +1166,14 @@ impl MemSubsystem {
                         self.fill[i].predict_addr = addr;
                     }
                 }
-                // Start (or resume) filling when predicted long.
+                // Start (or resume) filling when predicted long and the
+                // channel's TRNG cells are healthy.
                 if self.fill[i].prediction == Some(Prediction::Long)
                     && self.fill[i].fill_end.is_none()
                     && !self.buffer.is_full()
                     && !demand_active
                     && !self.channels[i].is_blocked(now)
+                    && !self.chan_out(i, now)
                 {
                     self.start_fill_round(i, now, fill_switch, false);
                 }
@@ -996,6 +1199,7 @@ impl MemSubsystem {
                     && self.fill[i].fill_end.is_none()
                     && !demand_active
                     && !self.channels[i].is_blocked(now)
+                    && !self.chan_out(i, now)
                     && !self.buffer.is_full()
                     && self.channels[i].read_queue_len() < low_util
                     && now >= self.fill[i].last_low_util_end + 8 * batch_latency

@@ -1,0 +1,263 @@
+//! Deterministic fault injection for the DR-STRaNGe engine.
+//!
+//! The paper argues the RNG must be an *end-to-end system* concern;
+//! a system concern includes surviving components that stop behaving.
+//! A [`FaultPlan`] schedules adverse events at exact DRAM-bus cycles —
+//! channel outages, stall storms, entropy-source derating, and buffer
+//! corruption — and the engine degrades gracefully through each of them:
+//!
+//! * [`FaultKind::ChannelOutage`] — the channel's TRNG cells become
+//!   unusable (e.g. a temperature excursion pushes the sampled cells out
+//!   of the D-RaNGe bias band, Section 4's reliability discussion).
+//!   Regular reads and writes continue; on-demand generation **fails
+//!   over to the surviving channels**, paying proportionally more rounds
+//!   per episode, and predictive filling skips the channel until it
+//!   recovers.
+//! * [`FaultKind::StallStorm`] — the whole channel stalls for a window
+//!   (mitigative refresh storms, thermal throttling): no commands issue,
+//!   which the engine models with the same blockade machinery RNG mode
+//!   uses.
+//! * [`FaultKind::EntropyDerate`] — each generation round yields fewer
+//!   usable true-random bits for a window, modeling the post-processing
+//!   path (`strange_trng::quality`-style health tests) rejecting a
+//!   fraction of raw cells; rounds keep their latency, so throughput
+//!   degrades by exactly the configured fraction.
+//! * [`FaultKind::BufferCorruption`] — an integrity check flags stored
+//!   words as corrupt at a given cycle and the buffer discards them
+//!   (the Section 6 flush hook); subsequent requests fall back to
+//!   on-demand generation until filling catches up.
+//!
+//! Every event fires on its exact scheduled cycle in both
+//! [`crate::SimMode::Reference`] and [`crate::SimMode::FastForward`]:
+//! pending event cycles bound the engine's `next_event_at`, active
+//! outage expiries bound the fill-state probe, and derating only changes
+//! decisions taken at live ticks — so the house bit-identity invariant
+//! holds under any plan (`tests/robustness.rs`).
+
+use strange_dram::ConfigError;
+
+/// What goes wrong at a [`FaultEvent`]'s cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Channel `channel`'s TRNG cells are unusable for `duration` cycles:
+    /// excluded from demand generation (failover to surviving channels)
+    /// and from fill rounds; regular traffic is unaffected.
+    ChannelOutage {
+        /// Channel index (must be within the configured geometry).
+        channel: u32,
+        /// DRAM-bus cycles the outage lasts (nonzero).
+        duration: u64,
+    },
+    /// Channel `channel` issues no commands for `duration` cycles
+    /// (refresh storm / thermal throttle): modeled as a blockade, so
+    /// regular requests queue up and drain after recovery.
+    StallStorm {
+        /// Channel index (must be within the configured geometry).
+        channel: u32,
+        /// DRAM-bus cycles the storm lasts (nonzero).
+        duration: u64,
+    },
+    /// For `duration` cycles, every generation round yields only
+    /// `num/den` of its nominal true-random bits (minimum 1), modeling
+    /// entropy-source health tests discarding biased cells. Round
+    /// latency is unchanged, so generation throughput drops by the same
+    /// fraction.
+    EntropyDerate {
+        /// Numerator of the usable-bit fraction.
+        num: u32,
+        /// Denominator of the usable-bit fraction (`num < den`, `den > 0`).
+        den: u32,
+        /// DRAM-bus cycles the derating lasts (nonzero).
+        duration: u64,
+    },
+    /// The integrity check discards up to `words` stored 64-bit words
+    /// from the random number buffer at this cycle (corrupt words are
+    /// never served — the Section 6 security property extended to
+    /// faulty storage).
+    BufferCorruption {
+        /// Number of words to discard (nonzero; capped at occupancy).
+        words: u32,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Absolute DRAM-bus cycle at which the fault fires.
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, applied by the engine at exact
+/// cycles. Build with the chainable constructors:
+///
+/// ```
+/// use strange_core::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .outage(10_000, 0, 50_000)
+///     .derate(20_000, 1, 4, 30_000)
+///     .corruption(25_000, 8);
+/// assert_eq!(plan.events.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled events, sorted by cycle (validated).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the default).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a [`FaultKind::ChannelOutage`] at cycle `at`.
+    pub fn outage(mut self, at: u64, channel: u32, duration: u64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::ChannelOutage { channel, duration },
+        });
+        self
+    }
+
+    /// Adds a [`FaultKind::StallStorm`] at cycle `at`.
+    pub fn stall_storm(mut self, at: u64, channel: u32, duration: u64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::StallStorm { channel, duration },
+        });
+        self
+    }
+
+    /// Adds a [`FaultKind::EntropyDerate`] at cycle `at`.
+    pub fn derate(mut self, at: u64, num: u32, den: u32, duration: u64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::EntropyDerate { num, den, duration },
+        });
+        self
+    }
+
+    /// Adds a [`FaultKind::BufferCorruption`] at cycle `at`.
+    pub fn corruption(mut self, at: u64, words: u32) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::BufferCorruption { words },
+        });
+        self
+    }
+
+    /// Validates the plan against a `channels`-channel geometry: events
+    /// sorted by cycle, channel indices in range, durations and fractions
+    /// meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self, channels: u32) -> Result<(), ConfigError> {
+        let mut last = 0u64;
+        for ev in &self.events {
+            if ev.at < last {
+                return Err(ConfigError::InvalidParameter {
+                    field: "fault_plan.events",
+                    constraint: "be sorted by cycle",
+                });
+            }
+            last = ev.at;
+            match ev.kind {
+                FaultKind::ChannelOutage { channel, duration }
+                | FaultKind::StallStorm { channel, duration } => {
+                    if channel >= channels {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.channel",
+                            constraint: "name a configured channel",
+                        });
+                    }
+                    if duration == 0 {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.duration",
+                            constraint: "be nonzero",
+                        });
+                    }
+                }
+                FaultKind::EntropyDerate { num, den, duration } => {
+                    if den == 0 || num >= den {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.derate",
+                            constraint: "satisfy num < den with den nonzero",
+                        });
+                    }
+                    if duration == 0 {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.duration",
+                            constraint: "be nonzero",
+                        });
+                    }
+                }
+                FaultKind::BufferCorruption { words } => {
+                    if words == 0 {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.words",
+                            constraint: "be nonzero",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_plan_keeps_order_and_validates() {
+        let plan = FaultPlan::new()
+            .outage(100, 1, 50)
+            .stall_storm(200, 0, 25)
+            .derate(300, 1, 2, 400)
+            .corruption(500, 4);
+        assert_eq!(plan.events.len(), 4);
+        plan.validate(4).unwrap();
+        assert!(FaultPlan::new().is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn unsorted_plan_rejected() {
+        let plan = FaultPlan::new().corruption(500, 4).outage(100, 0, 50);
+        assert!(plan.validate(4).is_err());
+    }
+
+    #[test]
+    fn out_of_range_channel_rejected() {
+        assert!(FaultPlan::new().outage(0, 4, 10).validate(4).is_err());
+        assert!(FaultPlan::new().stall_storm(0, 9, 10).validate(4).is_err());
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(FaultPlan::new().outage(0, 0, 0).validate(4).is_err());
+        assert!(FaultPlan::new().derate(0, 2, 2, 10).validate(4).is_err());
+        assert!(FaultPlan::new().derate(0, 1, 0, 10).validate(4).is_err());
+        assert!(FaultPlan::new().derate(0, 1, 2, 0).validate(4).is_err());
+        assert!(FaultPlan::new().corruption(0, 0).validate(4).is_err());
+    }
+
+    #[test]
+    fn equal_cycles_are_allowed() {
+        // Two faults on the same cycle apply in plan order.
+        let plan = FaultPlan::new().corruption(100, 1).outage(100, 0, 10);
+        plan.validate(4).unwrap();
+    }
+}

@@ -97,6 +97,7 @@
 mod buffer;
 mod config;
 mod engine;
+mod faults;
 mod interface;
 mod predictor;
 pub mod sched;
@@ -106,6 +107,7 @@ mod system;
 
 pub use buffer::RandomNumberBuffer;
 pub use config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SimMode, SystemConfig};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use engine::{AnyPolicy, Completion, MemSubsystem};
 pub use interface::RngDevice;
 pub use predictor::{

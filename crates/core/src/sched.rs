@@ -61,6 +61,15 @@ pub enum FairnessPolicy {
         /// DRAM clock, scale it by the 5:1 clock ratio).
         quantum: u64,
     },
+    /// Priority aging with a *derived* quantum: instead of a static
+    /// value, the quantum tracks 2× the engine's running estimate of one
+    /// on-demand generation episode's cost (mode switches + rounds), so
+    /// bounded-wait scales with the mechanism — a Low tenant overtakes a
+    /// High one after roughly two episodes' worth of waiting whether the
+    /// substrate is D-RaNGe (slow rounds) or QUAC-TRNG (fast rounds).
+    /// The estimate updates only at episode starts — live decision
+    /// cycles — so the policy stays fast-forward safe.
+    AdaptiveAging,
     /// Deficit round robin over tenants, weighted by QoS class
     /// (`weight = priority + 1`): each round, a tenant may serve up to
     /// `quantum × weight` 64-bit words before the turn passes on.
@@ -84,6 +93,12 @@ impl FairnessPolicy {
     /// weight per round — one 256-bit request's worth for a Low tenant).
     pub fn weighted_fair() -> Self {
         FairnessPolicy::WeightedFair { quantum: 4 }
+    }
+
+    /// Aging with the quantum derived from the observed generation-episode
+    /// cost (see [`FairnessPolicy::AdaptiveAging`]).
+    pub fn adaptive_aging() -> Self {
+        FairnessPolicy::AdaptiveAging
     }
 
     /// The DRR weight of a tenant with OS priority `priority`

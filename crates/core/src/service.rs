@@ -738,10 +738,16 @@ impl RngService {
                     blocked |= self.issue_words(ci, mem);
                 }
             }
-            FairnessPolicy::Aging { quantum } => {
+            FairnessPolicy::Aging { .. } | FairnessPolicy::AdaptiveAging => {
                 // (effective priority desc, oldest arrival, index): a
                 // dynamic re-sort of the Strict order with waiting time
                 // folded in. Clients with nothing to issue don't compete.
+                // AdaptiveAging reads the quantum off the engine's running
+                // episode-cost estimate instead of a static knob.
+                let quantum = match self.fairness {
+                    FairnessPolicy::Aging { quantum } => quantum,
+                    _ => mem.adaptive_aging_quantum(),
+                };
                 let mut order: Vec<(Reverse<u64>, u64, usize)> = self
                     .clients
                     .iter()

@@ -34,6 +34,16 @@ pub struct SystemStats {
     pub rng_wait_cycles: u64,
     /// Times the starvation-prevention limit forced RNG service.
     pub starvation_overrides: u64,
+    /// Fault-plan events applied (outages, storms, derating, corruption).
+    pub faults_injected: u64,
+    /// Demand-generation episodes that ran degraded: fewer live channels
+    /// than configured (outage failover) or derated bits per round.
+    pub degraded_generations: u64,
+    /// Buffer words discarded by corruption events (never served).
+    pub corrupted_words_discarded: u64,
+    /// RNG requests held back from a generation episode by the
+    /// weighted-fair per-tenant batch cap (served by a later episode).
+    pub demand_batch_deferrals: u64,
 }
 
 impl SystemStats {

@@ -1,0 +1,399 @@
+//! Closed-loop overload protection for the RNG server: admission
+//! control, request deadlines, and client-side retry backoff.
+//!
+//! A DRAM TRNG is a *rate-limited* entropy source — the paper's Figure 10
+//! buffer only hides bursts up to its 16-word capacity, after which every
+//! extra request queues behind a ~`demand_latency` generation episode.
+//! Under a flash crowd the RNG queue (and every tenant's tail latency)
+//! grows without bound. The admission layer bounds it by gating arrivals
+//! *before* they enter the simulated system:
+//!
+//! * **Per-tenant token buckets** throttle individually abusive sessions
+//!   ([`ShedReason::TenantThrottle`]).
+//! * **Global watermarks** over the engine's RNG queue depth and buffer
+//!   occupancy (the same signals [`crate::Snapshot`] exports) first
+//!   *defer* arrivals — re-scheduling them a fixed number of cycles
+//!   later — and past a harder watermark *shed* them outright
+//!   ([`ShedReason::QueueOverload`]).
+//!
+//! Every decision is a pure function of simulated state at the arrival's
+//! virtual cycle, so admission preserves the server's determinism
+//! contract: under [`crate::Pacing::Virtual`] a fixed submission schedule
+//! produces bit-identical accept/defer/shed decisions no matter how many
+//! OS threads submit.
+//!
+//! Requests may also carry a **deadline** (cycles from first scheduled
+//! arrival to completion). A request whose deadline passes — either
+//! because deferrals pushed it too late or because the simulated service
+//! latency exceeded it — resolves to [`SubmitOutcome::TimedOut`].
+//!
+//! [`Backoff`] is the client half of the loop: seeded-jitter exponential
+//! backoff for resubmitting shed requests without synchronized retry
+//! storms.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use strange_core::ServedRequest;
+
+/// Why an arrival was refused (carried in [`RetryAfter`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The session's token bucket was empty: this tenant individually
+    /// exceeds its provisioned request rate.
+    TenantThrottle,
+    /// Global overload: the engine RNG queue sat at or above the shed
+    /// watermark (or the arrival exhausted its defer budget).
+    QueueOverload,
+}
+
+/// Server hint accompanying a shed: when the refused tenant should try
+/// again, and why it was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryAfter {
+    /// Suggested wait in CPU cycles before resubmitting (for
+    /// [`ShedReason::TenantThrottle`], the exact time until the bucket
+    /// mints the next token).
+    pub cycles: u64,
+    /// Why the arrival was refused.
+    pub reason: ShedReason,
+}
+
+/// The resolution of one submitted request.
+#[derive(Debug, Clone)]
+pub enum SubmitOutcome {
+    /// The request was admitted, simulated, and served within its
+    /// deadline.
+    Served(ServedRequest),
+    /// Admission control refused the request; the payload says when to
+    /// retry. Nothing entered the simulated system.
+    Shed(RetryAfter),
+    /// The deadline elapsed: either deferrals pushed the arrival past it,
+    /// or the simulated service latency exceeded it (the words were
+    /// generated but are discarded — a deadline-expired `getrandom()`
+    /// caller is no longer waiting).
+    TimedOut {
+        /// Cycles from first scheduled arrival until resolution.
+        waited_cycles: u64,
+    },
+}
+
+impl SubmitOutcome {
+    /// The served result, or `None` for sheds and timeouts.
+    pub fn served(self) -> Option<ServedRequest> {
+        match self {
+            SubmitOutcome::Served(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Admission-control knobs. [`AdmissionConfig::disabled`] (the
+/// [`Default`]) accepts everything — the pre-admission server behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Master switch; `false` short-circuits every check to Accept.
+    pub enabled: bool,
+    /// Token-bucket burst capacity per session, in requests. 0 disables
+    /// per-tenant throttling.
+    pub bucket_capacity: u32,
+    /// CPU cycles to mint one token. 0 disables per-tenant throttling
+    /// (an infinitely fast refill).
+    pub cycles_per_token: u64,
+    /// Defer arrivals while the RNG queue is at/above this depth *and*
+    /// the buffer is at/below [`AdmissionConfig::buffer_low_words`].
+    pub defer_queue_depth: usize,
+    /// Shed arrivals outright at/above this RNG-queue depth.
+    pub shed_queue_depth: usize,
+    /// The buffer-occupancy watermark (in 64-bit words) below which the
+    /// defer watermark engages: a deep queue with a healthy buffer is a
+    /// transient, not an overload.
+    pub buffer_low_words: usize,
+    /// How many times one arrival may be deferred before being shed.
+    pub max_defers: u32,
+    /// How far (CPU cycles) each deferral pushes the arrival back.
+    pub defer_cycles: u64,
+}
+
+impl AdmissionConfig {
+    /// Admission control off: every arrival is accepted (the backward-
+    /// compatible default).
+    pub fn disabled() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            bucket_capacity: 0,
+            cycles_per_token: 0,
+            defer_queue_depth: usize::MAX,
+            shed_queue_depth: usize::MAX,
+            buffer_low_words: 0,
+            max_defers: 0,
+            defer_cycles: 0,
+        }
+    }
+
+    /// A protective default tuned to the paper's system point (16-entry
+    /// buffer, ~100 µs D-RaNGe demand episode at 4 GHz): defer at queue
+    /// depth 8 with a dry buffer, shed at 32, push deferrals back half an
+    /// episode, and cap tenants at `burst` requests refilled every
+    /// `cycles_per_token` cycles.
+    pub fn protective(burst: u32, cycles_per_token: u64) -> Self {
+        AdmissionConfig {
+            enabled: true,
+            bucket_capacity: burst,
+            cycles_per_token,
+            defer_queue_depth: 8,
+            shed_queue_depth: 32,
+            buffer_low_words: 2,
+            max_defers: 4,
+            defer_cycles: 200_000,
+        }
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig::disabled()
+    }
+}
+
+/// Counters summarizing the admission layer's work over a server run
+/// (part of [`crate::ServerReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Arrivals admitted into the simulated system.
+    pub accepted: u64,
+    /// Deferral events (one arrival deferred N times counts N).
+    pub deferred: u64,
+    /// Sheds due to an empty per-tenant token bucket.
+    pub shed_tenant_throttle: u64,
+    /// Sheds due to the global queue watermark or defer-budget
+    /// exhaustion.
+    pub shed_queue_overload: u64,
+    /// Requests resolved [`SubmitOutcome::TimedOut`] (pre-injection and
+    /// post-serve deadline misses combined).
+    pub timed_out: u64,
+}
+
+impl AdmissionStats {
+    /// Total requests refused (sheds of either kind, not timeouts).
+    pub fn shed(&self) -> u64 {
+        self.shed_tenant_throttle + self.shed_queue_overload
+    }
+
+    /// Fraction of resolved requests that were shed:
+    /// `shed / (accepted + shed)`. Zero-safe.
+    pub fn shed_fraction(&self) -> f64 {
+        let resolved = self.accepted + self.shed();
+        if resolved == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / resolved as f64
+        }
+    }
+}
+
+/// Per-session token-bucket state (driver-side).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TokenBucket {
+    tokens: u32,
+    /// Cycle up to which refills have been credited.
+    credited: u64,
+}
+
+impl TokenBucket {
+    pub(crate) fn new(now: u64, cfg: &AdmissionConfig) -> Self {
+        TokenBucket {
+            tokens: cfg.bucket_capacity,
+            credited: now,
+        }
+    }
+
+    /// Credits tokens minted since the last refill (integer math: one
+    /// token per `cycles_per_token`, capped at capacity, remainder
+    /// cycles carried forward).
+    fn refill(&mut self, now: u64, cfg: &AdmissionConfig) {
+        if cfg.cycles_per_token == 0 {
+            return;
+        }
+        let minted = (now.saturating_sub(self.credited)) / cfg.cycles_per_token;
+        if minted > 0 {
+            self.tokens = self
+                .tokens
+                .saturating_add(minted.min(u64::from(u32::MAX)) as u32)
+                .min(cfg.bucket_capacity);
+            self.credited += minted * cfg.cycles_per_token;
+        }
+        // A full bucket stops accruing: restart the mint clock so a long
+        // idle tenant cannot bank more than one capacity of burst.
+        if self.tokens == cfg.bucket_capacity {
+            self.credited = now;
+        }
+    }
+
+    /// Takes one token if available; on failure returns the cycles until
+    /// the next token mints.
+    pub(crate) fn try_take(&mut self, now: u64, cfg: &AdmissionConfig) -> Result<(), u64> {
+        if cfg.cycles_per_token == 0 || cfg.bucket_capacity == 0 {
+            return Ok(());
+        }
+        self.refill(now, cfg);
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            Ok(())
+        } else {
+            Err((self.credited + cfg.cycles_per_token).saturating_sub(now))
+        }
+    }
+}
+
+/// Seeded-jitter exponential backoff for resubmitting shed requests.
+///
+/// Each attempt waits `max(server hint, base << attempt)` plus a random
+/// jitter of up to half that span, drawn from a deterministic per-client
+/// seed — so retries are reproducible in tests yet de-synchronized
+/// across tenants (no thundering-herd resubmission).
+///
+/// # Examples
+///
+/// ```
+/// use strange_server::{Backoff, RetryAfter, ShedReason};
+///
+/// let mut b = Backoff::new(7, 1_000, 64_000, 4);
+/// let hint = RetryAfter { cycles: 500, reason: ShedReason::QueueOverload };
+/// let first = b.next_delay(&hint).expect("attempts remain");
+/// assert!(first >= 1_000 && first < 1_500 + 1_000);
+/// for _ in 0..3 {
+///     b.next_delay(&hint);
+/// }
+/// assert!(b.next_delay(&hint).is_none(), "budget exhausted");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: u64,
+    max: u64,
+    attempts: u32,
+    max_attempts: u32,
+    rng: SmallRng,
+}
+
+impl Backoff {
+    /// Creates a backoff policy: delays start at `base` cycles, double
+    /// per attempt, saturate at `max`, and give up after `max_attempts`.
+    pub fn new(seed: u64, base: u64, max: u64, max_attempts: u32) -> Self {
+        Backoff {
+            base: base.max(1),
+            max: max.max(1),
+            attempts: 0,
+            max_attempts,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The delay before the next retry, honoring the server's hint, or
+    /// `None` when the retry budget is exhausted.
+    pub fn next_delay(&mut self, hint: &RetryAfter) -> Option<u64> {
+        if self.attempts >= self.max_attempts {
+            return None;
+        }
+        let exp = self
+            .base
+            .saturating_mul(1u64 << self.attempts.min(32))
+            .min(self.max);
+        self.attempts += 1;
+        let floor = exp.max(hint.cycles);
+        let jitter = self.rng.gen_range(0..=floor / 2);
+        Some(floor + jitter)
+    }
+
+    /// Resets the attempt counter (call after a successful submission).
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(burst: u32, cpt: u64) -> AdmissionConfig {
+        AdmissionConfig {
+            enabled: true,
+            bucket_capacity: burst,
+            cycles_per_token: cpt,
+            ..AdmissionConfig::protective(burst, cpt)
+        }
+    }
+
+    #[test]
+    fn bucket_mints_on_schedule() {
+        let c = cfg(2, 100);
+        let mut b = TokenBucket::new(0, &c);
+        assert!(b.try_take(0, &c).is_ok());
+        assert!(b.try_take(0, &c).is_ok());
+        // Empty: next token at cycle 100.
+        assert_eq!(b.try_take(10, &c), Err(90));
+        assert!(b.try_take(100, &c).is_ok());
+        assert_eq!(b.try_take(150, &c), Err(50));
+    }
+
+    #[test]
+    fn bucket_caps_idle_accrual_at_capacity() {
+        let c = cfg(2, 100);
+        let mut b = TokenBucket::new(0, &c);
+        // A long idle span banks exactly `capacity` tokens, no more.
+        for _ in 0..2 {
+            assert!(b.try_take(1_000_000, &c).is_ok());
+        }
+        assert!(b.try_take(1_000_000, &c).is_err());
+    }
+
+    #[test]
+    fn zero_rate_bucket_is_transparent() {
+        let c = cfg(0, 0);
+        let mut b = TokenBucket::new(0, &c);
+        for _ in 0..1000 {
+            assert!(b.try_take(0, &c).is_ok());
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_grows() {
+        let hint = RetryAfter {
+            cycles: 0,
+            reason: ShedReason::QueueOverload,
+        };
+        let mut a = Backoff::new(42, 100, 10_000, 8);
+        let mut b = Backoff::new(42, 100, 10_000, 8);
+        let da: Vec<u64> = std::iter::from_fn(|| a.next_delay(&hint)).collect();
+        let db: Vec<u64> = std::iter::from_fn(|| b.next_delay(&hint)).collect();
+        assert_eq!(da, db, "same seed, same delays");
+        assert_eq!(da.len(), 8);
+        // Exponential floor: attempt k waits at least base << k (capped).
+        for (k, d) in da.iter().enumerate() {
+            assert!(*d >= (100u64 << k).min(10_000));
+        }
+    }
+
+    #[test]
+    fn backoff_honors_server_hint() {
+        let hint = RetryAfter {
+            cycles: 50_000,
+            reason: ShedReason::TenantThrottle,
+        };
+        let mut b = Backoff::new(1, 10, 1_000_000, 3);
+        assert!(b.next_delay(&hint).unwrap() >= 50_000);
+    }
+
+    #[test]
+    fn shed_fraction_is_zero_safe() {
+        let mut s = AdmissionStats::default();
+        assert_eq!(s.shed_fraction(), 0.0);
+        s.accepted = 3;
+        s.shed_queue_overload = 1;
+        assert_eq!(s.shed_fraction(), 0.25);
+    }
+}

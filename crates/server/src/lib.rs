@@ -56,6 +56,20 @@
 //! Under [`Pacing::Virtual`] they do not gate time — they generate load
 //! only while interactive traffic (or wall-clock pacing) advances it.
 //!
+//! # Overload protection
+//!
+//! The [`admission`] layer closes the loop against flash crowds: an
+//! [`AdmissionConfig`] gates every arrival at its virtual cycle — token
+//! buckets per tenant, defer/shed watermarks over the RNG queue depth
+//! and buffer occupancy — so a session observes
+//! [`SubmitOutcome::Shed`] / [`SubmitOutcome::TimedOut`] instead of
+//! unbounded queueing. Requests may carry deadlines
+//! ([`SessionHandle::submit_with_deadline`]), open-loop bursts offer
+//! load that does not slow down with the server
+//! ([`SessionHandle::submit_burst`]), and [`Backoff`] gives clients
+//! seeded-jitter retry. Decisions are pure functions of simulated state,
+//! so the Virtual-pacing determinism contract carries over unchanged.
+//!
 //! Two observability hooks close the load-testing loop:
 //! [`RngServer::start_observed`] streams periodic [`Snapshot`]s
 //! (per-tenant latency percentiles, RNG queue depth, buffer occupancy)
@@ -68,6 +82,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
+
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -75,6 +91,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use strange_core::{ArrivalProcess, ClientSpec, ServedRequest, ServiceStats, System};
+
+use admission::TokenBucket;
+pub use admission::{
+    AdmissionConfig, AdmissionStats, Backoff, RetryAfter, ShedReason, SubmitOutcome,
+};
 
 /// CPU-cycle budget per driver advance while waiting on a completion;
 /// generously above any realistic request latency, so exhausting it
@@ -100,19 +121,41 @@ pub enum Pacing {
 enum Ctl {
     Open {
         spec: ClientSpec,
-        completions: Sender<ServedRequest>,
+        completions: Sender<SubmitOutcome>,
         reply: Sender<usize>,
     },
     Submit {
         session: usize,
         bytes: usize,
         delay: u64,
+        /// Cycles from scheduled arrival to completion before the
+        /// request times out (`u64::MAX` = none).
+        deadline: u64,
+    },
+    /// Open-loop burst: `count` arrivals at a fixed `gap`, anchored at
+    /// the session's release (or, while the session is busy, its latest
+    /// scheduled arrival) — offered load that does not slow down with
+    /// the server.
+    SubmitBurst {
+        session: usize,
+        bytes: usize,
+        start_delay: u64,
+        gap: u64,
+        count: usize,
+        deadline: u64,
     },
     Close {
         session: usize,
     },
     Shutdown,
 }
+
+/// One scheduled arrival: `(cycle, session, bytes, first_cycle,
+/// deadline_at, defers)`. Ordering (the min-heap key) is dominated by
+/// `(cycle, session, bytes)` — the session tiebreak keeps same-cycle
+/// injection order independent of host message order; the trailing
+/// fields only break exact duplicates and are themselves deterministic.
+type SchedEntry = (u64, usize, usize, u64, u64, u32);
 
 /// Final accounting of a server run, returned by [`RngServer::shutdown`].
 #[derive(Debug, Clone)]
@@ -136,6 +179,8 @@ pub struct ServerReport {
     pub cpu_cycles: u64,
     /// Sessions opened over the server's lifetime.
     pub sessions: usize,
+    /// Admission-control accounting (all zeros when admission was off).
+    pub admission: AdmissionStats,
 }
 
 /// A periodic progress snapshot emitted by the driver thread of an
@@ -217,7 +262,7 @@ impl ServerClient {
 pub struct SessionHandle {
     id: usize,
     ctl: Sender<Ctl>,
-    rx: Receiver<ServedRequest>,
+    rx: Receiver<SubmitOutcome>,
     outstanding: usize,
     first: bool,
 }
@@ -240,15 +285,60 @@ impl SessionHandle {
     /// request); under [`Pacing::WallClock`] `delay` is a minimum gap and
     /// the arrival is otherwise stamped on receipt.
     pub fn submit_after(&mut self, bytes: usize, delay: u64) {
+        self.submit_with_deadline(bytes, delay, u64::MAX);
+    }
+
+    /// Like [`SessionHandle::submit_after`], with a completion deadline:
+    /// if more than `deadline` cycles elapse between the request's first
+    /// scheduled arrival and its completion — because admission deferrals
+    /// pushed it back, or because service itself was slow — the outcome
+    /// is [`SubmitOutcome::TimedOut`] instead of `Served`.
+    pub fn submit_with_deadline(&mut self, bytes: usize, delay: u64, deadline: u64) {
         assert!(bytes > 0, "getrandom of zero bytes");
         self.ctl
             .send(Ctl::Submit {
                 session: self.id,
                 bytes,
                 delay,
+                deadline,
             })
             .expect("server is running");
         self.outstanding += 1;
+    }
+
+    /// Submits `count` open-loop arrivals of `bytes` each, the first
+    /// `start_delay` cycles after the session's release and the rest at
+    /// a fixed `gap` — offered load whose arrival times do *not* stretch
+    /// when the server slows down (the flash-crowd shape; contrast the
+    /// closed-loop [`SessionHandle::submit_after`], which chains off
+    /// completions). Outcomes arrive in arrival order via
+    /// [`SessionHandle::recv_outcome`].
+    ///
+    /// Under [`Pacing::Virtual`], back-to-back bursts stay deterministic:
+    /// a burst submitted while earlier requests are outstanding anchors
+    /// at the session's latest scheduled arrival instead of "now".
+    pub fn submit_burst(
+        &mut self,
+        bytes: usize,
+        start_delay: u64,
+        gap: u64,
+        count: usize,
+        deadline: u64,
+    ) {
+        assert!(bytes > 0, "getrandom of zero bytes");
+        assert!(count > 0, "empty burst");
+        self.first = false;
+        self.ctl
+            .send(Ctl::SubmitBurst {
+                session: self.id,
+                bytes,
+                start_delay,
+                gap,
+                count,
+                deadline,
+            })
+            .expect("server is running");
+        self.outstanding += count;
     }
 
     /// Blocks until the next completion for this session arrives.
@@ -256,12 +346,28 @@ impl SessionHandle {
     /// # Panics
     ///
     /// Panics if the server shut down with the request still in flight,
-    /// or when nothing is outstanding.
+    /// when nothing is outstanding, or if the outcome was a shed or
+    /// timeout (requests submitted under admission control or with
+    /// deadlines must be received via [`SessionHandle::recv_outcome`]).
     pub fn recv(&mut self) -> ServedRequest {
+        match self.recv_outcome() {
+            SubmitOutcome::Served(served) => served,
+            other => panic!("non-served outcome {other:?}: use recv_outcome"),
+        }
+    }
+
+    /// Blocks until the next outcome for this session arrives: served,
+    /// shed by admission control, or timed out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server shut down with the request still in flight,
+    /// or when nothing is outstanding.
+    pub fn recv_outcome(&mut self) -> SubmitOutcome {
         assert!(self.outstanding > 0, "recv with no outstanding request");
-        let served = self.rx.recv().expect("server dropped the session");
+        let outcome = self.rx.recv().expect("server dropped the session");
         self.outstanding -= 1;
-        served
+        outcome
     }
 
     /// Returns the next completion if one is already available.
@@ -270,12 +376,24 @@ impl SessionHandle {
     ///
     /// Panics if the server shut down with requests still in flight
     /// (mirrors [`SessionHandle::recv`] — a polling submitter must not
-    /// spin forever on a dead driver).
+    /// spin forever on a dead driver), or on a non-served outcome.
     pub fn try_recv(&mut self) -> Option<ServedRequest> {
+        self.try_recv_outcome().map(|o| match o {
+            SubmitOutcome::Served(served) => served,
+            other => panic!("non-served outcome {other:?}: use try_recv_outcome"),
+        })
+    }
+
+    /// Returns the next outcome if one is already available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server shut down with requests still in flight.
+    pub fn try_recv_outcome(&mut self) -> Option<SubmitOutcome> {
         match self.rx.try_recv() {
-            Ok(served) => {
+            Ok(outcome) => {
                 self.outstanding -= 1;
-                Some(served)
+                Some(outcome)
             }
             Err(TryRecvError::Empty) => None,
             Err(TryRecvError::Disconnected) => panic!("server dropped the session"),
@@ -303,6 +421,40 @@ impl SessionHandle {
         served
     }
 
+    /// [`SessionHandle::getrandom`] with overload handling: submits with
+    /// `deadline`, and on [`SubmitOutcome::Shed`] resubmits after the
+    /// backoff policy's next delay (which honors the server's
+    /// [`RetryAfter`] hint) until served, timed out, or the retry budget
+    /// is exhausted — the returned outcome is whatever ended the loop.
+    /// Fills `out` only when served.
+    pub fn getrandom_with_retry(
+        &mut self,
+        out: &mut [u8],
+        think: u64,
+        deadline: u64,
+        backoff: &mut Backoff,
+    ) -> SubmitOutcome {
+        let mut delay = if self.first { 0 } else { think };
+        self.first = false;
+        loop {
+            self.submit_with_deadline(out.len(), delay, deadline);
+            match self.recv_outcome() {
+                SubmitOutcome::Served(served) => {
+                    for (chunk, word) in out.chunks_mut(8).zip(&served.words) {
+                        chunk.copy_from_slice(&word.to_le_bytes()[..chunk.len()]);
+                    }
+                    backoff.reset();
+                    return SubmitOutcome::Served(served);
+                }
+                SubmitOutcome::Shed(hint) => match backoff.next_delay(&hint) {
+                    Some(wait) => delay = wait,
+                    None => return SubmitOutcome::Shed(hint),
+                },
+                timed_out @ SubmitOutcome::TimedOut { .. } => return timed_out,
+            }
+        }
+    }
+
     /// Closes the session. Submits not yet injected into the simulation
     /// are discarded; requests already in flight drain inside the
     /// simulation and their results are dropped.
@@ -323,7 +475,21 @@ impl RngServer {
     /// the caller consumes the bytes); trace cores are allowed and run
     /// alongside the served sessions as background memory traffic.
     pub fn start(system: System, pacing: Pacing) -> RngServer {
-        RngServer::spawn(system, pacing, None)
+        RngServer::spawn(system, pacing, None, AdmissionConfig::disabled())
+    }
+
+    /// Starts a server with overload protection: every arrival passes
+    /// the [`AdmissionConfig`] gate (token buckets, defer/shed
+    /// watermarks) before entering the simulation. Sessions should drain
+    /// results via [`SessionHandle::recv_outcome`], since requests may
+    /// now resolve [`SubmitOutcome::Shed`] or
+    /// [`SubmitOutcome::TimedOut`].
+    pub fn start_with_admission(
+        system: System,
+        pacing: Pacing,
+        admission: AdmissionConfig,
+    ) -> RngServer {
+        RngServer::spawn(system, pacing, None, admission)
     }
 
     /// Starts an *observed* server: the driver thread additionally emits
@@ -340,14 +506,25 @@ impl RngServer {
         every: Duration,
     ) -> (RngServer, Receiver<Snapshot>) {
         let (tx, rx) = channel();
-        (RngServer::spawn(system, pacing, Some(Observer::new(tx, every))), rx)
+        let spawned = RngServer::spawn(
+            system,
+            pacing,
+            Some(Observer::new(tx, every)),
+            AdmissionConfig::disabled(),
+        );
+        (spawned, rx)
     }
 
-    fn spawn(system: System, pacing: Pacing, observer: Option<Observer>) -> RngServer {
+    fn spawn(
+        system: System,
+        pacing: Pacing,
+        observer: Option<Observer>,
+        admission: AdmissionConfig,
+    ) -> RngServer {
         let (ctl, ctl_rx) = channel();
         let driver = std::thread::Builder::new()
             .name("strange-server-driver".into())
-            .spawn(move || Driver::new(system, ctl_rx, pacing, observer).run())
+            .spawn(move || Driver::new(system, ctl_rx, pacing, observer, admission).run())
             .expect("spawn driver thread");
         RngServer {
             ctl,
@@ -394,19 +571,24 @@ impl Drop for RngServer {
 
 /// Driver-side session state.
 struct Sess {
-    tx: Sender<ServedRequest>,
+    tx: Sender<SubmitOutcome>,
     /// Cycle the session last became free: its open cycle, then the
-    /// completion cycle of each served request.
+    /// resolution cycle of each request (completion, shed, or timeout).
     release: u64,
     /// Requests injected into the simulation and not yet completed.
     in_flight: usize,
     /// Requests scheduled in the arrival heap but not yet injected.
     scheduled: usize,
     /// Submits queued behind earlier ones (virtual pacing keeps one
-    /// request committed per interactive session; the rest chain off its
-    /// completion in FIFO order, so host message timing cannot reorder
-    /// or re-time them).
-    pending: VecDeque<(usize, u64)>,
+    /// closed-loop request committed per interactive session; the rest
+    /// chain off its resolution in FIFO order, so host message timing
+    /// cannot reorder or re-time them). `(bytes, delay, deadline)`.
+    pending: VecDeque<(usize, u64, u64)>,
+    /// Latest scheduled arrival cycle — the deterministic anchor for a
+    /// burst submitted while the session is busy.
+    last_arrival: u64,
+    /// Per-tenant admission token bucket.
+    bucket: TokenBucket,
     /// Virtual pacing: the driver must hear from this session (submit or
     /// close) before time may advance.
     awaiting: bool,
@@ -440,6 +622,17 @@ impl Observer {
     }
 }
 
+/// Arrival bookkeeping of one in-flight (injected) request.
+struct Flight {
+    /// Injection cycle (arrival inside the simulation).
+    arrival: u64,
+    /// First scheduled arrival cycle (deadline epoch — deferrals do not
+    /// move it).
+    first: u64,
+    /// Absolute deadline cycle (`u64::MAX` = none).
+    deadline_at: u64,
+}
+
 /// The driver loop: sole owner of the simulated system.
 struct Driver {
     sys: System,
@@ -452,17 +645,23 @@ struct Driver {
     sessions: Vec<Sess>,
     /// Service client id of the first driver-opened session.
     id_base: Option<usize>,
-    /// Scheduled arrivals: `(cycle, session, bytes)` min-heap. The
-    /// session-id tiebreak makes same-cycle injection order independent
-    /// of host message order.
-    schedule: BinaryHeap<Reverse<(u64, usize, usize)>>,
-    /// `(session, seq)` → arrival cycle of every in-flight request.
-    inflight: HashMap<(usize, u64), u64>,
+    /// Scheduled arrivals min-heap (see [`SchedEntry`]).
+    schedule: BinaryHeap<Reverse<SchedEntry>>,
+    /// `(session, seq)` → arrival bookkeeping of every in-flight request.
+    inflight: HashMap<(usize, u64), Flight>,
+    admission: AdmissionConfig,
+    adm_stats: AdmissionStats,
     shutdown: bool,
 }
 
 impl Driver {
-    fn new(sys: System, ctl: Receiver<Ctl>, pacing: Pacing, observer: Option<Observer>) -> Self {
+    fn new(
+        sys: System,
+        ctl: Receiver<Ctl>,
+        pacing: Pacing,
+        observer: Option<Observer>,
+        admission: AdmissionConfig,
+    ) -> Self {
         Driver {
             sys,
             ctl,
@@ -472,6 +671,8 @@ impl Driver {
             id_base: None,
             schedule: BinaryHeap::new(),
             inflight: HashMap::new(),
+            admission,
+            adm_stats: AdmissionStats::default(),
             shutdown: false,
         }
     }
@@ -499,12 +700,15 @@ impl Driver {
                 let id = self.sys.open_session(spec);
                 let base = *self.id_base.get_or_insert(id);
                 debug_assert_eq!(id, base + self.sessions.len(), "driver-contiguous ids");
+                let now = self.sys.cpu_cycles();
                 self.sessions.push(Sess {
                     tx: completions,
-                    release: self.sys.cpu_cycles(),
+                    release: now,
                     in_flight: 0,
                     scheduled: 0,
                     pending: VecDeque::new(),
+                    last_arrival: now,
+                    bucket: TokenBucket::new(now, &self.admission),
                     awaiting: interactive && self.virtual_pacing(),
                     interactive,
                     closed: false,
@@ -515,6 +719,7 @@ impl Driver {
                 session,
                 bytes,
                 delay,
+                deadline,
             } => {
                 let now = self.sys.cpu_cycles();
                 let virtual_pacing = self.virtual_pacing();
@@ -528,16 +733,54 @@ impl Driver {
                 // a pipelined pair arrives must not change any arrival
                 // cycle.
                 if virtual_pacing && sess.busy() {
-                    sess.pending.push_back((bytes, delay));
+                    sess.pending.push_back((bytes, delay, deadline));
                 } else {
                     let arrival = (sess.release + delay).max(now);
-                    sess.scheduled += 1;
-                    self.schedule.push(Reverse((arrival, session, bytes)));
+                    self.schedule_arrival(slot, arrival, bytes, deadline);
+                }
+            }
+            Ctl::SubmitBurst {
+                session,
+                bytes,
+                start_delay,
+                gap,
+                count,
+                deadline,
+            } => {
+                let now = self.sys.cpu_cycles();
+                let virtual_pacing = self.virtual_pacing();
+                let slot = self.slot(session);
+                let sess = &mut self.sessions[slot];
+                assert!(!sess.closed, "submit on a closed session");
+                sess.awaiting = false;
+                // Anchor the burst deterministically: a free session is
+                // behind the virtual-time barrier (now is a pure function
+                // of prior simulated work), a busy one anchors at its
+                // latest scheduled arrival so host timing can't re-time
+                // the burst.
+                let first = if virtual_pacing && sess.busy() {
+                    sess.last_arrival + start_delay
+                } else {
+                    (sess.release + start_delay).max(now)
+                };
+                for i in 0..count as u64 {
+                    self.schedule_arrival(slot, first + i * gap, bytes, deadline);
                 }
             }
             Ctl::Close { session } => self.close_session(session),
             Ctl::Shutdown => self.shutdown = true,
         }
+    }
+
+    /// Commits one arrival at `cycle` for the session in `slot`.
+    fn schedule_arrival(&mut self, slot: usize, cycle: u64, bytes: usize, deadline: u64) {
+        let sess = &mut self.sessions[slot];
+        let session = self.id_base.expect("session open implies base") + slot;
+        let deadline_at = cycle.saturating_add(deadline);
+        sess.scheduled += 1;
+        sess.last_arrival = sess.last_arrival.max(cycle);
+        self.schedule
+            .push(Reverse((cycle, session, bytes, cycle, deadline_at, 0)));
     }
 
     /// Closes a session: discards its queued and scheduled-but-not-yet
@@ -558,26 +801,126 @@ impl Driver {
             let entries = std::mem::take(&mut self.schedule).into_vec();
             self.schedule = entries
                 .into_iter()
-                .filter(|Reverse((_, s, _))| *s != session)
+                .filter(|Reverse((_, s, ..))| *s != session)
                 .collect();
         }
         self.sys.close_session(session);
     }
 
-    /// Injects every scheduled arrival due at the current cycle.
+    /// Injects every scheduled arrival due at the current cycle, gating
+    /// each through admission control. Decisions read only simulated
+    /// state (RNG queue depth, buffer occupancy, virtual-cycle token
+    /// buckets), so they are deterministic under Virtual pacing.
     fn inject_due(&mut self) {
         let now = self.sys.cpu_cycles();
-        while let Some(&Reverse((cycle, session, bytes))) = self.schedule.peek() {
+        while let Some(&Reverse((cycle, session, bytes, first, deadline_at, defers))) =
+            self.schedule.peek()
+        {
             if cycle > now {
                 break;
             }
             self.schedule.pop();
-            let seq = self.sys.service_submit(session, bytes);
-            self.inflight.insert((session, seq), now);
             let slot = self.slot(session);
+            if self.admission.enabled {
+                let queue_depth = self.sys.mem().rng_queue_len();
+                let buffer_words = self.sys.mem().buffer().available_words();
+                let cfg = self.admission;
+                // Hard watermark: shed outright.
+                if queue_depth >= cfg.shed_queue_depth {
+                    self.adm_stats.shed_queue_overload += 1;
+                    self.resolve_rejected(
+                        slot,
+                        SubmitOutcome::Shed(RetryAfter {
+                            cycles: cfg.defer_cycles.max(1),
+                            reason: ShedReason::QueueOverload,
+                        }),
+                    );
+                    continue;
+                }
+                // Soft watermark (deep queue *and* dry buffer): defer —
+                // re-examine a bounded number of cycles later.
+                if queue_depth >= cfg.defer_queue_depth && buffer_words <= cfg.buffer_low_words {
+                    let retry_at = now + cfg.defer_cycles.max(1);
+                    if retry_at > deadline_at {
+                        self.adm_stats.timed_out += 1;
+                        self.resolve_rejected(
+                            slot,
+                            SubmitOutcome::TimedOut {
+                                waited_cycles: now.saturating_sub(first),
+                            },
+                        );
+                    } else if defers >= cfg.max_defers {
+                        self.adm_stats.shed_queue_overload += 1;
+                        self.resolve_rejected(
+                            slot,
+                            SubmitOutcome::Shed(RetryAfter {
+                                cycles: cfg.defer_cycles.max(1),
+                                reason: ShedReason::QueueOverload,
+                            }),
+                        );
+                    } else {
+                        self.adm_stats.deferred += 1;
+                        self.schedule.push(Reverse((
+                            retry_at,
+                            session,
+                            bytes,
+                            first,
+                            deadline_at,
+                            defers + 1,
+                        )));
+                    }
+                    continue;
+                }
+                // Per-tenant rate limit.
+                if let Err(until_token) = self.sessions[slot].bucket.try_take(now, &cfg) {
+                    self.adm_stats.shed_tenant_throttle += 1;
+                    self.resolve_rejected(
+                        slot,
+                        SubmitOutcome::Shed(RetryAfter {
+                            cycles: until_token.max(1),
+                            reason: ShedReason::TenantThrottle,
+                        }),
+                    );
+                    continue;
+                }
+                self.adm_stats.accepted += 1;
+            }
+            let seq = self.sys.service_submit(session, bytes);
+            self.inflight.insert(
+                (session, seq),
+                Flight {
+                    arrival: now,
+                    first,
+                    deadline_at,
+                },
+            );
             let sess = &mut self.sessions[slot];
             sess.scheduled -= 1;
             sess.in_flight += 1;
+        }
+    }
+
+    /// Resolves a request that never entered the simulation (shed or
+    /// pre-injection timeout): delivers the outcome, releases the
+    /// session at the current cycle, and chains its next pending submit
+    /// — the same continuation a completion runs, so closed-loop tenants
+    /// keep flowing through refusals.
+    fn resolve_rejected(&mut self, slot: usize, outcome: SubmitOutcome) {
+        let now = self.sys.cpu_cycles();
+        let virtual_pacing = self.virtual_pacing();
+        let session = self.id_base.expect("session open implies base") + slot;
+        let sess = &mut self.sessions[slot];
+        sess.scheduled -= 1;
+        sess.release = now;
+        if sess.tx.send(outcome).is_err() {
+            self.close_session(session);
+            return;
+        }
+        if let Some((bytes, delay, deadline)) = sess.pending.pop_front() {
+            let arrival = (sess.release + delay).max(now);
+            self.schedule_arrival(slot, arrival, bytes, deadline);
+        } else if sess.interactive && !sess.closed && !sess.busy() {
+            sess.awaiting = virtual_pacing;
         }
     }
 
@@ -588,27 +931,36 @@ impl Driver {
     /// submitter that no longer exists.
     fn deliver(&mut self) {
         while let Some((session, seq, served)) = self.sys.take_service_completion() {
-            let arrival = self
+            let flight = self
                 .inflight
                 .remove(&(session, seq))
                 .expect("every in-flight request is tracked");
-            let done_at = arrival + served.latency_cycles;
+            let done_at = flight.arrival + served.latency_cycles;
             let virtual_pacing = self.virtual_pacing();
             let now = self.sys.cpu_cycles();
             let slot = self.slot(session);
             let sess = &mut self.sessions[slot];
             sess.in_flight -= 1;
             sess.release = done_at;
-            let receiver_alive = sess.tx.send(served).is_ok();
+            // The deadline epoch is the *first* scheduled arrival, so
+            // admission deferrals eat into the budget too.
+            let outcome = if done_at > flight.deadline_at {
+                self.adm_stats.timed_out += 1;
+                SubmitOutcome::TimedOut {
+                    waited_cycles: done_at - flight.first,
+                }
+            } else {
+                SubmitOutcome::Served(served)
+            };
+            let receiver_alive = sess.tx.send(outcome).is_ok();
             if !receiver_alive {
                 self.close_session(session);
                 continue;
             }
-            if let Some((bytes, delay)) = sess.pending.pop_front() {
+            if let Some((bytes, delay, deadline)) = sess.pending.pop_front() {
                 let arrival = (sess.release + delay).max(now);
-                sess.scheduled += 1;
-                self.schedule.push(Reverse((arrival, session, bytes)));
-            } else if sess.interactive && !sess.closed {
+                self.schedule_arrival(slot, arrival, bytes, deadline);
+            } else if sess.interactive && !sess.closed && !sess.busy() {
                 sess.awaiting = virtual_pacing;
             }
         }
@@ -685,6 +1037,7 @@ impl Driver {
             arrival_logs,
             cpu_cycles: self.sys.cpu_cycles(),
             sessions: self.sessions.len(),
+            admission: self.adm_stats,
         }
     }
 
@@ -741,7 +1094,7 @@ impl Driver {
                 self.deliver();
                 continue;
             }
-            if let Some(&Reverse((cycle, _, _))) = self.schedule.peek() {
+            if let Some(&Reverse((cycle, ..))) = self.schedule.peek() {
                 let now = self.sys.cpu_cycles();
                 debug_assert!(cycle >= now, "arrivals are never scheduled in the past");
                 if cycle > now {
@@ -804,7 +1157,7 @@ impl Driver {
     fn catch_up(&mut self, target: u64) {
         let now = self.sys.cpu_cycles();
         let bound = match self.schedule.peek() {
-            Some(&Reverse((cycle, _, _))) if cycle < target => cycle.max(now),
+            Some(&Reverse((cycle, ..))) if cycle < target => cycle.max(now),
             _ => target,
         };
         if bound > now {

@@ -173,6 +173,70 @@ pub fn wfq_service(bytes: usize, requests: u64) -> (ServiceConfig, FairnessPolic
     )
 }
 
+/// A **flash crowd**: `clients` tenants each releasing one burst of
+/// `burst` back-to-back `bytes`-byte requests — the overload-protection
+/// stress shape (5–10× the TRNG's sustained rate arriving at once).
+/// Client *i*'s burst fires after `i × stagger` cycles, so the fronts
+/// pile onto the queue in a deterministic ramp instead of one
+/// simultaneous spike. Pair with one background [`QosClass::Low`]
+/// closed-loop tenant (the victim whose tail the admission layer must
+/// protect) via [`flash_crowd_with_victim`].
+pub fn flash_crowd_service(clients: usize, bytes: usize, burst: u32, stagger: u64) -> ServiceConfig {
+    ServiceConfig {
+        clients: (0..clients)
+            .map(|i| {
+                // One burst per client as an explicit trace: `burst`
+                // arrivals all at cycle `i × stagger`. (A Bursty client
+                // fires its first burst at the open cycle regardless of
+                // gap, which would collapse the ramp into one spike.)
+                ClientSpec::trace_replay(bytes, vec![i as u64 * stagger; burst as usize])
+            })
+            .collect(),
+        ..ServiceConfig::default()
+    }
+}
+
+/// [`flash_crowd_service`] plus a Low-QoS closed-loop victim tenant
+/// (client index `clients`, issuing `victim_requests` `bytes`-byte calls
+/// with a `think`-cycle loop) whose p99 the overload studies track.
+pub fn flash_crowd_with_victim(
+    clients: usize,
+    bytes: usize,
+    burst: u32,
+    stagger: u64,
+    victim_requests: u64,
+    think: u64,
+) -> ServiceConfig {
+    let mut cfg = flash_crowd_service(clients, bytes, burst, stagger);
+    for c in cfg.clients.iter_mut() {
+        c.qos = QosClass::High;
+    }
+    cfg.clients
+        .push(ClientSpec::closed_loop(bytes, think, victim_requests).with_qos(QosClass::Low));
+    cfg
+}
+
+/// A **slow-drain** tenant population: each client's requests are huge
+/// (`words_per_request` 64-bit words — think key-material refills), so a
+/// single arrival occupies the generation pipeline for many episodes
+/// while the think time keeps the tenant permanently resident. The
+/// shape that exposes episode-level unfairness: without per-episode
+/// batch caps one slow-drain tenant monopolizes every demand episode.
+pub fn slow_drain_service(
+    clients: usize,
+    words_per_request: usize,
+    think: u64,
+    requests: u64,
+) -> ServiceConfig {
+    assert!(words_per_request > 0, "empty requests");
+    ServiceConfig {
+        clients: (0..clients)
+            .map(|_| ClientSpec::closed_loop(words_per_request * 8, think, requests))
+            .collect(),
+        ..ServiceConfig::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +327,51 @@ mod tests {
         let (w_cfg, w_pol) = wfq_service(64, 100);
         assert_eq!(w_cfg, cfg);
         assert!(matches!(w_pol, FairnessPolicy::WeightedFair { .. }));
+    }
+
+    #[test]
+    fn flash_crowd_ramps_deterministically() {
+        let cfg = flash_crowd_service(3, 32, 10, 5_000);
+        assert_eq!(cfg.clients.len(), 3);
+        for (i, c) in cfg.clients.iter().enumerate() {
+            assert_eq!(c.requests, 10, "one burst per client");
+            match &c.arrival {
+                strange_core::ArrivalProcess::TraceReplay { schedule } => {
+                    assert_eq!(schedule.len(), 10);
+                    assert!(schedule.iter().all(|&at| at == i as u64 * 5_000));
+                }
+                _ => panic!("trace replay expected"),
+            }
+        }
+        assert_eq!(flash_crowd_service(3, 32, 10, 5_000), cfg, "deterministic");
+    }
+
+    #[test]
+    fn flash_crowd_victim_rides_behind_the_crowd() {
+        let cfg = flash_crowd_with_victim(3, 32, 10, 5_000, 40, 2_000);
+        assert_eq!(cfg.clients.len(), 4);
+        for c in &cfg.clients[..3] {
+            assert_eq!(c.qos, QosClass::High, "the crowd outranks the victim");
+        }
+        let victim = &cfg.clients[3];
+        assert_eq!(victim.qos, QosClass::Low);
+        assert_eq!(victim.requests, 40);
+        assert_eq!(victim.bytes, 32);
+    }
+
+    #[test]
+    fn slow_drain_requests_are_word_sized() {
+        let cfg = slow_drain_service(2, 64, 1_000, 20);
+        assert_eq!(cfg.clients.len(), 2);
+        for c in &cfg.clients {
+            assert_eq!(c.bytes, 64 * 8, "words_per_request × 8 bytes");
+            assert_eq!(c.requests, 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty requests")]
+    fn slow_drain_rejects_empty_requests() {
+        slow_drain_service(1, 0, 1_000, 20);
     }
 }

@@ -48,7 +48,8 @@ pub use mix::{
 };
 pub use clients::{
     aging_service, assign_qos, bursty_service, closed_loop_service, contended_qos_service,
-    gap_for_offered_mbps, poisson_service, wfq_service,
+    flash_crowd_service, flash_crowd_with_victim, gap_for_offered_mbps, poisson_service,
+    slow_drain_service, wfq_service,
 };
 pub use rng_app::{
     rng_gap_for_throughput, RngBenchmark, RNG_BURST_REQUESTS, RNG_THROUGHPUTS_MBPS,
