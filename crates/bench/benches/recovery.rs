@@ -1,0 +1,318 @@
+//! Entropy-health recovery bench: a stuck-at-one quality derate against
+//! the watchdog, with the detection and recovery invariants asserted
+//! in-bench and the measured latencies emitted as JSON.
+//!
+//! Two cells, each run under both simulation modes with bit-identity
+//! asserted:
+//!
+//! 1. **Detection/recovery latency** — the synchronous system under the
+//!    shared contended QoS load, driven incrementally so the exact
+//!    quarantine and re-admission cycles are observable. Asserted: no
+//!    false trip before the fault, quarantine within K = 16 global test
+//!    windows (4 per channel) of the onset, re-admission after the
+//!    derate lifts, and the probe-hygiene identity (every tainted probe
+//!    word is discarded — none is ever buffered or served).
+//! 2. **Server recovery tail** — one paced open-loop tenant against the
+//!    concurrent server with admission control (whose watermarks derate
+//!    by the quarantined-capacity fraction). The burst spans the whole
+//!    fault window; the *accepted* p99 of the post-recovery phase must
+//!    come back within 2x the pre-fault anchor p99.
+//!
+//! Emits `BENCH_recovery.json` (working directory, or
+//! `$BENCH_RECOVERY_OUT`). Burst length comes from
+//! `STRANGE_RECOVERY_REQUESTS` (default 240, floor 160 so every phase
+//! holds enough arrivals to trip and re-admit the watchdog).
+
+use strange_core::{
+    ClientSpec, FairnessPolicy, FaultPlan, ServiceConfig, SimMode, System, SystemConfig,
+    SystemStats, WatchdogConfig,
+};
+use strange_server::{AdmissionConfig, Pacing, RngServer, SubmitOutcome};
+use strange_trng::DRange;
+use strange_workloads::contended_qos_service;
+
+const TRNG_SEED: u64 = 2022;
+const BYTES: usize = 64;
+/// CPU cycles between the server tenant's open-loop arrivals.
+const GAP: u64 = 6_000;
+/// 4 GHz CPU over an 800 MHz DRAM bus.
+const CPU_PER_MEM: u64 = 5;
+/// Detection bound: global quality windows tested between fault onset
+/// and quarantine (4 channels x trip_failures, doubled for the window
+/// straddling the onset).
+const DETECT_WINDOW_BOUND: u64 = 16;
+/// Recovery bound: post-recovery accepted p99 vs the pre-fault anchor.
+const RECOVERY_P99_FACTOR: u64 = 2;
+
+fn requests_total() -> usize {
+    std::env::var("STRANGE_RECOVERY_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 160)
+        .unwrap_or(240)
+}
+
+fn watchdog() -> WatchdogConfig {
+    WatchdogConfig {
+        probe_period: 4_000,
+        ..WatchdogConfig::standard()
+    }
+}
+
+fn pct(mut latencies: Vec<u64>, q: f64) -> u64 {
+    assert!(!latencies.is_empty(), "percentile of an empty latency set");
+    latencies.sort_unstable();
+    let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+    latencies[idx]
+}
+
+struct Detection {
+    /// CPU cycles from fault onset to the quarantine transition.
+    detect_cycles: u64,
+    /// Quality windows tested (all channels) across that span.
+    windows_to_detect: u64,
+    /// CPU cycles from the derate lifting to re-admission.
+    recover_cycles: u64,
+    stats: SystemStats,
+    cpu_cycles: u64,
+}
+
+/// Cell 1: drive the synchronous system incrementally and read the
+/// exact cycles at which the watchdog trips and re-admits.
+fn detection_cell(mode: SimMode) -> Detection {
+    const FAULT_AT_MEM: u64 = 20_000;
+    const FAULT_DUR_MEM: u64 = 60_000;
+    let fault_at_cpu = FAULT_AT_MEM * CPU_PER_MEM;
+    let fault_end_cpu = (FAULT_AT_MEM + FAULT_DUR_MEM) * CPU_PER_MEM;
+    let cap = fault_end_cpu + 600_000;
+    let plan = FaultPlan::new().channel_derate(FAULT_AT_MEM, 0, 0, 1, FAULT_DUR_MEM);
+    // Effectively endless contended load: the client targets are far
+    // beyond the measurement horizon, so demand generation keeps the
+    // sampler fed for the whole cell.
+    let cfg = SystemConfig::dr_strange(0)
+        .with_watchdog(watchdog())
+        .with_fault_plan(plan)
+        .with_service(contended_qos_service(BYTES, 100_000))
+        .with_sim_mode(mode);
+    let mut sys =
+        System::new(cfg, Vec::new(), Box::new(DRange::new(TRNG_SEED))).expect("valid configuration");
+
+    sys.advance_until(fault_at_cpu, |_| false);
+    let pre = sys.mem().stats().clone();
+    assert_eq!(pre.quarantines, 0, "no false trip before the fault");
+
+    sys.advance_until(cap, |s| s.mem().stats().quarantines >= 1);
+    assert!(
+        sys.mem().stats().quarantines >= 1,
+        "the stuck channel must be quarantined within the cycle cap"
+    );
+    let detect_cycles = sys.cpu_cycles() - fault_at_cpu;
+    let windows_to_detect = sys.mem().stats().windows_tested - pre.windows_tested;
+    assert!(
+        windows_to_detect <= DETECT_WINDOW_BOUND,
+        "quarantine must land within {DETECT_WINDOW_BOUND} test windows of the onset \
+         (took {windows_to_detect})"
+    );
+
+    sys.advance_until(cap, |s| s.mem().stats().readmissions >= 1);
+    assert!(
+        sys.mem().stats().readmissions >= 1,
+        "the recovered channel must be re-admitted within the cycle cap"
+    );
+    let recover_cycles = sys.cpu_cycles().saturating_sub(fault_end_cpu);
+
+    // Land both modes on the same final cycle so their stats compare.
+    let remaining = (fault_at_cpu + cap).saturating_sub(sys.cpu_cycles());
+    sys.advance_until(remaining, |_| false);
+    let stats = sys.mem().stats().clone();
+    assert_eq!(
+        stats.tainted_words_discarded,
+        stats.probe_rounds * u64::from(watchdog().probe_words),
+        "probe hygiene: every tainted probe word is discarded, none served"
+    );
+    Detection {
+        detect_cycles,
+        windows_to_detect,
+        recover_cycles,
+        stats,
+        cpu_cycles: sys.cpu_cycles(),
+    }
+}
+
+struct ServerPhases {
+    pre_p99: u64,
+    during_p99: Option<u64>,
+    post_p99: u64,
+    refused: u64,
+    latencies: Vec<Option<u64>>,
+    system: SystemStats,
+}
+
+/// Cell 2: one open-loop tenant paced at `GAP` across the whole fault
+/// window, against the concurrent server with admission derating. The
+/// fault spans 20%..50% of the arrival horizon; the post-recovery phase
+/// starts at 75%, leaving the watchdog a quarter of the horizon to
+/// probe the channel back in.
+fn server_cell(mode: SimMode, requests: usize) -> ServerPhases {
+    let horizon = requests as u64 * GAP;
+    let fault_at_mem = horizon / 5 / CPU_PER_MEM;
+    let fault_dur_mem = (horizon * 3 / 10) / CPU_PER_MEM;
+    let plan = FaultPlan::new().channel_derate(fault_at_mem, 0, 0, 1, fault_dur_mem);
+    let cfg = SystemConfig::dr_strange(0)
+        .with_fairness(FairnessPolicy::weighted_fair())
+        .with_watchdog(watchdog())
+        .with_fault_plan(plan)
+        .with_sim_mode(mode)
+        .with_service(ServiceConfig {
+            sessions: true,
+            ..ServiceConfig::default()
+        });
+    let system =
+        System::new(cfg, Vec::new(), Box::new(DRange::new(TRNG_SEED))).expect("valid configuration");
+    // The queue is measured in words (8 per request here): defer at one
+    // queued request with a low buffer, shed at four. Under quarantine
+    // the derated watermarks tighten by the lost-capacity fraction.
+    let admission = AdmissionConfig {
+        enabled: true,
+        bucket_capacity: 0,
+        cycles_per_token: 0,
+        defer_queue_depth: 8,
+        shed_queue_depth: 32,
+        buffer_low_words: 8,
+        max_defers: 3,
+        defer_cycles: 10_000,
+    };
+    let server = RngServer::start_with_admission(system, Pacing::Virtual, admission);
+    let mut h = server.open_session(ClientSpec::manual(BYTES));
+    h.submit_burst(BYTES, 0, GAP, requests, u64::MAX);
+    // Outcomes arrive in arrival order on the single session, so index i
+    // is the request that arrived at cycle i * GAP.
+    let mut latencies: Vec<Option<u64>> = Vec::with_capacity(requests);
+    let mut refused = 0;
+    for _ in 0..requests {
+        match h.recv_outcome() {
+            SubmitOutcome::Served(s) => latencies.push(Some(s.latency_cycles)),
+            _ => {
+                refused += 1;
+                latencies.push(None);
+            }
+        }
+    }
+    h.close();
+    let report = server.shutdown();
+    assert!(
+        report.system.quarantines >= 1,
+        "the server-side run must quarantine the stuck channel: {:?}",
+        report.system
+    );
+    assert!(
+        report.system.readmissions >= 1,
+        "the channel must be re-admitted before the burst drains: {:?}",
+        report.system
+    );
+
+    let phase = |range: std::ops::Range<usize>| -> Vec<u64> {
+        latencies[range].iter().flatten().copied().collect()
+    };
+    let pre = phase(0..requests / 5);
+    let during = phase(requests / 5..requests / 2);
+    let post = phase(requests * 3 / 4..requests);
+    assert!(!pre.is_empty() && !post.is_empty(), "phases must hold arrivals");
+    ServerPhases {
+        pre_p99: pct(pre, 0.99),
+        during_p99: (!during.is_empty()).then(|| pct(during, 0.99)),
+        post_p99: pct(post, 0.99),
+        refused,
+        latencies,
+        system: report.system,
+    }
+}
+
+fn main() {
+    let requests = requests_total();
+    println!(
+        "recovery bench: stuck-at-one channel derate vs the entropy watchdog, \
+         {BYTES}-byte requests, {requests} arrivals at {GAP}-cycle gaps\n"
+    );
+
+    // Cell 1 under both modes, bit-identical measurements.
+    let reference = detection_cell(SimMode::Reference);
+    let fast = detection_cell(SimMode::FastForward);
+    assert_eq!(fast.cpu_cycles, reference.cpu_cycles, "detection cell: cycles");
+    assert_eq!(fast.stats, reference.stats, "detection cell: stats");
+    assert_eq!(
+        (fast.detect_cycles, fast.windows_to_detect, fast.recover_cycles),
+        (
+            reference.detect_cycles,
+            reference.windows_to_detect,
+            reference.recover_cycles
+        ),
+        "detection cell: measured latencies must replay bit for bit"
+    );
+    println!(
+        "detection: {} cpu cycles ({} test windows) from fault onset to quarantine",
+        fast.detect_cycles, fast.windows_to_detect
+    );
+    println!(
+        "recovery:  {} cpu cycles from derate end to re-admission \
+         ({} probe rounds, {} tainted words discarded)",
+        fast.recover_cycles, fast.stats.probe_rounds, fast.stats.tainted_words_discarded
+    );
+
+    // Cell 2 under both modes.
+    let ref_srv = server_cell(SimMode::Reference, requests);
+    let fast_srv = server_cell(SimMode::FastForward, requests);
+    assert_eq!(
+        fast_srv.latencies, ref_srv.latencies,
+        "server cell: per-request outcomes must replay bit for bit"
+    );
+    assert_eq!(fast_srv.system, ref_srv.system, "server cell: engine stats");
+    println!(
+        "\nserver tail: pre-fault p99 {} | during-fault p99 {} | post-recovery p99 {} \
+         ({} refused of {requests})",
+        fast_srv.pre_p99,
+        fast_srv
+            .during_p99
+            .map_or_else(|| "-".into(), |v| v.to_string()),
+        fast_srv.post_p99,
+        fast_srv.refused
+    );
+    assert!(
+        fast_srv.post_p99 <= RECOVERY_P99_FACTOR * fast_srv.pre_p99,
+        "post-recovery accepted p99 must come back within {RECOVERY_P99_FACTOR}x the \
+         pre-fault anchor ({} vs {})",
+        fast_srv.post_p99,
+        fast_srv.pre_p99
+    );
+
+    let json = format!(
+        "{{\n  \"bytes_per_request\": {BYTES},\n  \"requests\": {requests},\n  \
+         \"arrival_gap_cycles\": {GAP},\n  \"latency_unit\": \"cpu_cycles_at_4ghz\",\n  \
+         \"detect_window_bound\": {DETECT_WINDOW_BOUND},\n  \
+         \"recovery_p99_factor\": {RECOVERY_P99_FACTOR},\n  \
+         \"detection\": {{\"detect_cycles\": {}, \"windows_to_detect\": {}, \
+         \"recover_cycles\": {}, \"quarantines\": {}, \"readmissions\": {}, \
+         \"probe_rounds\": {}, \"tainted_words_discarded\": {}, \"windows_tested\": {}}},\n  \
+         \"server\": {{\"pre_fault_p99\": {}, \"during_fault_p99\": {}, \
+         \"post_recovery_p99\": {}, \"refused\": {}, \"quarantines\": {}, \
+         \"readmissions\": {}}}\n}}\n",
+        fast.detect_cycles,
+        fast.windows_to_detect,
+        fast.recover_cycles,
+        fast.stats.quarantines,
+        fast.stats.readmissions,
+        fast.stats.probe_rounds,
+        fast.stats.tainted_words_discarded,
+        fast.stats.windows_tested,
+        fast_srv.pre_p99,
+        fast_srv.during_p99.map_or(-1i64, |v| v as i64),
+        fast_srv.post_p99,
+        fast_srv.refused,
+        fast_srv.system.quarantines,
+        fast_srv.system.readmissions,
+    );
+    let out =
+        std::env::var("BENCH_RECOVERY_OUT").unwrap_or_else(|_| "BENCH_recovery.json".to_string());
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("\nwrote {out}");
+}

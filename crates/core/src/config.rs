@@ -5,6 +5,7 @@ use strange_cpu::CoreConfig;
 use strange_dram::{ConfigError, Geometry, TimingParams};
 
 use crate::faults::FaultPlan;
+use crate::health::WatchdogConfig;
 use crate::sched::{CoalesceWindow, FairnessPolicy};
 use crate::service::{QosClass, ServiceConfig};
 
@@ -151,6 +152,9 @@ pub struct SystemConfig {
     /// entropy derating, buffer corruption) applied by the engine at
     /// exact DRAM-bus cycles. Empty — no faults — by default.
     pub fault_plan: FaultPlan,
+    /// Entropy-health watchdog (per-channel quality windows, quarantine,
+    /// probationary re-admission). Disabled by default.
+    pub watchdog: WatchdogConfig,
 }
 
 impl SystemConfig {
@@ -182,6 +186,7 @@ impl SystemConfig {
             fairness: FairnessPolicy::Strict,
             coalesce: CoalesceWindow::Stability,
             fault_plan: FaultPlan::default(),
+            watchdog: WatchdogConfig::off(),
         }
     }
 
@@ -300,6 +305,12 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the entropy-health watchdog configuration.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
     /// Priority level of `core` (1 when unset — all applications equal).
     pub fn priority_of(&self, core: usize) -> u8 {
         self.priorities.get(core).copied().unwrap_or(1)
@@ -407,6 +418,7 @@ impl SystemConfig {
             });
         }
         self.fault_plan.validate(self.geometry.channels)?;
+        self.watchdog.validate()?;
         self.geometry.validate()?;
         self.timing.validate()?;
         Ok(())
@@ -512,6 +524,17 @@ mod tests {
         let unsorted = SystemConfig::dr_strange(2)
             .with_fault_plan(FaultPlan::new().corruption(2_000, 8).outage(1_000, 0, 500));
         assert!(unsorted.validate().is_err());
+    }
+
+    #[test]
+    fn watchdog_config_is_validated() {
+        SystemConfig::dr_strange(2)
+            .with_watchdog(WatchdogConfig::standard())
+            .validate()
+            .unwrap();
+        let mut bad = WatchdogConfig::standard();
+        bad.trip_failures = 0;
+        assert!(SystemConfig::dr_strange(2).with_watchdog(bad).validate().is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use strange_trng::TrngMechanism;
 use crate::buffer::RandomNumberBuffer;
 use crate::config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SystemConfig};
 use crate::faults::FaultKind;
+use crate::health::{HealthState, Watchdog};
 use crate::sched::{effective_priority, strict_pick, CoalesceWindow, DrrState, FairnessPolicy};
 use crate::predictor::{
     AlwaysLongPredictor, IdlenessPredictor, Prediction, QlearningPredictor, SimplePredictor,
@@ -168,6 +169,18 @@ pub struct MemSubsystem {
     /// Per-channel cycle (exclusive) until which a `ChannelOutage`
     /// excludes the channel from TRNG generation; 0 = healthy.
     chan_out_until: Vec<u64>,
+    /// Per-channel cycle (exclusive) until which a
+    /// [`FaultKind::ChannelDerate`] biases generated words; 0 = clean.
+    bias_until: Vec<u64>,
+    /// Per-channel stuck-at-one mask applied to generated words while the
+    /// quality derate is active.
+    bias_mask: Vec<u64>,
+    /// Entropy-health watchdog: per-channel quality windows, the
+    /// quarantine state machine, and probe scheduling.
+    watchdog: Watchdog,
+    /// Round-robin cursor attributing demand-episode words to the live
+    /// channels that generated them (health sampling + bias).
+    attribute_rr: usize,
     /// Cycle (exclusive) until which `EntropyDerate` reduces the usable
     /// bits per generation round to `derate_num / derate_den`.
     derate_until: u64,
@@ -255,6 +268,10 @@ impl MemSubsystem {
             rng_queue_len_last: 0,
             fault_next: 0,
             chan_out_until: vec![0; geometry.channels as usize],
+            bias_until: vec![0; geometry.channels as usize],
+            bias_mask: vec![0; geometry.channels as usize],
+            watchdog: Watchdog::new(config.watchdog, geometry.channels as usize),
+            attribute_rr: 0,
             derate_until: 0,
             derate_num: 1,
             derate_den: 1,
@@ -343,6 +360,109 @@ impl MemSubsystem {
         now < self.chan_out_until[i]
     }
 
+    /// Whether channel `i` is unavailable for TRNG generation at `now`:
+    /// either its cells are out ([`FaultKind::ChannelOutage`]) or the
+    /// entropy-health watchdog has it quarantined / on probation. Both
+    /// ride the same failover paths; the difference is that outages
+    /// expire by time passage (bounded by `chan_out_until`) while health
+    /// exclusion flips only at watchdog transitions, each of which bumps
+    /// the fill epoch.
+    fn chan_unavailable(&self, i: usize, now: u64) -> bool {
+        self.chan_out(i, now) || self.watchdog.excluded(i)
+    }
+
+    /// Channel `i`'s entropy-health state (watchdog observability).
+    pub fn channel_health(&self, i: usize) -> HealthState {
+        self.watchdog.state(i)
+    }
+
+    /// Number of channels the watchdog currently excludes from
+    /// generation (quarantined or probationary). The server's admission
+    /// ladder derates its watermarks by this fraction of capacity.
+    pub fn quarantined_channels(&self) -> usize {
+        self.watchdog.excluded_count()
+    }
+
+    /// Applies the active quality-derate bias to a word generated by
+    /// channel `chan` (`take` = significant low bits of the draw).
+    fn taint_word(&self, chan: usize, now: u64, word: u64, take: u32) -> u64 {
+        if now >= self.bias_until[chan] {
+            return word;
+        }
+        let keep = if take >= 64 { !0u64 } else { (1u64 << take) - 1 };
+        word | (self.bias_mask[chan] & keep)
+    }
+
+    /// Samples the low `take` bits of one generated draw into channel
+    /// `chan`'s health window (live path only; excluded channels are
+    /// sampled via probe rounds). Sub-word fill chunks accumulate in the
+    /// watchdog until a full word completes, so fill-only operation is
+    /// sampled just like demand generation.
+    fn observe_health(&mut self, chan: usize, word: u64, take: u32, now: u64) {
+        if !self.watchdog.enabled() || self.watchdog.excluded(chan) {
+            return;
+        }
+        if self
+            .watchdog
+            .observe_bits(chan, word, take, now, &mut self.stats)
+        {
+            // Quarantine flips the fill predicates for this channel.
+            self.touch_fill();
+        }
+    }
+
+    /// Runs due probe rounds on excluded channels: draw `probe_words`
+    /// words (biased if the underlying fault is still active), test them
+    /// through the channel's quality window, and discard them — tainted
+    /// words are never buffered or served. The round occupies the
+    /// channel like a fill round (blockade + command accounting), and
+    /// pending `probe_due` cycles bound [`MemSubsystem::next_event_at`],
+    /// so both simulation modes run each probe on its exact cycle.
+    fn watchdog_probe_step(&mut self, now: u64) {
+        if !self.watchdog.enabled() {
+            return;
+        }
+        for i in 0..self.channels.len() {
+            if !self.watchdog.probe_ready(i, now) {
+                continue;
+            }
+            if self.chan_out(i, now) {
+                // Outage on a quarantined channel: probing dead cells is
+                // meaningless; retry at recovery.
+                self.watchdog.defer_probe(i, self.chan_out_until[i]);
+                continue;
+            }
+            if self.channels[i].is_blocked(now) {
+                self.watchdog.defer_probe(i, self.channels[i].blocked_until());
+                continue;
+            }
+            let n = self.config.watchdog.probe_words;
+            let mut words = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let raw = self.mechanism.draw(64);
+                words.push(self.taint_word(i, now, raw, 64));
+            }
+            // Occupy the channel like a chained fill burst: switch in,
+            // generate, switch out.
+            let rounds = (64 * n as u64).div_ceil(self.effective_batch_bits(now) as u64);
+            let switch = self.mechanism.fill_switch_cycles();
+            let end = now + 2 * switch + rounds * self.mechanism.batch_latency();
+            self.channels[i].block_until(end);
+            let cmds = self.mechanism.batch_commands();
+            self.channels[i].note_rng_commands(
+                cmds.acts * rounds,
+                cmds.reads * rounds,
+                cmds.pres * rounds,
+            );
+            self.stats.probe_rounds += 1;
+            self.stats.tainted_words_discarded += n as u64;
+            self.watchdog.run_probe(i, &words, now, &mut self.stats);
+            // Blockade extension + possible state transition both stale
+            // the fill probe.
+            self.touch_fill();
+        }
+    }
+
     /// Usable true-random bits per generation round at `now`: the
     /// mechanism's nominal yield, reduced to the active derate fraction
     /// (minimum 1) while an [`FaultKind::EntropyDerate`] window is open.
@@ -400,6 +520,22 @@ impl MemSubsystem {
                     self.stats.corrupted_words_discarded += discarded as u64;
                     self.touch_fill();
                 }
+                FaultKind::ChannelDerate {
+                    channel,
+                    num,
+                    den,
+                    duration,
+                } => {
+                    let i = channel as usize;
+                    self.bias_until[i] = now + duration;
+                    // Stuck-at-one mask over the degraded bit fraction:
+                    // only the low `64 * num / den` bits stay random.
+                    // Bias changes word *values* at draw sites (always
+                    // live ticks), never scheduling, so no fill-probe or
+                    // next-event impact.
+                    let usable = (64 * num as u64 / den as u64) as u32;
+                    self.bias_mask[i] = (!0u64).checked_shl(usable).unwrap_or(0);
+                }
             }
         }
     }
@@ -435,6 +571,11 @@ impl MemSubsystem {
         if let Some(ev) = self.config.fault_plan.events.get(self.fault_next) {
             // The next scheduled fault mutates state on its exact cycle.
             event = event.min(ev.at);
+        }
+        if let Some(p) = self.watchdog.next_probe_at() {
+            // A pending probe round mutates state on its due cycle (or
+            // re-schedules itself to a strictly later one).
+            event = event.min(p);
         }
         if let Some(&Reverse((due, _, _, _, _))) = self.rng_done.peek() {
             event = event.min(due);
@@ -557,18 +698,20 @@ impl MemSubsystem {
                             && !self.buffer.is_full()
                             && !demand_active
                             && !ch.is_blocked(now)
-                            && !self.chan_out(i, now)
+                            && !self.chan_unavailable(i, now)
                         {
                             // A fill round would start this cycle. (An
                             // out channel waits for its recovery bound,
-                            // emitted above.)
+                            // emitted above; a quarantined channel waits
+                            // for its probe cycles, which bound
+                            // `next_event_at` directly.)
                             return now;
                         }
                     } else if low_util > 0
                         && st.fill_end.is_none()
                         && !demand_active
                         && !ch.is_blocked(now)
-                        && !self.chan_out(i, now)
+                        && !self.chan_unavailable(i, now)
                         && !self.buffer.is_full()
                         && ch.read_queue_len() < low_util
                     {
@@ -636,8 +779,10 @@ impl MemSubsystem {
 
         // Scheduled faults fire first: the rest of this tick already sees
         // the degraded world (outage exclusions, blockades, derated
-        // yields, discarded buffer words).
+        // yields, discarded buffer words). Probe rounds run next so the
+        // fill and demand paths below see any re-admission immediately.
         self.apply_due_faults(now);
+        self.watchdog_probe_step(now);
 
         // Demand-generation episode ends. Per the paper's flowchart
         // (Figure 4, track d): if a channel remains idle after random
@@ -652,7 +797,7 @@ impl MemSubsystem {
                         if self.channels[i].queues_empty()
                             && !self.buffer.is_full()
                             && !self.channels[i].is_blocked(now)
-                            && !self.chan_out(i, now)
+                            && !self.chan_unavailable(i, now)
                         {
                             self.start_fill_round(i, now, 0, false);
                         }
@@ -969,16 +1114,27 @@ impl MemSubsystem {
         let fill_bits = self.effective_batch_bits(now);
         for i in 0..self.fill.len() {
             if self.fill[i].fill_end.take().is_some() {
-                self.deliver_batch_bits(fill_bits);
+                self.deliver_batch_bits(i, fill_bits);
                 self.stats.fill_batches += 1;
             }
         }
 
         // Failover: only channels whose TRNG cells are healthy at `now`
-        // participate. If every channel is out, the episode waits for the
-        // earliest recovery (degraded to a single just-recovered channel).
-        let mut live: Vec<usize> =
-            (0..self.channels.len()).filter(|&i| !self.chan_out(i, now)).collect();
+        // participate — outage channels and watchdog-excluded channels
+        // alike. Exclusion is best-effort: if the watchdog would leave
+        // nothing, the episode falls back to the non-out set (serving
+        // possibly-degraded words beats deadlocking demand requests; the
+        // episode is counted degraded either way). If every channel is
+        // out, the episode waits for the earliest recovery (degraded to a
+        // single just-recovered channel).
+        let mut live: Vec<usize> = (0..self.channels.len())
+            .filter(|&i| !self.chan_unavailable(i, now))
+            .collect();
+        if live.is_empty() {
+            live = (0..self.channels.len())
+                .filter(|&i| !self.chan_out(i, now))
+                .collect();
+        }
         let mut ready = now;
         if live.is_empty() {
             let (first, until) = self
@@ -1017,7 +1173,14 @@ impl MemSubsystem {
         let cost = finish - now;
         self.demand_cost_est = (3 * self.demand_cost_est + cost) / 4;
         for req in &requests {
-            let value = self.mechanism.draw(64);
+            // Attribute each word round-robin to a generating channel:
+            // that channel's quality derate (if any) biases the word, and
+            // the watchdog samples it into that channel's health window.
+            let chan = live[self.attribute_rr % live.len()];
+            self.attribute_rr = self.attribute_rr.wrapping_add(1);
+            let raw = self.mechanism.draw(64);
+            let value = self.taint_word(chan, now, raw, 64);
+            self.observe_health(chan, value, 64, now);
             self.log_value(value);
             self.complete_rng(now, req, data_ready, value, false);
         }
@@ -1026,7 +1189,11 @@ impl MemSubsystem {
         let mut surplus = rounds * per_round - bits_needed;
         while surplus > 0 && !self.buffer.is_full() {
             let take = surplus.min(64) as u32;
-            let word = self.mechanism.draw(take);
+            let chan = live[self.attribute_rr % live.len()];
+            self.attribute_rr = self.attribute_rr.wrapping_add(1);
+            let raw = self.mechanism.draw(take);
+            let word = self.taint_word(chan, now, raw, take);
+            self.observe_health(chan, word, take, now);
             let accepted = self.buffer.push_bits(word, take);
             self.stats.bits_buffered += accepted as u64;
             if accepted < take {
@@ -1049,12 +1216,18 @@ impl MemSubsystem {
         self.channels[i].note_rng_commands(cmds.acts, cmds.reads, cmds.pres);
     }
 
-    fn deliver_batch_bits(&mut self, bits: u32) {
+    /// Draws one fill batch's bits on channel `chan` into the buffer,
+    /// applying that channel's quality-derate bias (if active) and
+    /// sampling full words into its health window.
+    fn deliver_batch_bits(&mut self, chan: usize, bits: u32) {
         self.touch_fill();
+        let now = self.mem_now;
         let mut remaining = bits;
         while remaining > 0 {
             let take = remaining.min(64);
-            let word = self.mechanism.draw(take);
+            let raw = self.mechanism.draw(take);
+            let word = self.taint_word(chan, now, raw, take);
+            self.observe_health(chan, word, take, now);
             let accepted = self.buffer.push_bits(word, take);
             self.stats.bits_buffered += accepted as u64;
             remaining -= take;
@@ -1083,12 +1256,12 @@ impl MemSubsystem {
                 self.fill[i].idle_len += 1;
                 if self.fill[i].idle_len == threshold
                     && !self.buffer.is_full()
-                    && !self.chan_out(i, now)
+                    && !self.chan_unavailable(i, now)
                 {
-                    // An outage swallows this period's oracle batch (the
-                    // crossing still ticks live; only the delivery is
-                    // suppressed).
-                    self.deliver_batch_bits(bits);
+                    // An outage or quarantine swallows this period's
+                    // oracle batch (the crossing still ticks live; only
+                    // the delivery is suppressed).
+                    self.deliver_batch_bits(i, bits);
                     self.stats.greedy_batches += 1;
                 }
             } else {
@@ -1116,7 +1289,7 @@ impl MemSubsystem {
                     // Touches the fill probe via deliver_batch_bits; the
                     // round end, chaining decision, and blockade extension
                     // below are all covered by that bump.
-                    self.deliver_batch_bits(batch_bits);
+                    self.deliver_batch_bits(i, batch_bits);
                     let st = &mut self.fill[i];
                     st.fill_end = None;
                     let was_low_util = st.fill_is_low_util;
@@ -1135,7 +1308,7 @@ impl MemSubsystem {
                         if self.channels[i].queues_empty()
                             && !self.buffer.is_full()
                             && !demand_active
-                            && !self.chan_out(i, now)
+                            && !self.chan_unavailable(i, now)
                         {
                             self.start_fill_round(i, now, 0, false);
                         } else {
@@ -1173,7 +1346,7 @@ impl MemSubsystem {
                     && !self.buffer.is_full()
                     && !demand_active
                     && !self.channels[i].is_blocked(now)
-                    && !self.chan_out(i, now)
+                    && !self.chan_unavailable(i, now)
                 {
                     self.start_fill_round(i, now, fill_switch, false);
                 }
@@ -1199,7 +1372,7 @@ impl MemSubsystem {
                     && self.fill[i].fill_end.is_none()
                     && !demand_active
                     && !self.channels[i].is_blocked(now)
-                    && !self.chan_out(i, now)
+                    && !self.chan_unavailable(i, now)
                     && !self.buffer.is_full()
                     && self.channels[i].read_queue_len() < low_util
                     && now >= self.fill[i].last_low_util_end + 8 * batch_latency

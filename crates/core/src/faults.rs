@@ -78,6 +78,26 @@ pub enum FaultKind {
         /// Number of words to discard (nonzero; capped at occupancy).
         words: u32,
     },
+    /// Channel `channel`'s raw entropy **quality** degrades for
+    /// `duration` cycles: only a `num/den` fraction of each generated
+    /// word's bits stays random, the rest read stuck-at-one, while
+    /// throughput is unchanged — the silent failure mode the
+    /// entropy-health watchdog exists to catch. Unlike
+    /// [`FaultKind::EntropyDerate`] (which models post-processing already
+    /// rejecting bad cells, so fewer but *good* bits come out), a
+    /// quality-derated channel keeps pushing biased words into the shared
+    /// buffer until the watchdog quarantines it.
+    ChannelDerate {
+        /// Channel index (must be within the configured geometry).
+        channel: u32,
+        /// Numerator of the still-random bit fraction.
+        num: u32,
+        /// Denominator of the still-random bit fraction (`num < den`,
+        /// `den > 0`).
+        den: u32,
+        /// DRAM-bus cycles the degradation lasts (nonzero).
+        duration: u64,
+    },
 }
 
 /// One scheduled fault.
@@ -101,6 +121,22 @@ pub struct FaultEvent {
 ///     .corruption(25_000, 8);
 /// assert_eq!(plan.events.len(), 3);
 /// ```
+///
+/// # Overlap semantics
+///
+/// Windowed faults of the **same kind on the same resource must not
+/// overlap**: a second [`FaultKind::ChannelOutage`] (or
+/// [`FaultKind::StallStorm`]) on a channel whose previous window of that
+/// kind is still active, or a second [`FaultKind::EntropyDerate`] while
+/// one is active (derating is global), is **rejected** by
+/// [`FaultPlan::validate`]. The engine would otherwise merge them
+/// silently — max-extension for outages and storms, last-writer-wins for
+/// derates — which distorts the intended schedule without any signal to
+/// the experimenter; rejecting keeps plans unambiguous. Windows are
+/// half-open `[at, at + duration)`, so a window starting exactly at the
+/// previous one's end is back-to-back, not overlapping, and is allowed.
+/// Faults of *different* kinds (or the same kind on different channels)
+/// may overlap freely and compose.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The scheduled events, sorted by cycle (validated).
@@ -154,9 +190,24 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a [`FaultKind::ChannelDerate`] at cycle `at`.
+    pub fn channel_derate(mut self, at: u64, channel: u32, num: u32, den: u32, duration: u64) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::ChannelDerate {
+                channel,
+                num,
+                den,
+                duration,
+            },
+        });
+        self
+    }
+
     /// Validates the plan against a `channels`-channel geometry: events
     /// sorted by cycle, channel indices in range, durations and fractions
-    /// meaningful.
+    /// meaningful, and no same-kind window overlap (see the type-level
+    /// docs for the overlap semantics).
     ///
     /// # Errors
     ///
@@ -164,6 +215,12 @@ impl FaultPlan {
     /// field.
     pub fn validate(&self, channels: u32) -> Result<(), ConfigError> {
         let mut last = 0u64;
+        // Exclusive end cycle of the latest window of each kind, per
+        // channel (outage / storm) or globally (derate).
+        let mut outage_end = vec![0u64; channels as usize];
+        let mut storm_end = vec![0u64; channels as usize];
+        let mut quality_end = vec![0u64; channels as usize];
+        let mut derate_end = 0u64;
         for ev in &self.events {
             if ev.at < last {
                 return Err(ConfigError::InvalidParameter {
@@ -187,6 +244,18 @@ impl FaultPlan {
                             constraint: "be nonzero",
                         });
                     }
+                    let end = if matches!(ev.kind, FaultKind::ChannelOutage { .. }) {
+                        &mut outage_end[channel as usize]
+                    } else {
+                        &mut storm_end[channel as usize]
+                    };
+                    if ev.at < *end {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.events",
+                            constraint: "not overlap a same-kind window on the same channel",
+                        });
+                    }
+                    *end = ev.at.saturating_add(duration);
                 }
                 FaultKind::EntropyDerate { num, den, duration } => {
                     if den == 0 || num >= den {
@@ -201,6 +270,13 @@ impl FaultPlan {
                             constraint: "be nonzero",
                         });
                     }
+                    if ev.at < derate_end {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.events",
+                            constraint: "not overlap an active entropy derate",
+                        });
+                    }
+                    derate_end = ev.at.saturating_add(duration);
                 }
                 FaultKind::BufferCorruption { words } => {
                     if words == 0 {
@@ -209,6 +285,39 @@ impl FaultPlan {
                             constraint: "be nonzero",
                         });
                     }
+                }
+                FaultKind::ChannelDerate {
+                    channel,
+                    num,
+                    den,
+                    duration,
+                } => {
+                    if channel >= channels {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.channel",
+                            constraint: "name a configured channel",
+                        });
+                    }
+                    if den == 0 || num >= den {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.derate",
+                            constraint: "satisfy num < den with den nonzero",
+                        });
+                    }
+                    if duration == 0 {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.duration",
+                            constraint: "be nonzero",
+                        });
+                    }
+                    let end = &mut quality_end[channel as usize];
+                    if ev.at < *end {
+                        return Err(ConfigError::InvalidParameter {
+                            field: "fault_plan.events",
+                            constraint: "not overlap a same-kind window on the same channel",
+                        });
+                    }
+                    *end = ev.at.saturating_add(duration);
                 }
             }
         }
@@ -259,5 +368,61 @@ mod tests {
         // Two faults on the same cycle apply in plan order.
         let plan = FaultPlan::new().corruption(100, 1).outage(100, 0, 10);
         plan.validate(4).unwrap();
+    }
+
+    #[test]
+    fn overlapping_same_kind_same_channel_rejected() {
+        // Second outage starts while the first (100..200) is active.
+        let plan = FaultPlan::new().outage(100, 0, 100).outage(150, 0, 10);
+        assert!(plan.validate(4).is_err());
+        let plan = FaultPlan::new().stall_storm(100, 2, 100).stall_storm(199, 2, 1);
+        assert!(plan.validate(4).is_err());
+        // Derating is global: two active derates have no defined meaning.
+        let plan = FaultPlan::new().derate(100, 1, 2, 100).derate(150, 1, 4, 10);
+        assert!(plan.validate(4).is_err());
+    }
+
+    #[test]
+    fn channel_derate_validates_like_other_windows() {
+        FaultPlan::new().channel_derate(0, 1, 1, 4, 100).validate(4).unwrap();
+        assert!(FaultPlan::new().channel_derate(0, 9, 1, 4, 100).validate(4).is_err());
+        assert!(FaultPlan::new().channel_derate(0, 0, 4, 4, 100).validate(4).is_err());
+        assert!(FaultPlan::new().channel_derate(0, 0, 1, 4, 0).validate(4).is_err());
+        // Overlap on the same channel rejected; other channels compose.
+        assert!(FaultPlan::new()
+            .channel_derate(0, 0, 1, 4, 100)
+            .channel_derate(50, 0, 1, 2, 10)
+            .validate(4)
+            .is_err());
+        FaultPlan::new()
+            .channel_derate(0, 0, 1, 4, 100)
+            .channel_derate(50, 1, 1, 2, 10)
+            .validate(4)
+            .unwrap();
+    }
+
+    #[test]
+    fn back_to_back_and_cross_kind_overlaps_allowed() {
+        // Windows are half-open: a window starting at the previous end is
+        // adjacent, not overlapping.
+        FaultPlan::new()
+            .outage(100, 0, 100)
+            .outage(200, 0, 50)
+            .validate(4)
+            .unwrap();
+        // Same kind on different channels overlaps freely.
+        FaultPlan::new()
+            .outage(100, 0, 100)
+            .outage(150, 1, 100)
+            .validate(4)
+            .unwrap();
+        // Different kinds on the same channel compose (an outage during a
+        // stall storm, a derate during an outage).
+        FaultPlan::new()
+            .stall_storm(100, 0, 500)
+            .outage(200, 0, 100)
+            .derate(250, 1, 2, 50)
+            .validate(4)
+            .unwrap();
     }
 }

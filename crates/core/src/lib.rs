@@ -98,6 +98,7 @@ mod buffer;
 mod config;
 mod engine;
 mod faults;
+mod health;
 mod interface;
 mod predictor;
 pub mod sched;
@@ -108,6 +109,7 @@ mod system;
 pub use buffer::RandomNumberBuffer;
 pub use config::{FillMode, PredictorKind, RngRouting, SchedulerKind, SimMode, SystemConfig};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use health::{HealthState, WatchdogConfig};
 pub use engine::{AnyPolicy, Completion, MemSubsystem};
 pub use interface::RngDevice;
 pub use predictor::{

@@ -44,6 +44,18 @@ pub struct SystemStats {
     /// RNG requests held back from a generation episode by the
     /// weighted-fair per-tenant batch cap (served by a later episode).
     pub demand_batch_deferrals: u64,
+    /// Entropy-health quality windows tested (live boundaries + probes).
+    pub windows_tested: u64,
+    /// Transitions into [`crate::HealthState::Quarantined`] (fresh trips
+    /// and probation relapses).
+    pub quarantines: u64,
+    /// Probe rounds executed on excluded channels.
+    pub probe_rounds: u64,
+    /// Channels re-admitted after completing a probation pass streak.
+    pub readmissions: u64,
+    /// Words drawn by probe rounds and discarded after testing (tainted
+    /// words are never buffered or served).
+    pub tainted_words_discarded: u64,
 }
 
 impl SystemStats {

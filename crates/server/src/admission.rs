@@ -147,6 +147,43 @@ impl AdmissionConfig {
             defer_cycles: 200_000,
         }
     }
+
+    /// Derates the global watermarks for a system running on `healthy`
+    /// of `total` TRNG channels (the rest quarantined by the entropy
+    /// watchdog). A quarantined channel generates nothing for the buffer
+    /// and stretches every demand episode, so the same queue depth
+    /// represents proportionally more work: queue watermarks scale down
+    /// by `healthy/total` (floored at 1 so a single arrival can still
+    /// pass), and the buffer-low watermark scales up by `total/healthy`
+    /// (the remaining channels refill it that much slower). With every
+    /// channel quarantined the config turns maximally cautious: any
+    /// queued work defers, and the buffer always reads as low. Watermarks
+    /// at `usize::MAX` (disabled) and per-tenant bucket knobs pass
+    /// through untouched; so does the whole config when nothing is
+    /// quarantined.
+    pub fn derated(self, healthy: usize, total: usize) -> Self {
+        if total == 0 || healthy >= total {
+            return self;
+        }
+        let scale_down = |d: usize| -> usize {
+            if d == usize::MAX {
+                return d;
+            }
+            ((d as u128 * healthy as u128 / total as u128) as usize).max(1)
+        };
+        let scale_up = |w: usize| -> usize {
+            if healthy == 0 {
+                return usize::MAX;
+            }
+            (w as u128 * total as u128 / healthy as u128).min(usize::MAX as u128) as usize
+        };
+        AdmissionConfig {
+            defer_queue_depth: scale_down(self.defer_queue_depth),
+            shed_queue_depth: scale_down(self.shed_queue_depth),
+            buffer_low_words: scale_up(self.buffer_low_words),
+            ..self
+        }
+    }
 }
 
 impl Default for AdmissionConfig {
@@ -386,6 +423,33 @@ mod tests {
         };
         let mut b = Backoff::new(1, 10, 1_000_000, 3);
         assert!(b.next_delay(&hint).unwrap() >= 50_000);
+    }
+
+    #[test]
+    fn derating_scales_watermarks_by_healthy_fraction() {
+        let base = AdmissionConfig::protective(4, 1_000);
+        // Nothing quarantined: untouched.
+        assert_eq!(base.derated(4, 4), base);
+        // Half the channels gone: queue watermarks halve, buffer-low
+        // doubles, tenant knobs pass through.
+        let half = base.derated(2, 4);
+        assert_eq!(half.defer_queue_depth, 4);
+        assert_eq!(half.shed_queue_depth, 16);
+        assert_eq!(half.buffer_low_words, 4);
+        assert_eq!(half.bucket_capacity, base.bucket_capacity);
+        assert_eq!(half.max_defers, base.max_defers);
+        // Deep derating floors the queue watermarks at 1.
+        let deep = base.derated(1, 64);
+        assert_eq!(deep.defer_queue_depth, 1);
+        assert_eq!(deep.shed_queue_depth, 1);
+        // All channels quarantined: maximal caution.
+        let none = base.derated(0, 4);
+        assert_eq!(none.buffer_low_words, usize::MAX);
+        assert_eq!(none.defer_queue_depth, 1);
+        // Disabled (MAX) watermarks stay disabled.
+        let off = AdmissionConfig::disabled().derated(1, 2);
+        assert_eq!(off.defer_queue_depth, usize::MAX);
+        assert_eq!(off.shed_queue_depth, usize::MAX);
     }
 
     #[test]

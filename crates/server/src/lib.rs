@@ -90,7 +90,7 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError}
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use strange_core::{ArrivalProcess, ClientSpec, ServedRequest, ServiceStats, System};
+use strange_core::{ArrivalProcess, ClientSpec, ServedRequest, ServiceStats, System, SystemStats};
 
 use admission::TokenBucket;
 pub use admission::{
@@ -181,6 +181,10 @@ pub struct ServerReport {
     pub sessions: usize,
     /// Admission-control accounting (all zeros when admission was off).
     pub admission: AdmissionStats,
+    /// The engine's final counters (buffer serve rate, fault and
+    /// entropy-health accounting) — the server-side view of the
+    /// watchdog's quarantines, probe rounds, and re-admissions.
+    pub system: SystemStats,
 }
 
 /// A periodic progress snapshot emitted by the driver thread of an
@@ -209,6 +213,20 @@ pub struct Snapshot {
     /// In-progress per-tenant p99 latency (same indexing as
     /// [`Snapshot::tenant_p50`]).
     pub tenant_p99: Vec<Option<u64>>,
+    /// TRNG channels currently excluded by the entropy-health watchdog
+    /// (in `Quarantined` or `Probation` state). Zero when the watchdog
+    /// is disabled.
+    pub quarantined_channels: usize,
+    /// Entropy-health quality windows tested so far (live + probe).
+    pub health_windows_tested: u64,
+    /// Watchdog transitions into quarantine so far.
+    pub health_quarantines: u64,
+    /// Probe rounds run on excluded channels so far.
+    pub health_probe_rounds: u64,
+    /// Channels re-admitted after a probation pass streak so far.
+    pub health_readmissions: u64,
+    /// Words drawn by probe rounds and discarded after testing.
+    pub health_tainted_discarded: u64,
 }
 
 /// A cloneable connection to a running [`RngServer`]: hand one to each
@@ -460,6 +478,26 @@ impl SessionHandle {
     /// simulation and their results are dropped.
     pub fn close(self) {
         let _ = self.ctl.send(Ctl::Close { session: self.id });
+    }
+}
+
+/// A session handle is itself a [`rand::RngCore`] generator: each
+/// `next_u64` is one blocking 8-byte `getrandom()` against the simulated
+/// system (think time 0), so any consumer written against the `rand`
+/// traits — `Rng::gen`, `gen_range`, `SliceRandom::choose` — can draw
+/// its randomness from the cycle-accurate DRAM TRNG unchanged.
+///
+/// # Panics
+///
+/// Panics like [`SessionHandle::recv`] on a non-served outcome: drive a
+/// server with admission control through
+/// [`SessionHandle::getrandom_with_retry`] instead, where shed and
+/// timeout outcomes can be surfaced to the caller.
+impl rand::RngCore for SessionHandle {
+    fn next_u64(&mut self) -> u64 {
+        let mut out = [0u8; 8];
+        self.getrandom(&mut out, 0);
+        u64::from_le_bytes(out)
     }
 }
 
@@ -824,7 +862,14 @@ impl Driver {
             if self.admission.enabled {
                 let queue_depth = self.sys.mem().rng_queue_len();
                 let buffer_words = self.sys.mem().buffer().available_words();
-                let cfg = self.admission;
+                // Derate the global watermarks by the quarantined
+                // fraction: the watchdog's exclusions shrink generation
+                // capacity, so overload sets in at shallower queues and
+                // higher buffer levels. Both inputs are simulated state,
+                // so the decision stays deterministic.
+                let total = self.sys.mem().channels().len();
+                let healthy = total.saturating_sub(self.sys.mem().quarantined_channels());
+                let cfg = self.admission.derated(healthy, total);
                 // Hard watermark: shed outright.
                 if queue_depth >= cfg.shed_queue_depth {
                     self.adm_stats.shed_queue_overload += 1;
@@ -985,6 +1030,12 @@ impl Driver {
             buffer_words: self.sys.mem().buffer().available_words(),
             tenant_p50: pct(0.50),
             tenant_p99: pct(0.99),
+            quarantined_channels: self.sys.mem().quarantined_channels(),
+            health_windows_tested: self.sys.mem().stats().windows_tested,
+            health_quarantines: self.sys.mem().stats().quarantines,
+            health_probe_rounds: self.sys.mem().stats().probe_rounds,
+            health_readmissions: self.sys.mem().stats().readmissions,
+            health_tainted_discarded: self.sys.mem().stats().tainted_words_discarded,
         }
     }
 
@@ -1038,6 +1089,7 @@ impl Driver {
             cpu_cycles: self.sys.cpu_cycles(),
             sessions: self.sessions.len(),
             admission: self.adm_stats,
+            system: self.sys.mem().stats().clone(),
         }
     }
 

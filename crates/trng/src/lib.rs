@@ -51,4 +51,7 @@ pub use extract::{VonNeumann, XorFold};
 pub use generic::ThroughputTrng;
 pub use mechanism::{BatchCommands, TrngMechanism};
 pub use quac::QuacTrng;
-pub use quality::{all_tests_pass, monobit_test, runs_test, serial_two_bit_test, TestResult};
+pub use quality::{
+    all_tests_pass, monobit_test, runs_test, serial_two_bit_test, QualityReport, QualityWindow,
+    TestResult,
+};

@@ -131,6 +131,239 @@ pub fn all_tests_pass(words: &[u64]) -> bool {
     monobit_test(words).passed && runs_test(words).passed && serial_two_bit_test(words).passed
 }
 
+/// Results of all three quality tests over one window of words.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Frequency (monobit) test outcome.
+    pub monobit: TestResult,
+    /// Runs (Wald–Wolfowitz) test outcome.
+    pub runs: TestResult,
+    /// Serial two-bit chi-square test outcome.
+    pub serial: TestResult,
+}
+
+impl QualityReport {
+    /// Whether every test in the report passed.
+    pub fn all_passed(&self) -> bool {
+        self.monobit.passed && self.runs.passed && self.serial.passed
+    }
+}
+
+/// Mask selecting the 63 intra-word adjacent bit pairs `(i, i+1)`.
+const PAIR_MASK: u64 = (1u64 << 63) - 1;
+
+/// Incremental sliding window over a `u64` word stream that maintains the
+/// sufficient statistics for [`monobit_test`], [`runs_test`], and
+/// [`serial_two_bit_test`] under push/evict, so a live sampler can test a
+/// window in O(1) per word instead of rescanning `capacity × 64` bits.
+///
+/// The window is treated as one contiguous bit stream, low bit first within
+/// each word (the same order `bits_of` uses), so for any window content the
+/// results are bit-identical to running the batch functions on the same
+/// slice of words — a property the proptest below pins down.
+#[derive(Debug, Clone)]
+pub struct QualityWindow {
+    capacity: usize,
+    words: std::collections::VecDeque<u64>,
+    ones: u64,
+    /// Number of adjacent bit pairs that differ (runs = flips + 1).
+    flips: u64,
+    /// Counts of the four overlapping 2-bit patterns `(prev << 1) | cur`.
+    pairs: [u64; 4],
+}
+
+/// Per-word contribution of the 63 internal adjacent pairs.
+fn word_pair_counts(w: u64) -> [u64; 4] {
+    let hi = w >> 1; // bit i of `hi` is the *later* bit of pair i
+    [
+        (!w & !hi & PAIR_MASK).count_ones() as u64,
+        (!w & hi & PAIR_MASK).count_ones() as u64,
+        (w & !hi & PAIR_MASK).count_ones() as u64,
+        (w & hi & PAIR_MASK).count_ones() as u64,
+    ]
+}
+
+impl QualityWindow {
+    /// Creates an empty window holding at most `capacity_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_words` is zero.
+    pub fn new(capacity_words: usize) -> Self {
+        assert!(capacity_words > 0, "quality window needs capacity");
+        QualityWindow {
+            capacity: capacity_words,
+            words: std::collections::VecDeque::with_capacity(capacity_words),
+            ones: 0,
+            flips: 0,
+            pairs: [0; 4],
+        }
+    }
+
+    /// Maximum number of words the window holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of words currently in the window.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the window holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Whether the window is at capacity (a push will evict the oldest word).
+    pub fn is_full(&self) -> bool {
+        self.words.len() == self.capacity
+    }
+
+    /// Adds the boundary pair between adjacent words `prev` (earlier) and
+    /// `cur` (later) to the statistics, or removes it with `sign = -1`.
+    fn boundary(&mut self, prev: u64, cur: u64, add: bool) {
+        let p = (prev >> 63) & 1;
+        let c = cur & 1;
+        let idx = ((p << 1) | c) as usize;
+        if add {
+            self.pairs[idx] += 1;
+            self.flips += u64::from(p != c);
+        } else {
+            self.pairs[idx] -= 1;
+            self.flips -= u64::from(p != c);
+        }
+    }
+
+    /// Adds (or removes) one word's ones count and internal pairs.
+    fn word_body(&mut self, w: u64, add: bool) {
+        let pc = word_pair_counts(w);
+        let internal_flips = pc[1] + pc[2]; // patterns 01 and 10 are flips
+        if add {
+            self.ones += w.count_ones() as u64;
+            self.flips += internal_flips;
+            for (slot, c) in self.pairs.iter_mut().zip(pc) {
+                *slot += c;
+            }
+        } else {
+            self.ones -= w.count_ones() as u64;
+            self.flips -= internal_flips;
+            for (slot, c) in self.pairs.iter_mut().zip(pc) {
+                *slot -= c;
+            }
+        }
+    }
+
+    /// Pushes a word, evicting the oldest word first if the window is full.
+    pub fn push(&mut self, word: u64) {
+        if self.is_full() {
+            self.evict();
+        }
+        if let Some(&back) = self.words.back() {
+            self.boundary(back, word, true);
+        }
+        self.word_body(word, true);
+        self.words.push_back(word);
+    }
+
+    /// Removes the oldest word and its statistics contribution.
+    fn evict(&mut self) {
+        let front = self.words.pop_front().expect("evict from non-empty window");
+        self.word_body(front, false);
+        if let Some(&next) = self.words.front() {
+            self.boundary(front, next, false);
+        }
+    }
+
+    /// Empties the window.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.ones = 0;
+        self.flips = 0;
+        self.pairs = [0; 4];
+    }
+
+    /// Frequency (monobit) test over the current window contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn monobit(&self) -> TestResult {
+        assert!(!self.is_empty(), "monobit test needs input bits");
+        let n = self.words.len() as f64 * 64.0;
+        let s = 2.0 * self.ones as f64 - n;
+        let z = s.abs() / n.sqrt();
+        TestResult {
+            statistic: z,
+            passed: z < 3.29,
+        }
+    }
+
+    /// Runs test (Wald–Wolfowitz) over the current window contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn runs(&self) -> TestResult {
+        assert!(!self.is_empty(), "runs test needs input bits");
+        let n = self.words.len() as u64 * 64;
+        let runs = self.flips + 1;
+        let ones = self.ones;
+        let zeros = n - ones;
+        if ones == 0 || zeros == 0 {
+            return TestResult {
+                statistic: f64::INFINITY,
+                passed: false,
+            };
+        }
+        let nf = n as f64;
+        let p = ones as f64 / nf;
+        let expected = 2.0 * nf * p * (1.0 - p) + 1.0;
+        let variance = 2.0 * nf * p * (1.0 - p) * (2.0 * nf * p * (1.0 - p) - 1.0) / (nf - 1.0);
+        let z = (runs as f64 - expected).abs() / variance.sqrt();
+        TestResult {
+            statistic: z,
+            passed: z < 3.29,
+        }
+    }
+
+    /// Serial two-bit chi-square test over the current window contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn serial_two_bit(&self) -> TestResult {
+        assert!(!self.is_empty(), "serial test needs input bits");
+        let total: u64 = self.pairs.iter().sum();
+        let expected = total as f64 / 4.0;
+        let chi2: f64 = self
+            .pairs
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        TestResult {
+            statistic: chi2,
+            passed: chi2 < 16.27,
+        }
+    }
+
+    /// Runs all three tests over the current window contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn report(&self) -> QualityReport {
+        QualityReport {
+            monobit: self.monobit(),
+            runs: self.runs(),
+            serial: self.serial_two_bit(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +432,109 @@ mod tests {
         let mut q = QuacTrng::new(77);
         let words: Vec<u64> = (0..2048).map(|_| q.draw(64)).collect();
         assert!(all_tests_pass(&words), "post-processed QUAC bits pass");
+    }
+
+    /// The incremental window must agree with the batch functions on the
+    /// exact same word slice, including after evictions have cycled the
+    /// window contents many times over.
+    fn assert_window_matches_batch(window: &QualityWindow, expect: &[u64]) {
+        assert_eq!(window.len(), expect.len());
+        assert_eq!(window.monobit(), monobit_test(expect));
+        assert_eq!(window.runs(), runs_test(expect));
+        assert_eq!(window.serial_two_bit(), serial_two_bit_test(expect));
+        assert_eq!(
+            window.report().all_passed(),
+            all_tests_pass(expect),
+            "aggregate verdict must match the batch path"
+        );
+    }
+
+    #[test]
+    fn window_matches_batch_while_sliding() {
+        let stream = prng_words(256, 9);
+        let mut w = QualityWindow::new(32);
+        for (i, &word) in stream.iter().enumerate() {
+            w.push(word);
+            let lo = (i + 1).saturating_sub(32);
+            assert_window_matches_batch(&w, &stream[lo..=i]);
+        }
+    }
+
+    #[test]
+    fn window_handles_degenerate_streams() {
+        let mut w = QualityWindow::new(4);
+        for _ in 0..8 {
+            w.push(0);
+        }
+        assert!(!w.monobit().passed);
+        assert_eq!(w.runs().statistic, f64::INFINITY);
+        assert!(!w.report().all_passed());
+
+        w.clear();
+        assert!(w.is_empty());
+        for _ in 0..4 {
+            w.push(0xAAAA_AAAA_AAAA_AAAA);
+        }
+        assert!(w.is_full());
+        assert!(w.monobit().passed);
+        assert!(!w.runs().passed, "alternating bits over-run");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs input bits")]
+    fn empty_window_panics_like_batch() {
+        QualityWindow::new(8).report();
+    }
+
+    mod incremental_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Satellite: incremental sliding-window statistics are
+            /// bit-identical to recomputing the batch tests on the window's
+            /// word slice, for arbitrary streams and window capacities.
+            #[test]
+            fn incremental_matches_batch(
+                seed in 0u64..1_000_000,
+                len in 1usize..96,
+                cap in 1usize..24,
+            ) {
+                let stream = prng_words(len, seed);
+                let mut w = QualityWindow::new(cap);
+                for (i, &word) in stream.iter().enumerate() {
+                    w.push(word);
+                    let lo = (i + 1).saturating_sub(cap);
+                    let expect = &stream[lo..=i];
+                    prop_assert_eq!(w.len(), expect.len());
+                    prop_assert_eq!(w.monobit(), monobit_test(expect));
+                    prop_assert_eq!(w.runs(), runs_test(expect));
+                    prop_assert_eq!(w.serial_two_bit(), serial_two_bit_test(expect));
+                }
+            }
+
+            /// Pattern-skewed words (forced bias and correlation) stress the
+            /// eviction bookkeeping for the boundary pairs between words.
+            #[test]
+            fn skewed_streams_match_too(
+                seed in 0u64..1_000_000,
+                mask in any::<u64>(),
+                cap in 1usize..12,
+            ) {
+                let stream: Vec<u64> = prng_words(48, seed)
+                    .into_iter()
+                    .map(|w| w | mask)
+                    .collect();
+                let mut w = QualityWindow::new(cap);
+                for (i, &word) in stream.iter().enumerate() {
+                    w.push(word);
+                    let lo = (i + 1).saturating_sub(cap);
+                    let expect = &stream[lo..=i];
+                    prop_assert_eq!(w.monobit(), monobit_test(expect));
+                    prop_assert_eq!(w.runs(), runs_test(expect));
+                    prop_assert_eq!(w.serial_two_bit(), serial_two_bit_test(expect));
+                }
+            }
+        }
     }
 }

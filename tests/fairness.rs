@@ -6,7 +6,8 @@
 
 use dr_strange::core::sched::strict_pick;
 use dr_strange::core::{
-    ClientSpec, FairnessPolicy, QosClass, RunResult, ServiceConfig, System, SystemConfig,
+    ClientSpec, FairnessPolicy, FaultPlan, QosClass, RunResult, ServiceConfig, System,
+    SystemConfig, WatchdogConfig,
 };
 use dr_strange::trng::DRange;
 use dr_strange::workloads::contended_qos_service;
@@ -141,6 +142,59 @@ fn strict_worst_case_trends_with_the_backlog_but_wfq_does_not() {
         aging_longest * 2 <= strict[2],
         "Aging must stay well below Strict's trending worst case: {aging_longest} vs {}",
         strict[2]
+    );
+}
+
+#[test]
+fn fair_policies_stay_bounded_with_a_channel_quarantined() {
+    // The fairness × watchdog cross product: a stuck channel loses a
+    // quarter of generation capacity mid-run, yet the fair policies must
+    // keep the Low tenant's p99 bounded — well below Strict under the
+    // same quarantine, and within a small factor of the healthy-system
+    // fair baseline (capacity loss may slow everyone, but must not
+    // reintroduce starvation).
+    let quarantined = |policy: FairnessPolicy| {
+        let plan = FaultPlan::new().channel_derate(500, 0, 0, 1, 10_000_000);
+        let cfg = SystemConfig::dr_strange(0)
+            .with_fairness(policy)
+            .with_watchdog(WatchdogConfig {
+                probe_period: 4_000,
+                ..WatchdogConfig::standard()
+            })
+            .with_fault_plan(plan)
+            .with_service(contended_qos_service(64, 50));
+        System::new(cfg, Vec::new(), Box::new(DRange::new(17)))
+            .expect("valid configuration")
+            .run()
+    };
+    let strict = quarantined(FairnessPolicy::Strict);
+    let aging = quarantined(FairnessPolicy::aging());
+    let wfq = quarantined(FairnessPolicy::weighted_fair());
+    for res in [&strict, &aging, &wfq] {
+        assert!(!res.hit_cycle_limit, "quarantined runs must still drain");
+        assert!(
+            res.stats.quarantines >= 1,
+            "the stuck channel must be quarantined: {:?}",
+            res.stats
+        );
+    }
+    let strict_low = tenant_pct(&strict, 3, 0.99);
+    let (aging_low, wfq_low) = (tenant_pct(&aging, 3, 0.99), tenant_pct(&wfq, 3, 0.99));
+    assert!(
+        aging_low * 5 <= strict_low,
+        "Aging must keep the quarantined Low p99 >= 5x below Strict: {aging_low} vs {strict_low}"
+    );
+    assert!(
+        wfq_low * 5 <= strict_low,
+        "WeightedFair must keep the quarantined Low p99 >= 5x below Strict: {wfq_low} vs {strict_low}"
+    );
+    // Versus the healthy fair baseline the quarantine costs capacity,
+    // not fairness: the Low tenant's p99 stays within a small factor.
+    let healthy_wfq = contended(FairnessPolicy::weighted_fair(), 50);
+    let healthy_low = tenant_pct(&healthy_wfq, 3, 0.99);
+    assert!(
+        wfq_low <= 4 * healthy_low,
+        "quarantine must not starve the Low tenant under WFQ: {wfq_low} vs healthy {healthy_low}"
     );
 }
 

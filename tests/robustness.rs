@@ -6,7 +6,7 @@
 //! scheduled cycles in both modes.
 
 use dr_strange::core::{
-    FairnessPolicy, FaultPlan, RunResult, SimMode, System, SystemConfig,
+    ClientSpec, FairnessPolicy, FaultPlan, RunResult, ServiceConfig, SimMode, System, SystemConfig,
 };
 use dr_strange::trng::DRange;
 use dr_strange::workloads::{
@@ -200,6 +200,161 @@ mod faults {
             .with_service(flash_crowd_with_victim(3, 32, 24, 5_000, 30, 2_000));
         let res = assert_service_modes_identical(cfg, "fault-under-load");
         assert_eq!(res.stats.faults_injected, 2);
+    }
+}
+
+mod watchdog {
+    use super::*;
+    use dr_strange::core::WatchdogConfig;
+
+    /// The standard watchdog with a probe cadence short enough that
+    /// quarantine → probe → re-admission fits inside a test-sized run.
+    fn fast_watchdog() -> WatchdogConfig {
+        WatchdogConfig {
+            probe_period: 4_000,
+            ..WatchdogConfig::standard()
+        }
+    }
+
+    #[test]
+    fn stuck_channel_is_quarantined_and_stays_bit_identical() {
+        // A quality derate (num=0: every bit stuck at one) on channel 0
+        // for essentially the whole run. The watchdog must detect the
+        // biased words, quarantine the channel, and keep probing it —
+        // all at exact simulated cycles, so both modes replay the same
+        // trip and the same probe schedule.
+        let plan = FaultPlan::new().channel_derate(500, 0, 0, 1, 10_000_000);
+        let cfg = SystemConfig::dr_strange(0)
+            .with_watchdog(fast_watchdog())
+            .with_fault_plan(plan)
+            .with_service(contended_qos_service(64, 40));
+        let res = assert_service_modes_identical(cfg, "watchdog-trip");
+        assert_eq!(res.stats.faults_injected, 1, "the derate fired");
+        assert!(res.stats.windows_tested > 0, "live windows were tested");
+        assert!(
+            res.stats.quarantines >= 1,
+            "the stuck channel must trip quarantine: {:?}",
+            res.stats
+        );
+        assert!(
+            res.stats.probe_rounds > 0,
+            "quarantined channels receive probe rounds: {:?}",
+            res.stats
+        );
+        assert!(
+            res.stats.tainted_words_discarded > 0,
+            "probe words are tested and discarded: {:?}",
+            res.stats
+        );
+        // Probe draws are never buffered or served: every probe round
+        // discards exactly its probe_words draw.
+        assert_eq!(
+            res.stats.tainted_words_discarded,
+            res.stats.probe_rounds * u64::from(fast_watchdog().probe_words),
+            "probe accounting identity"
+        );
+    }
+
+    #[test]
+    fn fill_served_load_still_trips_the_watchdog() {
+        // Arrivals slow enough that predictive fill keeps the buffer
+        // full and every request is served from it — no demand
+        // generation at all. Fill rounds deliver sub-64-bit chunks, and
+        // the watchdog's bit accumulator must still assemble them into
+        // test windows and quarantine the stuck channel (the regression
+        // here: word-only sampling left fill-only operation unmonitored).
+        let plan = FaultPlan::new().channel_derate(500, 0, 0, 1, 10_000_000);
+        let cfg = SystemConfig::dr_strange(0)
+            .with_watchdog(fast_watchdog())
+            .with_fault_plan(plan)
+            .with_service(ServiceConfig {
+                clients: vec![ClientSpec::closed_loop(64, 30_000, 40)],
+                ..ServiceConfig::default()
+            });
+        let res = assert_service_modes_identical(cfg, "watchdog-fill-only");
+        assert_eq!(
+            res.stats.demand_generations, 0,
+            "the scenario must be served from the buffer alone: {:?}",
+            res.stats
+        );
+        assert!(res.stats.rng_served_from_buffer > 0, "{:?}", res.stats);
+        assert!(
+            res.stats.quarantines >= 1,
+            "fill-chunk sampling must still catch the stuck channel: {:?}",
+            res.stats
+        );
+    }
+
+    #[test]
+    fn recovered_channel_is_probed_back_to_health() {
+        // The derate ends mid-run: probes start passing once the bias
+        // lifts, and the configured pass streak re-admits the channel.
+        let plan = FaultPlan::new().channel_derate(500, 0, 0, 1, 60_000);
+        let cfg = SystemConfig::dr_strange(0)
+            .with_watchdog(fast_watchdog())
+            .with_fault_plan(plan)
+            .with_service(contended_qos_service(64, 60));
+        let res = assert_service_modes_identical(cfg, "watchdog-readmit");
+        assert!(res.stats.quarantines >= 1, "tripped: {:?}", res.stats);
+        assert!(
+            res.stats.readmissions >= 1,
+            "the recovered channel must be re-admitted: {:?}",
+            res.stats
+        );
+    }
+
+    #[test]
+    fn disabled_watchdog_serves_biased_words_silently() {
+        // The counterfactual: the same stuck channel with the watchdog
+        // off. Nothing is sampled, nothing trips — the silent failure
+        // the watchdog exists to catch — and the value-only fault still
+        // replays bit for bit.
+        let plan = FaultPlan::new().channel_derate(500, 0, 0, 1, 10_000_000);
+        let cfg = SystemConfig::dr_strange(0)
+            .with_fault_plan(plan)
+            .with_service(contended_qos_service(64, 40));
+        let res = assert_service_modes_identical(cfg, "watchdog-off");
+        assert_eq!(res.stats.windows_tested, 0);
+        assert_eq!(res.stats.quarantines, 0);
+        assert_eq!(res.stats.tainted_words_discarded, 0);
+    }
+
+    #[test]
+    fn healthy_channels_pass_windows_without_exclusion() {
+        // No fault: windows are tested continuously but the D-RaNGe
+        // stream passes them, so no channel is ever excluded.
+        let cfg = SystemConfig::dr_strange(0)
+            .with_watchdog(fast_watchdog())
+            .with_service(contended_qos_service(64, 40));
+        let res = assert_service_modes_identical(cfg, "watchdog-healthy");
+        assert!(res.stats.windows_tested > 0);
+        assert_eq!(res.stats.quarantines, 0, "healthy entropy never trips");
+        assert_eq!(res.stats.probe_rounds, 0);
+    }
+
+    #[test]
+    fn watchdog_under_trace_cores_is_bit_identical() {
+        // Trace cores + single-word buffer force the demand path while
+        // the watchdog samples and quarantines: the worst case for the
+        // next-event contract (probe deadlines interleaved with demand
+        // episodes) must still replay bit for bit.
+        let wl = &eval_pairs(5120)[10];
+        let plan = FaultPlan::new().channel_derate(500, 0, 0, 1, 10_000_000);
+        // Trace runs draw far fewer words than service runs (this one
+        // serves 16 requests): shrink the window so the sampler still
+        // reaches boundaries.
+        let wd = WatchdogConfig {
+            window_words: 2,
+            trip_failures: 1,
+            probe_words: 8,
+            ..fast_watchdog()
+        };
+        let cfg = base(SystemConfig::dr_strange(2))
+            .with_buffer_entries(1)
+            .with_watchdog(wd)
+            .with_fault_plan(plan);
+        let res = assert_modes_identical(cfg, wl, "watchdog-traces");
+        assert!(res.stats.windows_tested > 0, "{:?}", res.stats);
     }
 }
 
