@@ -115,10 +115,44 @@ pub struct Completion {
     pub rng: Option<(u64, bool)>,
 }
 
-/// A scheduled RNG completion: `(due, id, core, value, from_buffer)`.
-/// Ids are unique, so ordering is total on `(due, id)` and the trailing
-/// fields never tiebreak.
-type RngDone = (u64, RequestId, CoreId, u64, bool);
+/// One RNG completion within a burst: `(id, core, value, from_buffer)`.
+type BurstEntry = (RequestId, CoreId, u64, bool);
+
+/// A coalesced batch of RNG completions, all maturing at `due`: one heap
+/// event carrying k entries instead of k per-request events, so an
+/// 8-request burst no longer cuts a multi-thousand-cycle fast-forward
+/// bubble into eight spans. Heap ordering is on `(due, seq)` alone —
+/// `seq` is a unique monotone push counter, so the order is total and
+/// the payload never tiebreaks. Delivery order to the completion drain
+/// is re-normalized to the legacy per-entry `(due, id)` order (entries
+/// are id-sorted at push; same-due multi-burst ticks re-sort the merged
+/// run), which is what keeps burst-on ≡ burst-off bit-identical.
+#[derive(Debug, Clone)]
+struct RngBurst {
+    due: u64,
+    seq: u64,
+    entries: Vec<BurstEntry>,
+}
+
+impl PartialEq for RngBurst {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+
+impl Eq for RngBurst {}
+
+impl Ord for RngBurst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+impl PartialOrd for RngBurst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// One memoized fill-state probe result (see [`MemSubsystem::fill_bound`]).
 #[derive(Debug, Clone, Copy)]
@@ -196,10 +230,24 @@ pub struct MemSubsystem {
     mem_now: u64,
     next_id: RequestId,
     next_rng_channel: u32,
+    /// A [`MemorySystem::try_rng`] rejection observed since the last
+    /// memory tick (or skip). Admission capacity only changes inside
+    /// `tick`/`skip_to` — nothing between ticks frees a queue slot or
+    /// refills the buffer — so once one caller is rejected, every later
+    /// call before the next tick short-circuits to `None` without
+    /// re-scanning channels. Saturated service runs hit this every cycle
+    /// for every client.
+    rng_rejecting: bool,
     rng_app: Vec<bool>,
-    /// Due RNG completions: `(due, id, core, value, from_buffer)` — ids
-    /// are unique, so the heap order is a total order on `(due, id)`.
-    rng_done: BinaryHeap<Reverse<RngDone>>,
+    /// Due RNG completion bursts (see [`RngBurst`]). With
+    /// `config.burst_events` off, every entry is its own single-event
+    /// burst — the legacy per-request event granularity.
+    rng_done: BinaryHeap<Reverse<RngBurst>>,
+    /// Monotone push counter: the burst heap's unique tiebreak.
+    burst_seq: u64,
+    /// Recycled burst entry vectors (drained bursts return theirs), so
+    /// steady-state burst scheduling allocates nothing.
+    burst_pool: Vec<Vec<BurstEntry>>,
     completed_scratch: Vec<CompletedAccess>,
     value_log: Option<Vec<u64>>,
     /// Memoized fill-state probe; stale when either epoch changes or
@@ -228,6 +276,7 @@ impl MemSubsystem {
             .map(|i| {
                 let mut ch = ChannelController::new(i, geometry, timing, make_policy());
                 ch.set_probe_cache(config.probe_cache);
+                ch.set_dirty_readiness(config.dirty_readiness);
                 ch
             })
             .collect();
@@ -279,9 +328,12 @@ impl MemSubsystem {
             mem_now: 0,
             next_id: 0,
             next_rng_channel: 0,
+            rng_rejecting: false,
             // Virtual cores above the real ones address service clients.
             rng_app: vec![false; config.cores + config.service.clients.len()],
             rng_done: BinaryHeap::new(),
+            burst_seq: 0,
+            burst_pool: Vec::new(),
             completed_scratch: Vec::new(),
             value_log: None,
             fill_probe: Cell::new(None),
@@ -577,8 +629,8 @@ impl MemSubsystem {
             // re-schedules itself to a strictly later one).
             event = event.min(p);
         }
-        if let Some(&Reverse((due, _, _, _, _))) = self.rng_done.peek() {
-            event = event.min(due);
+        if let Some(Reverse(burst)) = self.rng_done.peek() {
+            event = event.min(burst.due);
         }
         for ch in &self.channels {
             if let Some(t) = ch.next_event_at(now) {
@@ -740,6 +792,7 @@ impl MemSubsystem {
         let n = to - from;
         // `tick` refreshes these every cycle; replay the final values.
         self.mem_now = to - 1;
+        self.rng_rejecting = false;
         self.rng_queue_len_last = self.rng_queue.len();
         for ch in &mut self.channels {
             ch.skip_to(from, to);
@@ -776,6 +829,7 @@ impl MemSubsystem {
     /// are appended to `completions`.
     pub fn tick(&mut self, now: u64, completions: &mut Vec<Completion>) {
         self.mem_now = now;
+        self.rng_rejecting = false;
 
         // Scheduled faults fire first: the rest of this tick already sees
         // the degraded world (outage exclusions, blockades, derated
@@ -844,17 +898,39 @@ impl MemSubsystem {
             });
         }
 
-        // RNG completions due this cycle.
-        while let Some(&Reverse((due, id, core, value, from_buffer))) = self.rng_done.peek() {
-            if due > now {
+        // RNG completions due this cycle: bursts arrive as one event with
+        // k id-sorted entries. When several bursts mature with the same
+        // due, their merged run is re-sorted by id so delivery stays the
+        // legacy per-entry `(due, id)` order regardless of burst shape —
+        // bursts with distinct dues already pop in due order.
+        let mut run_start = completions.len();
+        let mut run_due = u64::MAX;
+        let mut run_bursts = 0usize;
+        while let Some(Reverse(head)) = self.rng_done.peek() {
+            if head.due > now {
                 break;
             }
-            self.rng_done.pop();
-            completions.push(Completion {
-                core,
-                id,
-                rng: Some((value, from_buffer)),
-            });
+            let Reverse(burst) = self.rng_done.pop().expect("peeked");
+            if burst.due != run_due {
+                if run_bursts > 1 {
+                    completions[run_start..].sort_unstable_by_key(|c| c.id);
+                }
+                run_start = completions.len();
+                run_due = burst.due;
+                run_bursts = 0;
+            }
+            run_bursts += 1;
+            for &(id, core, value, from_buffer) in &burst.entries {
+                completions.push(Completion {
+                    core,
+                    id,
+                    rng: Some((value, from_buffer)),
+                });
+            }
+            self.recycle_burst_vec(burst.entries);
+        }
+        if run_bursts > 1 {
+            completions[run_start..].sort_unstable_by_key(|c| c.id);
         }
     }
 
@@ -893,6 +969,9 @@ impl MemSubsystem {
         }
         self.touch_fill();
         let by_priority = self.priorities_differentiate();
+        // Every word served this cycle matures together: one burst event.
+        let due = now + self.config.buffer_serve_latency;
+        let mut burst = self.take_burst_vec();
         // DRR scratch, reused across the served words of this cycle so
         // the per-word policy evaluation allocates nothing (amortized).
         let mut wfq_active: Vec<usize> = Vec::new();
@@ -953,11 +1032,15 @@ impl MemSubsystem {
             let req = self.rng_queue.remove(best).expect("index in range");
             let word = self.buffer.pop_word().expect("word available");
             self.log_value(word);
-            self.complete_rng(now, &req, now + self.config.buffer_serve_latency, word, true);
+            self.record_rng_completion(&req, due, true);
+            burst.push((req.id, req.core, word, true));
         }
+        self.push_burst(due, burst);
     }
 
-    fn complete_rng(&mut self, _now: u64, req: &Request, due: u64, value: u64, from_buffer: bool) {
+    /// Schedule-time stats for one RNG completion (recorded when the
+    /// completion is committed, as the per-request path always did).
+    fn record_rng_completion(&mut self, req: &Request, due: u64, from_buffer: bool) {
         self.stats.buffer_serve.record(from_buffer);
         if from_buffer {
             self.stats.rng_served_from_buffer += 1;
@@ -966,8 +1049,50 @@ impl MemSubsystem {
         }
         self.stats.rng_latency_sum += due.saturating_sub(req.arrival);
         self.stats.rng_completions += 1;
-        self.rng_done
-            .push(Reverse((due, req.id, req.core, value, from_buffer)));
+    }
+
+    /// A recycled (or fresh) burst entry vector.
+    fn take_burst_vec(&mut self) -> Vec<BurstEntry> {
+        self.burst_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a drained entry vector to the recycle pool.
+    fn recycle_burst_vec(&mut self, mut v: Vec<BurstEntry>) {
+        if self.burst_pool.len() < 64 {
+            v.clear();
+            self.burst_pool.push(v);
+        }
+    }
+
+    /// Commits `entries` to complete at `due`: one coalesced heap event
+    /// with `burst_events` on, or one single-entry event per completion
+    /// (the legacy granularity) with it off. Entries are id-sorted so a
+    /// lone burst drains in delivery order without a sort.
+    fn push_burst(&mut self, due: u64, mut entries: Vec<BurstEntry>) {
+        if entries.is_empty() {
+            self.recycle_burst_vec(entries);
+            return;
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+        if self.config.burst_events {
+            self.burst_seq += 1;
+            let seq = self.burst_seq;
+            self.rng_done.push(Reverse(RngBurst { due, seq, entries }));
+        } else {
+            for e in entries.drain(..) {
+                self.burst_seq += 1;
+                let seq = self.burst_seq;
+                self.rng_done.push(Reverse(RngBurst { due, seq, entries: vec![e] }));
+            }
+            self.recycle_burst_vec(entries);
+        }
+    }
+
+    /// [`MemSubsystem::push_burst`] for a single completion.
+    fn push_burst_one(&mut self, due: u64, entry: BurstEntry) {
+        let mut entries = self.take_burst_vec();
+        entries.push(entry);
+        self.push_burst(due, entries);
     }
 
     /// The Section 5.2 decision: should the RNG queue be scheduled now?
@@ -1172,6 +1297,7 @@ impl MemSubsystem {
         // live-cycle-only mutation, so fast-forward safe).
         let cost = finish - now;
         self.demand_cost_est = (3 * self.demand_cost_est + cost) / 4;
+        let mut burst = self.take_burst_vec();
         for req in &requests {
             // Attribute each word round-robin to a generating channel:
             // that channel's quality derate (if any) biases the word, and
@@ -1182,8 +1308,10 @@ impl MemSubsystem {
             let value = self.taint_word(chan, now, raw, 64);
             self.observe_health(chan, value, 64, now);
             self.log_value(value);
-            self.complete_rng(now, req, data_ready, value, false);
+            self.record_rng_completion(req, data_ready, false);
+            burst.push((req.id, req.core, value, false));
         }
+        self.push_burst(data_ready, burst);
         self.stats.demand_generations += 1;
         // Surplus bits beyond the demanded 64s go to the buffer.
         let mut surplus = rounds * per_round - bits_needed;
@@ -1436,6 +1564,9 @@ impl MemorySystem for MemSubsystem {
         if core < self.rng_app.len() {
             self.rng_app[core] = true;
         }
+        if self.rng_rejecting {
+            return None;
+        }
         match self.config.routing {
             RngRouting::Oblivious => {
                 // RNG requests share the read queues; round-robin over
@@ -1450,7 +1581,10 @@ impl MemorySystem for MemSubsystem {
                         break;
                     }
                 }
-                let c = chosen?;
+                let Some(c) = chosen else {
+                    self.rng_rejecting = true;
+                    return None;
+                };
                 self.next_rng_channel = (c as u32 + 1) % n;
                 let id = self.alloc_id();
                 let req = Request {
@@ -1473,6 +1607,13 @@ impl MemorySystem for MemSubsystem {
                 Some(id)
             }
             RngRouting::Aware => {
+                // Admission is decided before an id is allocated, so a
+                // rejected call leaves the allocator untouched.
+                let buffered = self.buffer.available_words() > 0;
+                if !buffered && self.rng_queue.len() >= self.config.rng_queue_capacity {
+                    self.rng_rejecting = true;
+                    return None;
+                }
                 let id = self.alloc_id();
                 let req = Request {
                     id,
@@ -1489,24 +1630,17 @@ impl MemorySystem for MemSubsystem {
                 };
                 // Fast path: serve straight from the buffer (step 2a of the
                 // paper's Figure 4 flowchart).
-                if self.buffer.available_words() > 0 {
+                if buffered {
                     let word = self.buffer.pop_word().expect("word available");
                     self.touch_fill();
                     self.stats.rng_requests += 1;
                     self.log_value(word);
-                    self.complete_rng(
-                        self.mem_now,
-                        &req,
-                        self.mem_now + self.config.buffer_serve_latency,
-                        word,
-                        true,
-                    );
+                    let due = self.mem_now + self.config.buffer_serve_latency;
+                    self.record_rng_completion(&req, due, true);
+                    self.push_burst_one(due, (req.id, req.core, word, true));
                     return Some(id);
                 }
                 // Slow path: the RNG queue (step 2b), subject to capacity.
-                if self.rng_queue.len() >= self.config.rng_queue_capacity {
-                    return None;
-                }
                 self.stats.rng_requests += 1;
                 self.rng_queue.push_back(req);
                 Some(id)

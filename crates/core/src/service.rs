@@ -850,25 +850,26 @@ impl RngService {
     fn issue_words(&mut self, ci: usize, mem: &mut MemSubsystem) -> bool {
         let core = self.base_core + ci;
         while let Some(&seq) = self.clients[ci].issue_queue.front() {
-            loop {
-                let req = self.clients[ci]
-                    .in_flight
-                    .get_mut(&seq)
-                    .expect("queued request is in flight");
-                if req.words_to_issue == 0 {
-                    break;
-                }
-                match mem.try_rng(core) {
-                    Some(id) => {
-                        req.words_to_issue -= 1;
-                        req.outstanding += 1;
-                        self.stats.words_issued += 1;
-                        self.word_map.insert(id, (ci, seq));
-                    }
-                    None => return true,
-                }
+            // The front of the issue queue always has at least one word
+            // left (requests enter with >= 1 and are popped on reaching
+            // zero), so admission can be tried before the in-flight
+            // lookup: under back-pressure — every cycle of a saturated
+            // run — this returns without touching the map at all.
+            let Some(id) = mem.try_rng(core) else {
+                return true;
+            };
+            let req = self.clients[ci]
+                .in_flight
+                .get_mut(&seq)
+                .expect("queued request is in flight");
+            debug_assert!(req.words_to_issue > 0, "queued request has no words left");
+            req.words_to_issue -= 1;
+            req.outstanding += 1;
+            self.stats.words_issued += 1;
+            self.word_map.insert(id, (ci, seq));
+            if req.words_to_issue == 0 {
+                self.clients[ci].issue_queue.pop_front();
             }
-            self.clients[ci].issue_queue.pop_front();
         }
         false
     }

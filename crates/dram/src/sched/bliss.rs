@@ -87,24 +87,25 @@ impl SchedulerPolicy for Bliss {
         // frfcfs_best has no notion of the blacklist, so do the grouping
         // here: scan for the best ready request among non-blacklisted apps
         // first; fall back to all requests only when that yields nothing.
-        let mut best: Option<usize> = None;
-        for i in 0..queue.len() {
-            if !readiness[i].ready_now || self.is_blacklisted(queue[i].core) {
+        let mut best: Option<(usize, bool)> = None;
+        for (i, (req, r)) in queue.iter().zip(readiness).enumerate() {
+            if !r.ready_now || self.is_blacklisted(req.core) {
                 continue;
             }
             best = match best {
-                None => Some(i),
-                Some(b) => {
-                    let (bh, ih) = (readiness[b].row_hit, readiness[i].row_hit);
-                    if (ih && !bh) || (ih == bh && age_key(&queue[i]) < age_key(&queue[b])) {
-                        Some(i)
+                None => Some((i, r.row_hit)),
+                Some((b, bh)) => {
+                    let ih = r.row_hit;
+                    if (ih && !bh) || (ih == bh && age_key(req) < age_key(&queue[b])) {
+                        Some((i, ih))
                     } else {
-                        Some(b)
+                        Some((b, bh))
                     }
                 }
             };
         }
-        best.or_else(|| frfcfs_best(queue, readiness, |i| readiness[i].row_hit))
+        best.map(|(i, _)| i)
+            .or_else(|| frfcfs_best(queue, readiness, |_, r| r.row_hit))
     }
 
     fn on_serviced(&mut self, req: &Request, _row_hit: bool) {

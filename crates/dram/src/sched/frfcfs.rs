@@ -65,9 +65,7 @@ impl FrFcfs {
 
 impl SchedulerPolicy for FrFcfs {
     fn select(&mut self, _now: u64, queue: &[Request], readiness: &[Readiness]) -> Option<usize> {
-        frfcfs_best(queue, readiness, |i| {
-            readiness[i].row_hit && self.hit_allowed(&queue[i])
-        })
+        frfcfs_best(queue, readiness, |req, r| r.row_hit && self.hit_allowed(req))
     }
 
     fn on_serviced(&mut self, req: &Request, row_hit: bool) {

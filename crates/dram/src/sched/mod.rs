@@ -75,29 +75,34 @@ pub(crate) fn age_key(req: &Request) -> (u64, u64) {
 /// Baseline FR-FCFS ordering over `(ready, hit, age)`, shared by policies
 /// and by the controller's internal write-drain scheduling.
 ///
+/// `effective_hit` is evaluated on the request and its readiness entry
+/// directly (no re-indexing into the slices), at most once per candidate:
+/// the incumbent's hit bit is carried in the loop state.
+///
 /// Returns the index of the best request, or `None` if none is ready.
 pub(crate) fn frfcfs_best(
     queue: &[Request],
     readiness: &[Readiness],
-    effective_hit: impl Fn(usize) -> bool,
+    effective_hit: impl Fn(&Request, Readiness) -> bool,
 ) -> Option<usize> {
-    let mut best: Option<usize> = None;
-    for i in 0..queue.len() {
-        if !readiness[i].ready_now {
+    debug_assert_eq!(queue.len(), readiness.len());
+    let mut best: Option<(usize, bool)> = None;
+    for (i, (req, &r)) in queue.iter().zip(readiness).enumerate() {
+        if !r.ready_now {
             continue;
         }
         match best {
-            None => best = Some(i),
-            Some(b) => {
-                let (bh, ih) = (effective_hit(b), effective_hit(i));
+            None => best = Some((i, effective_hit(req, r))),
+            Some((b, bh)) => {
+                let ih = effective_hit(req, r);
                 // Prefer row hits; ties broken by age.
-                if (ih && !bh) || (ih == bh && age_key(&queue[i]) < age_key(&queue[b])) {
-                    best = Some(i);
+                if (ih && !bh) || (ih == bh && age_key(req) < age_key(&queue[b])) {
+                    best = Some((i, ih));
                 }
             }
         }
     }
-    best
+    best.map(|(i, _)| i)
 }
 
 #[cfg(test)]
@@ -140,7 +145,7 @@ mod tests {
             Readiness { ready_now: true, row_hit: false },
             Readiness { ready_now: true, row_hit: true },
         ];
-        let got = frfcfs_best(&queue, &readiness, |i| readiness[i].row_hit);
+        let got = frfcfs_best(&queue, &readiness, |_, r| r.row_hit);
         assert_eq!(got, Some(2));
     }
 
@@ -151,19 +156,13 @@ mod tests {
             Readiness { ready_now: true, row_hit: false },
             Readiness { ready_now: true, row_hit: false },
         ];
-        assert_eq!(
-            frfcfs_best(&queue, &readiness, |i| readiness[i].row_hit),
-            Some(0)
-        );
+        assert_eq!(frfcfs_best(&queue, &readiness, |_, r| r.row_hit), Some(0));
     }
 
     #[test]
     fn frfcfs_best_none_when_nothing_ready() {
         let queue = vec![read_req(0, 0, 0, 1, 0)];
         let readiness = vec![Readiness { ready_now: false, row_hit: false }];
-        assert_eq!(
-            frfcfs_best(&queue, &readiness, |i| readiness[i].row_hit),
-            None
-        );
+        assert_eq!(frfcfs_best(&queue, &readiness, |_, r| r.row_hit), None);
     }
 }

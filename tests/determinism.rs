@@ -203,6 +203,54 @@ mod fastforward {
     }
 
     #[test]
+    fn burst_events_under_stability_coalescing() {
+        // A one-entry buffer forces frequent demand generation, so each
+        // coalesced batch completes as one k-entry burst event. Fast
+        // forward must honor the burst's due cycle exactly, with the
+        // feature on (one event per batch) and off (one event per
+        // request, the legacy granularity).
+        let wl = &eval_pairs(5120)[7];
+        for (burst, label) in [(true, "burst-stability-on"), (false, "burst-stability-off")] {
+            let cfg = base(SystemConfig::dr_strange(2))
+                .with_buffer_entries(1)
+                .with_burst_events(burst);
+            assert_modes_identical(cfg, wl, label);
+        }
+    }
+
+    #[test]
+    fn dirty_readiness_off_is_bit_identical() {
+        // Dirty-tracked readiness is a pure memoization of the per-entry
+        // timing scan: disabling it (alone, or together with burst
+        // events) must not change a single statistic.
+        let wl = &eval_pairs(5120)[0];
+        let run = |dirty: bool, burst: bool| {
+            let cfg = base(SystemConfig::dr_strange(2))
+                .with_dirty_readiness(dirty)
+                .with_burst_events(burst);
+            System::new(cfg, wl.traces(), Box::new(DRange::new(3)))
+                .expect("valid configuration")
+                .run()
+        };
+        let on = run(true, true);
+        for (dirty, burst) in [(false, true), (true, false), (false, false)] {
+            let off = run(dirty, burst);
+            let label = format!("dirty={dirty} burst={burst}");
+            assert_eq!(on.cpu_cycles, off.cpu_cycles, "{label}: cpu cycles");
+            assert_eq!(on.stats, off.stats, "{label}: engine stats");
+            assert_eq!(on.channels, off.channels, "{label}: channel stats");
+            for (a, b) in on.cores.iter().zip(&off.cores) {
+                assert_eq!(
+                    a.finish.map(|s| (s.at_cycle, s.stats)),
+                    b.finish.map(|s| (s.at_cycle, s.stats)),
+                    "{label}: finish snapshots"
+                );
+                assert_eq!(a.end_stats, b.end_stats, "{label}: end stats");
+            }
+        }
+    }
+
+    #[test]
     fn four_core_mixed_workload() {
         let wl = &dr_strange::workloads::four_core_groups(1, 7)[0].1[0];
         assert_modes_identical(base(SystemConfig::dr_strange(4)), wl, "four-core");
@@ -374,6 +422,24 @@ mod fastforward {
                 .with_coalesce_window(CoalesceWindow::KOrTimeout { k: 6, timeout: 300 })
                 .with_service(with_requests(bursty_service(2, 24, 8, 9000, 48), true));
             assert_modes_identical(cfg, wl, "svc-k-or-timeout");
+        }
+
+        #[test]
+        fn burst_events_under_k_or_timeout_coalescing() {
+            // The widened window batches k-deep RNG bursts whose
+            // completions all land on one due cycle — the burst-as-one-
+            // event path at its densest. Bit-identity must hold with the
+            // feature on and off.
+            use dr_strange::core::CoalesceWindow;
+            let wl = &eval_pairs(5120)[7];
+            for (burst, label) in [(true, "burst-kot-on"), (false, "burst-kot-off")] {
+                let cfg = base(SystemConfig::dr_strange(2))
+                    .with_buffer_entries(1)
+                    .with_coalesce_window(CoalesceWindow::KOrTimeout { k: 6, timeout: 300 })
+                    .with_burst_events(burst)
+                    .with_service(with_requests(bursty_service(2, 24, 8, 9000, 48), true));
+                assert_modes_identical(cfg, wl, label);
+            }
         }
 
         #[test]
