@@ -1,0 +1,296 @@
+//! Sharded fleet scale-out sweep: aggregate served throughput across
+//! shard count × routing policy × offered load, with the fleet
+//! determinism contract asserted in-bench:
+//!
+//! * fleet aggregate stats ≡ union of the shard-local stats;
+//! * per-shard `Reference` ≡ `FastForward` bit-identity;
+//! * full-scale record → replay reproducibility;
+//! * 4-shard aggregate served Mb/s (host wall clock) ≥ 1.3× the
+//!   single-shard run — **enforced only on hosts with ≥ 4 cores**
+//!   (report-only on 1-CPU containers, where shard threads serialize).
+//!
+//! Emits `BENCH_fleet.json` (working directory, or `$BENCH_FLEET_OUT`).
+//! Population size comes from `STRANGE_FLEET_SESSIONS` (default
+//! 10 000); shard count from `STRANGE_SHARDS` (default 4).
+
+use std::time::Instant;
+
+use strange_core::{ClientSpec, RunResult, ServiceStats, SimMode, System, SystemConfig};
+use strange_server::fleet::{
+    partition_sessions, run_shards, shard_count, FleetStats, RoutePolicy, ShardRouter,
+};
+use strange_trng::DRange;
+use strange_workloads::{
+    fleet_flash_crowd, fleet_session_count, fleet_shard_seed, fleet_shard_service,
+};
+
+const FLEET_SEED: u64 = 2022;
+const BYTES: usize = 32;
+/// Offered-load dial: cycles between session arrivals in the ramp.
+/// 50 drives D-RaNGe far past saturation (flash crowd); 2 000 stays
+/// near capacity.
+const STAGGERS: [u64; 2] = [50, 2_000];
+
+fn policy_label(p: RoutePolicy) -> &'static str {
+    match p {
+        RoutePolicy::RoundRobin => "round-robin",
+        RoutePolicy::SessionHash { .. } => "session-hash",
+        RoutePolicy::LeastLoaded => "least-loaded",
+    }
+}
+
+fn shard_system(specs: Vec<ClientSpec>, seed: u64, mode: SimMode) -> System {
+    let mut svc = fleet_shard_service(specs);
+    svc.capture_values = true;
+    let cfg = SystemConfig::dr_strange(0)
+        .with_sim_mode(mode)
+        .with_service(svc);
+    System::new(cfg, Vec::new(), Box::new(DRange::new(seed))).expect("valid configuration")
+}
+
+fn build_fleet(
+    shards: usize,
+    policy: RoutePolicy,
+    specs: &[ClientSpec],
+    mode: SimMode,
+) -> Vec<System> {
+    let mut router = ShardRouter::new(policy, shards);
+    let (per_shard, _) = partition_sessions(&mut router, specs);
+    per_shard
+        .into_iter()
+        .enumerate()
+        .map(|(s, subset)| shard_system(subset, fleet_shard_seed(FLEET_SEED, s), mode))
+        .collect()
+}
+
+/// Runs a fleet cell and returns the shard results plus host wall ms.
+fn run_cell(
+    shards: usize,
+    policy: RoutePolicy,
+    specs: &[ClientSpec],
+    mode: SimMode,
+) -> (Vec<(RunResult, System)>, f64) {
+    let systems = build_fleet(shards, policy, specs, mode);
+    let start = Instant::now();
+    let results = run_shards(systems);
+    (results, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// The union oracle: recompute every fleet aggregate directly from the
+/// shard-local stats and assert [`FleetStats::aggregate`] matches.
+fn assert_aggregate_equals_union(stats: &[ServiceStats]) -> FleetStats {
+    let agg = FleetStats::aggregate(stats);
+    assert_eq!(
+        agg.requests_completed,
+        stats.iter().map(|s| s.requests_completed).sum::<u64>(),
+        "aggregate completed != union"
+    );
+    assert_eq!(
+        agg.bytes_served,
+        stats.iter().map(|s| s.bytes_served).sum::<u64>(),
+        "aggregate bytes != union"
+    );
+    let mut union_log: Vec<u64> = stats
+        .iter()
+        .flat_map(|s| s.latency_log.iter().copied())
+        .collect();
+    union_log.sort_unstable();
+    assert_eq!(agg.latency_log, union_log, "aggregate latency log != union");
+    for (s, stat) in stats.iter().enumerate() {
+        assert_eq!(agg.shard_bytes[s], stat.bytes_served, "shard {s} share");
+    }
+    agg
+}
+
+struct Cell {
+    shards: usize,
+    policy: &'static str,
+    stagger: u64,
+    served_mbps_wall: f64,
+    served_mbps_sim: f64,
+    p50: u64,
+    p99: u64,
+    jain: f64,
+    completed: u64,
+    wall_ms: f64,
+}
+
+fn main() {
+    let sessions = fleet_session_count();
+    let shards = shard_count();
+    println!(
+        "fleet scale-out sweep: {sessions} one-shot {BYTES}-byte sessions, \
+         shard counts [1, {shards}], one driver thread per shard\n"
+    );
+
+    // --- Determinism gates (asserted before any timing) -------------
+    let specs_tight = fleet_flash_crowd(sessions, BYTES, STAGGERS[0]);
+
+    // Per-shard Reference ≡ FastForward on the tight-ramp population.
+    let (ff, _) = run_cell(
+        shards,
+        RoutePolicy::SessionHash { salt: FLEET_SEED },
+        &specs_tight,
+        SimMode::FastForward,
+    );
+    let (reference, _) = run_cell(
+        shards,
+        RoutePolicy::SessionHash { salt: FLEET_SEED },
+        &specs_tight,
+        SimMode::Reference,
+    );
+    for (s, ((fr, fs), (rr, rs))) in ff.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            fr.service, rr.service,
+            "shard {s}: FastForward diverges from Reference"
+        );
+        assert_eq!(
+            fs.service().expect("service").captured_words(),
+            rs.service().expect("service").captured_words(),
+            "shard {s}: served words diverge across sim modes"
+        );
+    }
+    println!("determinism check: per-shard Reference == FastForward over {shards} shards");
+
+    // Full-scale record → replay bit-identity.
+    let mut router = ShardRouter::new(RoutePolicy::SessionHash { salt: FLEET_SEED }, shards);
+    let (per_shard, _) = partition_sessions(&mut router, &specs_tight);
+    let replay_systems: Vec<System> = ff
+        .iter()
+        .enumerate()
+        .map(|(s, (_, sys))| {
+            let svc = sys.service().expect("service");
+            let specs: Vec<ClientSpec> = (0..svc.clients())
+                .map(|c| {
+                    ClientSpec::trace_replay(per_shard[s][c].bytes, svc.arrival_log(c).to_vec())
+                })
+                .collect();
+            shard_system(specs, fleet_shard_seed(FLEET_SEED, s), SimMode::FastForward)
+        })
+        .collect();
+    for (s, ((orig, _), (re, _))) in ff.iter().zip(run_shards(replay_systems)).enumerate() {
+        assert_eq!(orig.service, re.service, "shard {s}: replay diverges");
+    }
+    println!("determinism check: {sessions}-session record -> replay is bit-identical\n");
+
+    // --- Timed sweep ------------------------------------------------
+    let policies = [
+        RoutePolicy::SessionHash { salt: FLEET_SEED },
+        RoutePolicy::RoundRobin,
+        RoutePolicy::LeastLoaded,
+    ];
+    let mut cells: Vec<Cell> = Vec::new();
+    println!(
+        "{:>6} {:>13} {:>8} {:>10} {:>10} {:>9} {:>9} {:>6} {:>8}",
+        "shards", "policy", "stagger", "wall Mb/s", "sim Mb/s", "p50", "p99", "jain", "wall ms"
+    );
+    for &stagger in &STAGGERS {
+        let specs = fleet_flash_crowd(sessions, BYTES, stagger);
+        for &n in &[1usize, shards] {
+            for &policy in &policies {
+                // A single shard routes identically under every policy;
+                // run it once.
+                if n == 1 && policy_label(policy) != "session-hash" {
+                    continue;
+                }
+                let (results, wall_ms) = run_cell(n, policy, &specs, SimMode::FastForward);
+                let stats: Vec<ServiceStats> = results
+                    .iter()
+                    .map(|(r, _)| r.service.clone().expect("service stats"))
+                    .collect();
+                let agg = assert_aggregate_equals_union(&stats);
+                assert_eq!(
+                    agg.requests_completed, sessions as u64,
+                    "every session must complete"
+                );
+                let sim_cycles = results.iter().map(|(r, _)| r.cpu_cycles).max().unwrap_or(1);
+                let cell = Cell {
+                    shards: n,
+                    policy: policy_label(policy),
+                    stagger,
+                    served_mbps_wall: agg.bytes_served as f64 * 8.0 / (wall_ms / 1e3) / 1e6,
+                    served_mbps_sim: agg.bytes_served as f64 * 8.0
+                        / (sim_cycles as f64 / 4e9)
+                        / 1e6,
+                    p50: agg.latency_percentile(0.50).expect("completions"),
+                    p99: agg.latency_percentile(0.99).expect("completions"),
+                    jain: agg.jain().expect("bytes served"),
+                    completed: agg.requests_completed,
+                    wall_ms,
+                };
+                println!(
+                    "{:>6} {:>13} {:>8} {:>10.0} {:>10.0} {:>9} {:>9} {:>6.3} {:>8.1}",
+                    cell.shards,
+                    cell.policy,
+                    cell.stagger,
+                    cell.served_mbps_wall,
+                    cell.served_mbps_sim,
+                    cell.p50,
+                    cell.p99,
+                    cell.jain,
+                    cell.wall_ms
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // --- Scale-out gate ---------------------------------------------
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let wall = |want_shards: usize, stagger: u64| {
+        cells
+            .iter()
+            .find(|c| c.shards == want_shards && c.stagger == stagger && c.policy == "session-hash")
+            .expect("cell present")
+            .served_mbps_wall
+    };
+    let speedup = if shards > 1 {
+        wall(shards, STAGGERS[0]) / wall(1, STAGGERS[0])
+    } else {
+        1.0
+    };
+    let enforce = host_cores >= 4 && shards >= 4;
+    println!(
+        "\n{shards}-shard aggregate wall throughput = {speedup:.2}x single-shard \
+         ({host_cores} host cores; gate {})",
+        if enforce { "enforced" } else { "report-only" }
+    );
+    if enforce {
+        assert!(
+            speedup >= 1.3,
+            "{shards}-shard fleet must serve >= 1.3x single-shard wall throughput \
+             on a {host_cores}-core host, got {speedup:.2}x"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"sessions\": {sessions},\n  \"bytes_per_request\": {BYTES},\n  \
+         \"shard_counts\": [1, {shards}],\n  \"host_cores\": {host_cores},\n  \
+         \"speedup_wall_{shards}shard\": {speedup:.3},\n  \"speedup_gate_enforced\": {enforce},\n  \
+         \"latency_unit\": \"cpu_cycles_at_4ghz\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+        cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"shards\": {}, \"policy\": \"{}\", \"stagger_cycles\": {}, \
+                     \"served_mbps_wall\": {:.1}, \"served_mbps_sim\": {:.1}, \"p50\": {}, \
+                     \"p99\": {}, \"jain\": {:.4}, \"completed\": {}, \"wall_ms\": {:.2}}}",
+                    c.shards,
+                    c.policy,
+                    c.stagger,
+                    c.served_mbps_wall,
+                    c.served_mbps_sim,
+                    c.p50,
+                    c.p99,
+                    c.jain,
+                    c.completed,
+                    c.wall_ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+    let out = std::env::var("BENCH_FLEET_OUT").unwrap_or_else(|_| "BENCH_fleet.json".to_string());
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+}

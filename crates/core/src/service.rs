@@ -24,8 +24,9 @@
 //! retains per-request word values so tests can assert no byte is ever
 //! shared between clients.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -497,11 +498,27 @@ pub struct RngService {
     /// Deficit-round-robin state for [`FairnessPolicy::WeightedFair`]
     /// (tenant = client index).
     drr: DrrState,
-    /// Client indices in [`FairnessPolicy::Strict`] issue order:
-    /// descending priority, ascending index within a priority level (so
-    /// equal-priority populations keep the original index order).
-    /// Rebuilt on session open.
-    issue_order: Vec<usize>,
+    /// Scheduled-arrival min-heap `(cycle, client)`, lazily pruned: an
+    /// entry is live only while it matches its client's `next_arrival`
+    /// (stale duplicates from rescheduling are discarded on peek/pop).
+    /// Interior mutability lets the read-only next-event probe prune.
+    /// This is what keeps per-tick arrival processing and next-event
+    /// probes sublinear in the client population (10⁴–10⁵ sessions in
+    /// the fleet scenarios).
+    arrivals: RefCell<BinaryHeap<Reverse<(u64, usize)>>>,
+    /// Clients holding unissued words, in [`FairnessPolicy::Strict`]
+    /// issue order: descending priority, ascending index within a level
+    /// (so equal-priority populations keep the original index order).
+    active: BTreeSet<(Reverse<u8>, usize)>,
+    /// The same membership in client-index order (the deficit-round-
+    /// robin candidate order).
+    active_by_index: BTreeSet<usize>,
+    /// Clients whose termination targets are not yet met (O(1)
+    /// [`RngService::targets_met`]).
+    unmet: usize,
+    /// Scratch for the aging-policy per-tick re-sort (reused so a busy
+    /// tick allocates nothing).
+    aging_scratch: Vec<(Reverse<u64>, u64, usize)>,
     /// Word-request id → (client index, request seq).
     word_map: HashMap<RequestId, (usize, u64)>,
     /// Served words of completed requests, in completion order (only
@@ -528,7 +545,11 @@ impl RngService {
             track_completed_order: config.sessions,
             fairness,
             drr: DrrState::new(),
-            issue_order: Vec::new(),
+            arrivals: RefCell::new(BinaryHeap::new()),
+            active: BTreeSet::new(),
+            active_by_index: BTreeSet::new(),
+            unmet: 0,
+            aging_scratch: Vec::new(),
             word_map: HashMap::new(),
             captured: Vec::new(),
             completed_order: VecDeque::new(),
@@ -540,16 +561,33 @@ impl RngService {
             },
             clients,
         };
-        service.rebuild_issue_order();
+        for ci in 0..service.clients.len() {
+            service.note_open(ci);
+        }
         service
     }
 
-    /// Recomputes the priority-ordered issue schedule (stable: equal
-    /// priorities stay in index order).
-    fn rebuild_issue_order(&mut self) {
-        self.issue_order = (0..self.clients.len()).collect();
-        self.issue_order
-            .sort_by_key(|&i| std::cmp::Reverse(self.clients[i].priority));
+    /// Bookkeeping for a freshly added client: schedule its first
+    /// arrival and count it toward the unmet-target total.
+    fn note_open(&mut self, ci: usize) {
+        if let Some(t) = self.clients[ci].next_arrival {
+            self.arrivals.get_mut().push(Reverse((t, ci)));
+        }
+        if !self.clients[ci].targets_met() {
+            self.unmet += 1;
+        }
+    }
+
+    /// Marks a client as holding unissued words (idempotent).
+    fn activate(&mut self, ci: usize) {
+        self.active.insert((Reverse(self.clients[ci].priority), ci));
+        self.active_by_index.insert(ci);
+    }
+
+    /// Clears a client's unissued-words mark (idempotent).
+    fn deactivate(&mut self, ci: usize) {
+        self.active.remove(&(Reverse(self.clients[ci].priority), ci));
+        self.active_by_index.remove(&ci);
     }
 
     /// Registers a new session at CPU cycle `now` and returns its client
@@ -560,7 +598,7 @@ impl RngService {
         self.stats.latency_by_client.push(Vec::new());
         self.stats.bytes_by_client.push(0);
         self.stats.last_completion_by_client.push(0);
-        self.rebuild_issue_order();
+        self.note_open(id);
         self.track_completed_order = true;
         id
     }
@@ -574,9 +612,13 @@ impl RngService {
     ///
     /// Panics when the session is out of range.
     pub(crate) fn close_session(&mut self, id: usize) {
+        let was_met = self.clients[id].targets_met();
         let c = &mut self.clients[id];
         c.closed = true;
         c.next_arrival = None;
+        if !was_met && self.clients[id].targets_met() {
+            self.unmet -= 1;
+        }
     }
 
     /// The OS priority level of a session's tenant.
@@ -619,9 +661,11 @@ impl RngService {
     }
 
     /// Whether every client has issued its configured requests and all of
-    /// them completed (the run-loop termination condition).
+    /// them completed (the run-loop termination condition). O(1): the
+    /// run loop probes this on every finish-check boundary, so it must
+    /// not scan a 10⁴-session population.
     pub fn targets_met(&self) -> bool {
-        self.clients.iter().all(ClientState::targets_met)
+        self.unmet == 0
     }
 
     /// Requests currently in flight (arrived, not yet fully served).
@@ -660,8 +704,24 @@ impl RngService {
     /// Panics when `client` is out of range, is not a
     /// [`ArrivalProcess::Manual`] client, or `bytes` is zero.
     pub(crate) fn submit(&mut self, client: usize, bytes: usize, now: u64) -> u64 {
+        self.submit_at(client, bytes, now, now)
+    }
+
+    /// [`RngService::submit`] with an explicit `arrival` stamp `<= now`:
+    /// open-loop pipelined sessions may commit to an arrival schedule
+    /// faster than the service drains, so a request's intended arrival
+    /// can precede its injection cycle. Latency accounting and fairness
+    /// aging then include that queueing delay, exactly as they do for
+    /// the in-simulation open-loop arrival processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`RngService::submit`], or when `arrival > now`.
+    pub(crate) fn submit_at(&mut self, client: usize, bytes: usize, arrival: u64, now: u64) -> u64 {
         assert!(bytes > 0, "getrandom of zero bytes");
+        assert!(arrival <= now, "submit stamped after its injection cycle");
         let record = self.record_arrivals;
+        let was_met = self.clients[client].targets_met();
         let c = &mut self.clients[client];
         assert!(
             matches!(c.spec.arrival, ArrivalProcess::Manual),
@@ -669,7 +729,7 @@ impl RngService {
         );
         assert!(!c.closed, "submit on a closed session");
         if record {
-            c.arrival_log.push(now);
+            c.arrival_log.push(arrival);
         }
         self.stats.requests_offered += 1;
         let seq = c.next_seq;
@@ -679,7 +739,7 @@ impl RngService {
         c.in_flight.insert(
             seq,
             ActiveRequest {
-                arrival: now,
+                arrival,
                 bytes,
                 words_to_issue: words,
                 outstanding: 0,
@@ -690,6 +750,10 @@ impl RngService {
             },
         );
         c.issue_queue.push_back(seq);
+        if was_met {
+            self.unmet += 1;
+        }
+        self.activate(client);
         seq
     }
 
@@ -700,16 +764,20 @@ impl RngService {
     /// dormant — completions are bounded separately by the memory
     /// subsystem's own next-event machinery.
     pub fn next_event_at(&self, now: u64) -> Option<u64> {
-        let mut event = u64::MAX;
-        for c in &self.clients {
-            if c.has_unissued_words() {
-                return Some(now);
-            }
-            if let Some(t) = c.next_arrival {
-                event = event.min(t);
-            }
+        if !self.active.is_empty() {
+            return Some(now);
         }
-        (event != u64::MAX).then(|| event.max(now))
+        // Every live `next_arrival` has a matching heap entry, so the
+        // earliest non-stale top is the global minimum; stale duplicates
+        // from rescheduling are pruned as they surface.
+        let mut heap = self.arrivals.borrow_mut();
+        while let Some(&Reverse((t, ci))) = heap.peek() {
+            if self.clients[ci].next_arrival == Some(t) {
+                return Some(t.max(now));
+            }
+            heap.pop();
+        }
+        None
     }
 
     /// Advances the service by one CPU cycle: processes due arrivals for
@@ -727,15 +795,47 @@ impl RngService {
     ///   saturating high-priority tenant cannot monopolize the issue
     ///   path.
     pub(crate) fn tick(&mut self, now: u64, mem: &mut MemSubsystem) {
-        for ci in 0..self.clients.len() {
+        // Drain due arrivals off the heap instead of scanning every
+        // client: a tick touches only the clients that actually have an
+        // arrival this cycle. Same-cycle entries pop in client-index
+        // order (the heap key is `(cycle, index)`), matching the old
+        // full-scan processing order.
+        loop {
+            let due = {
+                let heap = self.arrivals.get_mut();
+                match heap.peek() {
+                    Some(&Reverse((t, ci))) if t <= now => {
+                        heap.pop();
+                        Some((t, ci))
+                    }
+                    _ => None,
+                }
+            };
+            let Some((t, ci)) = due else { break };
+            if self.clients[ci].next_arrival != Some(t) {
+                continue; // stale entry from a reschedule
+            }
             self.process_arrivals(ci, now);
+            if let Some(nt) = self.clients[ci].next_arrival {
+                self.arrivals.get_mut().push(Reverse((nt, ci)));
+            }
+            if self.clients[ci].has_unissued_words() {
+                self.activate(ci);
+            }
         }
+        // Issue over only the clients holding words. The first rejection
+        // is global for this memory tick — the engine memoizes RNG-queue
+        // exhaustion, so every later `try_rng` this tick would also be
+        // refused — which makes breaking there outcome-identical to the
+        // historical issue-everyone loop.
         let mut blocked = false;
         match self.fairness {
             FairnessPolicy::Strict => {
-                for oi in 0..self.issue_order.len() {
-                    let ci = self.issue_order[oi];
-                    blocked |= self.issue_words(ci, mem);
+                while let Some(&(_, ci)) = self.active.iter().next() {
+                    if self.issue_words(ci, mem) {
+                        blocked = true;
+                        break;
+                    }
                 }
             }
             FairnessPolicy::Aging { .. } | FairnessPolicy::AdaptiveAging => {
@@ -748,22 +848,25 @@ impl RngService {
                     FairnessPolicy::Aging { quantum } => quantum,
                     _ => mem.adaptive_aging_quantum(),
                 };
-                let mut order: Vec<(Reverse<u64>, u64, usize)> = self
-                    .clients
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(ci, c)| {
-                        let &seq = c.issue_queue.front()?;
-                        let arrival = c.in_flight[&seq].arrival;
-                        let eff =
-                            effective_priority(c.priority, now.saturating_sub(arrival), quantum);
-                        Some((Reverse(eff), arrival, ci))
-                    })
-                    .collect();
+                let mut order = std::mem::take(&mut self.aging_scratch);
+                order.clear();
+                order.extend(self.active.iter().map(|&(_, ci)| {
+                    let c = &self.clients[ci];
+                    let &seq = c.issue_queue.front().expect("active client has queued words");
+                    let arrival = c.in_flight[&seq].arrival;
+                    let eff = effective_priority(c.priority, now.saturating_sub(arrival), quantum);
+                    (Reverse(eff), arrival, ci)
+                }));
+                // The key embeds the unique client index, so the unstable
+                // sort is total and input-order independent.
                 order.sort_unstable();
-                for (_, _, ci) in order {
-                    blocked |= self.issue_words(ci, mem);
+                for &(_, _, ci) in &order {
+                    if self.issue_words(ci, mem) {
+                        blocked = true;
+                        break;
+                    }
                 }
+                self.aging_scratch = order;
             }
             FairnessPolicy::WeightedFair { quantum } => {
                 blocked = self.issue_words_drr(quantum, mem);
@@ -771,6 +874,28 @@ impl RngService {
         }
         if blocked {
             self.stats.issue_blocked_cycles += 1;
+        }
+        #[cfg(debug_assertions)]
+        self.check_bookkeeping();
+    }
+
+    /// Debug oracle: the incremental arrival-heap / active-set / unmet
+    /// bookkeeping must agree with a full rescan. Skipped above 64
+    /// clients so debug runs of the fleet-scale scenarios stay fast.
+    #[cfg(debug_assertions)]
+    fn check_bookkeeping(&self) {
+        if self.clients.len() > 64 {
+            return;
+        }
+        let unmet = self.clients.iter().filter(|c| !c.targets_met()).count();
+        debug_assert_eq!(self.unmet, unmet, "unmet-target counter out of sync");
+        debug_assert_eq!(self.active.len(), self.active_by_index.len());
+        for (ci, c) in self.clients.iter().enumerate() {
+            debug_assert_eq!(
+                self.active.contains(&(Reverse(c.priority), ci)),
+                c.has_unissued_words(),
+                "active set out of sync for client {ci}"
+            );
         }
     }
 
@@ -871,6 +996,7 @@ impl RngService {
                 self.clients[ci].issue_queue.pop_front();
             }
         }
+        self.deactivate(ci);
         false
     }
 
@@ -886,9 +1012,7 @@ impl RngService {
         let mut quanta: Vec<u64> = Vec::new();
         loop {
             active.clear();
-            active.extend(
-                (0..self.clients.len()).filter(|&ci| self.clients[ci].has_unissued_words()),
-            );
+            active.extend(self.active_by_index.iter().copied());
             if active.is_empty() {
                 return false;
             }
@@ -916,6 +1040,9 @@ impl RngService {
                     self.word_map.insert(id, (ci, seq));
                     if req.words_to_issue == 0 {
                         self.clients[ci].issue_queue.pop_front();
+                        if self.clients[ci].issue_queue.is_empty() {
+                            self.deactivate(ci);
+                        }
                     }
                 }
                 None => {
@@ -990,6 +1117,7 @@ impl RngService {
         match c.spec.arrival {
             ArrivalProcess::ClosedLoop { think } if !c.closed && c.arrivals < c.spec.requests => {
                 c.next_arrival = Some(now + think);
+                self.arrivals.get_mut().push(Reverse((now + think, ci)));
             }
             ArrivalProcess::Manual => {
                 c.done_manual.insert(
@@ -1005,6 +1133,11 @@ impl RngService {
                 }
             }
             _ => {}
+        }
+        // The request just left `in_flight`, so the client was unmet on
+        // entry; if this was its last obligation it is met now.
+        if self.clients[ci].targets_met() {
+            self.unmet -= 1;
         }
     }
 

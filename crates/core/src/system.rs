@@ -471,6 +471,26 @@ impl System {
             .submit(client, bytes, now)
     }
 
+    /// [`System::service_submit`] with an explicit arrival stamp
+    /// `arrival <= now`: a pipelined open-loop session commits to its
+    /// arrival schedule up front, so when the service falls behind, a
+    /// request's intended arrival precedes the cycle it is injected on.
+    /// Latency accounting and fairness aging measure from `arrival`,
+    /// charging the client-side queueing delay exactly like the
+    /// in-simulation open-loop arrival processes do.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`System::service_submit`], or when `arrival` is in
+    /// the future.
+    pub fn service_submit_at(&mut self, client: usize, bytes: usize, arrival: u64) -> u64 {
+        let now = self.cpu_cycle;
+        self.service
+            .as_mut()
+            .expect("no service configured")
+            .submit_at(client, bytes, arrival, now)
+    }
+
     /// Advances the system (honoring the configured [`SimMode`]) until
     /// `stop` returns true or `max_cycles` CPU cycles elapse; returns the
     /// cycles advanced. This is the incremental counterpart of

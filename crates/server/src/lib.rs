@@ -83,6 +83,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod fleet;
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -91,6 +92,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use strange_core::{ArrivalProcess, ClientSpec, ServedRequest, ServiceStats, System, SystemStats};
+use strange_metrics::percentile_sorted;
 
 use admission::TokenBucket;
 pub use admission::{
@@ -143,6 +145,26 @@ enum Ctl {
         gap: u64,
         count: usize,
         deadline: u64,
+    },
+    /// Pipelined open-loop submit: `count` arrivals chained off the
+    /// session's previous *arrival* (`arrival = prev arrival + gap`),
+    /// independent of completions. Marks the session pipelined: every
+    /// delivery then owes the driver one client reaction (another
+    /// chained submit, an ack, or a close) before virtual time may
+    /// advance, so each chained arrival is computed at a deterministic
+    /// simulated cycle.
+    SubmitChained {
+        session: usize,
+        bytes: usize,
+        gap: u64,
+        count: usize,
+        deadline: u64,
+    },
+    /// Releases a pipelined session's per-delivery barrier without
+    /// extending the pipeline (the client consumed a completion and
+    /// declines to chain another request).
+    Ack {
+        session: usize,
     },
     Close {
         session: usize,
@@ -199,6 +221,10 @@ pub struct Snapshot {
     pub requests_offered: u64,
     /// Requests fully served so far.
     pub requests_completed: u64,
+    /// Bytes delivered to clients so far (requested bytes of completed
+    /// calls) — the numerator of a served-throughput readout, and what
+    /// fleet aggregation weighs shards by.
+    pub bytes_served: u64,
     /// Requests currently in flight inside the simulation.
     pub in_flight: usize,
     /// Current depth of the engine's global RNG request queue.
@@ -357,6 +383,47 @@ impl SessionHandle {
             })
             .expect("server is running");
         self.outstanding += count;
+    }
+
+    /// Submits `count` pipelined open-loop arrivals of `bytes` each,
+    /// chained off the session's previous *arrival*: request *i* arrives
+    /// `gap` cycles after request *i−1*'s arrival (the session's open
+    /// cycle before any), regardless of completions — so a k-deep
+    /// pipeline keeps k requests in flight without the closed-loop
+    /// serialization of [`SessionHandle::submit_after`].
+    ///
+    /// The first call (typically with `count = k`, the pipeline fill) is
+    /// one atomic control message, so the whole fill anchors off one
+    /// deterministic state. From then on the session is **pipelined**:
+    /// under [`Pacing::Virtual`] every received outcome must be answered
+    /// with exactly one `submit_pipelined`, [`SessionHandle::ack`], or
+    /// [`SessionHandle::close`] — virtual time halts until the driver
+    /// hears the decision, which is what keeps each chained arrival
+    /// independent of host scheduling. Mixing with `submit_after` /
+    /// `submit_burst` on the same session panics in the driver.
+    pub fn submit_pipelined(&mut self, bytes: usize, gap: u64, count: usize, deadline: u64) {
+        assert!(bytes > 0, "getrandom of zero bytes");
+        assert!(count > 0, "empty pipeline");
+        self.first = false;
+        self.ctl
+            .send(Ctl::SubmitChained {
+                session: self.id,
+                bytes,
+                gap,
+                count,
+                deadline,
+            })
+            .expect("server is running");
+        self.outstanding += count;
+    }
+
+    /// Releases a pipelined session's per-delivery barrier without
+    /// chaining another request: call once per received outcome when the
+    /// pipeline should drain rather than extend.
+    pub fn ack(&mut self) {
+        self.ctl
+            .send(Ctl::Ack { session: self.id })
+            .expect("server is running");
     }
 
     /// Blocks until the next completion for this session arrives.
@@ -630,6 +697,15 @@ struct Sess {
     /// Virtual pacing: the driver must hear from this session (submit or
     /// close) before time may advance.
     awaiting: bool,
+    /// The session entered the pipelined (arrival-chained) discipline via
+    /// [`Ctl::SubmitChained`]; closed-loop/burst submits now panic.
+    pipelined: bool,
+    /// Pipelined per-delivery barrier: outcomes delivered to the session
+    /// whose client reaction (chained submit, ack, or close) the driver
+    /// has not yet heard. A counter, not a flag — one delivery batch can
+    /// hand several completions to the same k-deep session. Virtual time
+    /// halts while any session owes a reaction.
+    owed: u32,
     interactive: bool,
     closed: bool,
 }
@@ -639,6 +715,52 @@ impl Sess {
     /// in flight) that later submits must chain behind.
     fn busy(&self) -> bool {
         self.in_flight > 0 || self.scheduled > 0 || !self.pending.is_empty()
+    }
+}
+
+/// Reusable scratch for the observed-stream driver's per-tenant
+/// percentile extraction: one sort buffer serves every tenant and both
+/// quantiles of a [`Snapshot`], so steady-state snapshots do no
+/// per-snapshot percentile allocation (the old path cloned and sorted
+/// each tenant's latency log once *per quantile*). The counters make
+/// the claim testable, PR 8-style: `grows` must go flat once the buffer
+/// has seen the largest log.
+#[derive(Debug, Default)]
+pub struct PercentileScratch {
+    sorted: Vec<u64>,
+    sorts: u64,
+    grows: u64,
+}
+
+impl PercentileScratch {
+    /// Exact nearest-rank `(p50, p99)` of `log` — same semantics as
+    /// [`ServiceStats::client_latency_percentile`] at 0.50 / 0.99, but
+    /// one copy into the reused buffer and one sort for both quantiles.
+    /// `(None, None)` on an empty log.
+    pub fn p50_p99(&mut self, log: &[u64]) -> (Option<u64>, Option<u64>) {
+        if log.len() > self.sorted.capacity() {
+            self.grows += 1;
+        }
+        self.sorted.clear();
+        self.sorted.extend_from_slice(log);
+        self.sorted.sort_unstable();
+        self.sorts += 1;
+        (
+            percentile_sorted(&self.sorted, 0.50),
+            percentile_sorted(&self.sorted, 0.99),
+        )
+    }
+
+    /// Sorts performed (exactly one per [`PercentileScratch::p50_p99`]
+    /// call — the old path did two per tenant per snapshot).
+    pub fn sorts(&self) -> u64 {
+        self.sorts
+    }
+
+    /// Times the incoming log exceeded the reused buffer's capacity and
+    /// forced a reallocation. Flat at steady state.
+    pub fn grows(&self) -> u64 {
+        self.grows
     }
 }
 
@@ -689,6 +811,8 @@ struct Driver {
     inflight: HashMap<(usize, u64), Flight>,
     admission: AdmissionConfig,
     adm_stats: AdmissionStats,
+    /// Reused percentile sort buffer for the snapshot hot path.
+    scratch: PercentileScratch,
     shutdown: bool,
 }
 
@@ -711,6 +835,7 @@ impl Driver {
             inflight: HashMap::new(),
             admission,
             adm_stats: AdmissionStats::default(),
+            scratch: PercentileScratch::default(),
             shutdown: false,
         }
     }
@@ -748,6 +873,8 @@ impl Driver {
                     last_arrival: now,
                     bucket: TokenBucket::new(now, &self.admission),
                     awaiting: interactive && self.virtual_pacing(),
+                    pipelined: false,
+                    owed: 0,
                     interactive,
                     closed: false,
                 });
@@ -764,6 +891,7 @@ impl Driver {
                 let slot = self.slot(session);
                 let sess = &mut self.sessions[slot];
                 assert!(!sess.closed, "submit on a closed session");
+                assert!(!sess.pipelined, "closed-loop submit on a pipelined session");
                 sess.awaiting = false;
                 // Virtual pacing: a session with any committed request
                 // chains later submits behind it in FIFO order — whether
@@ -790,6 +918,7 @@ impl Driver {
                 let slot = self.slot(session);
                 let sess = &mut self.sessions[slot];
                 assert!(!sess.closed, "submit on a closed session");
+                assert!(!sess.pipelined, "burst submit on a pipelined session");
                 sess.awaiting = false;
                 // Anchor the burst deterministically: a free session is
                 // behind the virtual-time barrier (now is a pure function
@@ -804,6 +933,48 @@ impl Driver {
                 for i in 0..count as u64 {
                     self.schedule_arrival(slot, first + i * gap, bytes, deadline);
                 }
+            }
+            Ctl::SubmitChained {
+                session,
+                bytes,
+                gap,
+                count,
+                deadline,
+            } => {
+                let now = self.sys.cpu_cycles();
+                let virtual_pacing = self.virtual_pacing();
+                let slot = self.slot(session);
+                let sess = &mut self.sessions[slot];
+                assert!(!sess.closed, "submit on a closed session");
+                assert!(
+                    sess.interactive,
+                    "pipelined submit on an autonomous session"
+                );
+                sess.awaiting = false;
+                sess.owed = sess.owed.saturating_sub(1);
+                sess.pipelined = true;
+                // Chain off the previous *arrival* (the open cycle before
+                // any): an arithmetic arrival series independent of
+                // completions — this is what distinguishes the pipeline
+                // from the closed loop. Under virtual pacing the chained
+                // cycle is a pure function of prior arrivals, so it may
+                // legitimately lie in the simulated past of a backlogged
+                // pipeline; injection stamps the scheduled arrival either
+                // way. WallClock clamps to now like every other path.
+                let mut arrival = sess.last_arrival + gap;
+                for _ in 0..count {
+                    if !virtual_pacing {
+                        arrival = arrival.max(now);
+                    }
+                    self.schedule_arrival(slot, arrival, bytes, deadline);
+                    arrival = self.sessions[slot].last_arrival + gap;
+                }
+            }
+            Ctl::Ack { session } => {
+                let slot = self.slot(session);
+                let sess = &mut self.sessions[slot];
+                sess.awaiting = false;
+                sess.owed = sess.owed.saturating_sub(1);
             }
             Ctl::Close { session } => self.close_session(session),
             Ctl::Shutdown => self.shutdown = true,
@@ -833,6 +1004,7 @@ impl Driver {
         }
         sess.closed = true;
         sess.awaiting = false;
+        sess.owed = 0;
         sess.pending.clear();
         if sess.scheduled > 0 {
             sess.scheduled = 0;
@@ -930,11 +1102,16 @@ impl Driver {
                 }
                 self.adm_stats.accepted += 1;
             }
-            let seq = self.sys.service_submit(session, bytes);
+            // Stamp the *scheduled* cycle, not "now": a backlogged
+            // pipelined session's chained arrivals can be due in the
+            // simulated past, and their queueing delay must charge to
+            // latency (and fairness aging) from the scheduled arrival.
+            // On every other path cycle == now, so this changes nothing.
+            let seq = self.sys.service_submit_at(session, bytes, cycle);
             self.inflight.insert(
                 (session, seq),
                 Flight {
-                    arrival: now,
+                    arrival: cycle,
                     first,
                     deadline_at,
                 },
@@ -961,7 +1138,13 @@ impl Driver {
             self.close_session(session);
             return;
         }
-        if let Some((bytes, delay, deadline)) = sess.pending.pop_front() {
+        if sess.pipelined {
+            // Pipelined per-delivery barrier: the client owes one
+            // reaction (chained submit, ack, or close) per outcome.
+            if virtual_pacing {
+                sess.owed += 1;
+            }
+        } else if let Some((bytes, delay, deadline)) = sess.pending.pop_front() {
             let arrival = (sess.release + delay).max(now);
             self.schedule_arrival(slot, arrival, bytes, deadline);
         } else if sess.interactive && !sess.closed && !sess.busy() {
@@ -1002,7 +1185,11 @@ impl Driver {
                 self.close_session(session);
                 continue;
             }
-            if let Some((bytes, delay, deadline)) = sess.pending.pop_front() {
+            if sess.pipelined {
+                if virtual_pacing {
+                    sess.owed += 1;
+                }
+            } else if let Some((bytes, delay, deadline)) = sess.pending.pop_front() {
                 let arrival = (sess.release + delay).max(now);
                 self.schedule_arrival(slot, arrival, bytes, deadline);
             } else if sess.interactive && !sess.closed && !sess.busy() {
@@ -1011,31 +1198,40 @@ impl Driver {
         }
     }
 
-    /// Builds the current in-progress snapshot.
-    fn snapshot(&self) -> Snapshot {
-        let svc = self.sys.service();
+    /// Builds the current in-progress snapshot. `&mut self` for the
+    /// reused percentile scratch — one sort per tenant serves both
+    /// quantiles, no per-snapshot allocation at steady state.
+    fn snapshot(&mut self) -> Snapshot {
+        let sys = &self.sys;
+        let scratch = &mut self.scratch;
+        let svc = sys.service();
         let stats = svc.map(|s| s.stats());
         let tenants = stats.map_or(0, |s| s.latency_by_client.len());
-        let pct = |q: f64| -> Vec<Option<u64>> {
-            stats.map_or_else(Vec::new, |s| {
-                (0..tenants).map(|i| s.client_latency_percentile(i, q)).collect()
-            })
-        };
+        let mut tenant_p50 = Vec::with_capacity(tenants);
+        let mut tenant_p99 = Vec::with_capacity(tenants);
+        if let Some(s) = stats {
+            for log in &s.latency_by_client {
+                let (p50, p99) = scratch.p50_p99(log);
+                tenant_p50.push(p50);
+                tenant_p99.push(p99);
+            }
+        }
         Snapshot {
-            cpu_cycles: self.sys.cpu_cycles(),
+            cpu_cycles: sys.cpu_cycles(),
             requests_offered: stats.map_or(0, |s| s.requests_offered),
             requests_completed: stats.map_or(0, |s| s.requests_completed),
+            bytes_served: stats.map_or(0, |s| s.bytes_served),
             in_flight: svc.map_or(0, |s| s.in_flight()),
-            rng_queue_len: self.sys.mem().rng_queue_len(),
-            buffer_words: self.sys.mem().buffer().available_words(),
-            tenant_p50: pct(0.50),
-            tenant_p99: pct(0.99),
-            quarantined_channels: self.sys.mem().quarantined_channels(),
-            health_windows_tested: self.sys.mem().stats().windows_tested,
-            health_quarantines: self.sys.mem().stats().quarantines,
-            health_probe_rounds: self.sys.mem().stats().probe_rounds,
-            health_readmissions: self.sys.mem().stats().readmissions,
-            health_tainted_discarded: self.sys.mem().stats().tainted_words_discarded,
+            rng_queue_len: sys.mem().rng_queue_len(),
+            buffer_words: sys.mem().buffer().available_words(),
+            tenant_p50,
+            tenant_p99,
+            quarantined_channels: sys.mem().quarantined_channels(),
+            health_windows_tested: sys.mem().stats().windows_tested,
+            health_quarantines: sys.mem().stats().quarantines,
+            health_probe_rounds: sys.mem().stats().probe_rounds,
+            health_readmissions: sys.mem().stats().readmissions,
+            health_tainted_discarded: sys.mem().stats().tainted_words_discarded,
         }
     }
 
@@ -1131,7 +1327,7 @@ impl Driver {
             // Time may not advance while an interactive session owes the
             // driver its next decision — that barrier is what makes the
             // interleaving independent of host thread scheduling.
-            if !self.shutdown && self.sessions.iter().any(|s| s.awaiting) {
+            if !self.shutdown && self.sessions.iter().any(|s| s.awaiting || s.owed > 0) {
                 self.recv_blocking();
                 continue;
             }
@@ -1147,8 +1343,10 @@ impl Driver {
                 continue;
             }
             if let Some(&Reverse((cycle, ..))) = self.schedule.peek() {
+                // A backlogged pipelined session may chain arrivals into
+                // the simulated past (`cycle < now`); they inject
+                // immediately, stamped with the scheduled cycle.
                 let now = self.sys.cpu_cycles();
-                debug_assert!(cycle >= now, "arrivals are never scheduled in the past");
                 if cycle > now {
                     self.sys
                         .advance_until(cycle - now, |s| s.service_completions_pending() > 0);

@@ -84,3 +84,68 @@ fn dropping_the_snapshot_receiver_does_not_stall_the_server() {
     let report = server.shutdown();
     assert_eq!(report.stats.requests_completed, 20);
 }
+
+/// Snapshot hot path (PR 10 satellite): the reused percentile scratch
+/// must match the per-call clone-and-sort oracle exactly, sort once per
+/// call, and stop reallocating once it has seen the largest log.
+#[test]
+fn percentile_scratch_matches_oracle_without_reallocating() {
+    use strange_core::ServiceStats;
+    use strange_server::PercentileScratch;
+
+    let logs: Vec<Vec<u64>> = vec![
+        vec![42],
+        vec![5, 3, 9, 1, 7],
+        (0..500).map(|i| (i * 37) % 1000).collect(),
+        vec![],
+        (0..100).rev().collect(),
+    ];
+    let mut scratch = PercentileScratch::default();
+    let mut stats = ServiceStats::default();
+    for log in &logs {
+        stats.latency_by_client.push(log.clone());
+    }
+    for (i, log) in logs.iter().enumerate() {
+        let (p50, p99) = scratch.p50_p99(log);
+        assert_eq!(p50, stats.client_latency_percentile(i, 0.50), "client {i} p50");
+        assert_eq!(p99, stats.client_latency_percentile(i, 0.99), "client {i} p99");
+    }
+    assert_eq!(scratch.sorts(), logs.len() as u64, "one sort per call");
+    let grows_after_warmup = scratch.grows();
+    // Sizes run 1 → 5 → 500 (then smaller), so at most three calls saw
+    // a log beyond capacity.
+    assert!(grows_after_warmup <= 3, "only growing logs may reallocate");
+    // Steady state: same-size (or smaller) logs never grow the buffer.
+    for _ in 0..50 {
+        for log in &logs {
+            scratch.p50_p99(log);
+        }
+    }
+    assert_eq!(
+        scratch.grows(),
+        grows_after_warmup,
+        "steady-state snapshots must not reallocate the sort buffer"
+    );
+    assert_eq!(scratch.sorts(), (51 * logs.len()) as u64);
+}
+
+/// The final snapshot's served-byte gauge (what fleet aggregation weighs
+/// shards by) matches the report.
+#[test]
+fn snapshot_reports_bytes_served() {
+    let (server, snapshots) = RngServer::start_observed(
+        observed_system(),
+        Pacing::Virtual,
+        Duration::from_millis(1),
+    );
+    let mut h = server.open_session(ClientSpec::manual(32));
+    let mut buf = [0u8; 32];
+    for _ in 0..10 {
+        h.getrandom(&mut buf, 1_000);
+    }
+    h.close();
+    let report = server.shutdown();
+    let last = snapshots.try_iter().last().expect("parting snapshot");
+    assert_eq!(last.bytes_served, 10 * 32);
+    assert_eq!(last.bytes_served, report.stats.bytes_served);
+}

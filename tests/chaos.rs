@@ -18,7 +18,7 @@ use dr_strange::core::{
     FaultPlan, RunResult, SimMode, System, SystemConfig, WatchdogConfig,
 };
 use dr_strange::trng::DRange;
-use dr_strange::workloads::contended_qos_service;
+use dr_strange::workloads::{contended_qos_service, fleet_shard_seed};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -164,5 +164,79 @@ fn soak_one(seed: u64) {
 fn seeded_chaos_scenarios_uphold_recovery_invariants() {
     for seed in 0..seed_count() {
         soak_one(seed);
+    }
+}
+
+/// Fleet chaos soak: each seed injects its fault plan into one
+/// *random* shard of a 3-shard fleet while the other shards run clean.
+/// Fault isolation is structural (shards share nothing), so the faulty
+/// shard must uphold every single-system recovery invariant while the
+/// clean shards run fault-free — and the parallel fleet run must be
+/// bit-identical to running each shard alone.
+fn fleet_soak_one(seed: u64) {
+    use dr_strange::server::fleet::{run_shards, run_shards_sequential};
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let plan = chaos_plan(&mut rng, 4);
+    let faulty_shard = rng.gen_range(0..3usize);
+    let build = || -> Vec<System> {
+        (0..3)
+            .map(|s| {
+                let mut cfg = SystemConfig::dr_strange(0)
+                    .with_watchdog(watchdog())
+                    .with_service(contended_qos_service(64, 12));
+                if s == faulty_shard {
+                    cfg = cfg.with_fault_plan(plan.clone());
+                }
+                System::new(
+                    cfg.with_sim_mode(SimMode::FastForward),
+                    Vec::new(),
+                    Box::new(DRange::new(fleet_shard_seed(2022, s))),
+                )
+                .expect("chaos plans are valid by construction")
+            })
+            .collect()
+    };
+    let parallel = run_shards(build());
+    let sequential = run_shards_sequential(build());
+    for (s, ((pr, _), (sr, _))) in parallel.iter().zip(&sequential).enumerate() {
+        assert_eq!(
+            pr.service, sr.service,
+            "seed {seed}: shard {s} parallel ≡ sequential"
+        );
+        assert_eq!(pr.stats, sr.stats, "seed {seed}: shard {s} engine stats");
+    }
+    for (s, (res, _)) in parallel.iter().enumerate() {
+        assert!(
+            !res.hit_cycle_limit,
+            "seed {seed}: shard {s} must drain despite the plan"
+        );
+        if s == faulty_shard {
+            assert_eq!(
+                res.stats.faults_injected,
+                plan.events.len() as u64,
+                "seed {seed}: every planned event fires on the faulty shard"
+            );
+            assert!(
+                res.stats.quarantines >= 1,
+                "seed {seed}: the stuck channel must be quarantined"
+            );
+        } else {
+            assert_eq!(
+                res.stats.faults_injected, 0,
+                "seed {seed}: shard {s} is clean — fault isolation is structural"
+            );
+            assert_eq!(
+                res.stats.quarantines, 0,
+                "seed {seed}: clean shard {s} must not quarantine"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_chaos_faults_stay_on_their_shard() {
+    for seed in 0..seed_count() {
+        fleet_soak_one(seed);
     }
 }
